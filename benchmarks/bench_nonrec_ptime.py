@@ -1,0 +1,64 @@
+"""Experiment C4: nonrecursive TD decides in polynomial time.
+
+Paper artifact: Theorem 4.7 ("if we eliminate recursion altogether, then
+data complexity plummets from RE to less than PTIME").  A fixed
+nonrecursive program is evaluated over growing databases; the measured
+cost curve must classify as polynomial -- the contrast to C2's
+exponential curve on the same harness.
+"""
+
+import pytest
+
+from repro import select_engine
+from repro.complexity import (
+    chain_edges,
+    estimate_growth,
+    measure,
+    nonrecursive_path_program,
+    print_series,
+)
+
+
+def test_nonrecursive_polynomial_scaling(benchmark):
+    program = nonrecursive_path_program()
+    rows = []
+    sizes = []
+    times = []
+    for n in (20, 40, 80, 160, 320):
+        db = chain_edges(n, extra_random=n // 2, seed=n)
+        engine = select_engine(program)
+        ok, seconds = measure(lambda: engine.succeeds("witness", db))
+        assert ok  # a chain of length >= 4 always has a 4-path
+        rows.append([n, len(db), seconds])
+        sizes.append(len(db))
+        times.append(max(seconds, 1e-6))
+    print_series(
+        "C4: nonrecursive TD -- cost vs database size",
+        ["chain length", "|db|", "seconds"],
+        rows,
+    )
+    assert estimate_growth(sizes, times) == "polynomial"
+
+    db = chain_edges(80, extra_random=40, seed=80)
+    engine = select_engine(program)
+    benchmark.pedantic(lambda: engine.succeeds("witness", db), rounds=3, iterations=1)
+
+
+def test_negative_instances_also_polynomial(benchmark):
+    """Failure must be decided, and cheaply: short chains have no 4-path."""
+    program = nonrecursive_path_program()
+    rows = []
+    for n in (1, 2, 3):
+        db = chain_edges(n)
+        engine = select_engine(program)
+        ok, seconds = measure(lambda: engine.succeeds("witness", db))
+        assert not ok
+        rows.append([n, seconds])
+    print_series(
+        "C4: nonrecursive TD -- negative instances decided",
+        ["chain length", "seconds"],
+        rows,
+    )
+    db = chain_edges(3)
+    engine = select_engine(program)
+    benchmark.pedantic(lambda: engine.succeeds("witness", db), rounds=3, iterations=1)

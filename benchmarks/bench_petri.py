@@ -1,0 +1,111 @@
+"""Experiment C8: safe Petri nets embed in TD.
+
+Paper artifact: the related-work comparison with Petri-net workflow
+formalisms.  A safe net's marking is a TD database over propositional
+facts and its firing rule is a TD rule; reachability answered through
+the TD engine must agree with a native breadth-first explorer, and both
+must scale with the net's reachable state space.
+"""
+
+import pytest
+
+from repro import select_engine
+from repro.complexity import measure, print_series
+from repro.machines import PetriNet, petri_to_td
+
+
+def pipeline_net(n_stages: int) -> PetriNet:
+    """A token moving through n sequential places."""
+    places = frozenset("p%d" % i for i in range(n_stages + 1))
+    transitions = {
+        "t%d" % i: (frozenset({"p%d" % i}), frozenset({"p%d" % (i + 1)}))
+        for i in range(n_stages)
+    }
+    return PetriNet(places=places, transitions=transitions,
+                    initial=frozenset({"p0"}))
+
+
+def fork_join_net(width: int) -> PetriNet:
+    """Fork into `width` parallel branches, then join."""
+    places = {"start", "end"}
+    transitions = {}
+    fork_post = set()
+    join_pre = set()
+    for i in range(width):
+        a, b = "a%d" % i, "b%d" % i
+        places |= {a, b}
+        fork_post.add(a)
+        join_pre.add(b)
+        transitions["work%d" % i] = (frozenset({a}), frozenset({b}))
+    transitions["fork"] = (frozenset({"start"}), frozenset(fork_post))
+    transitions["join"] = (frozenset(join_pre), frozenset({"end"}))
+    return PetriNet(
+        places=frozenset(places),
+        transitions=transitions,
+        initial=frozenset({"start"}),
+    )
+
+
+def test_pipeline_reachability_agreement(benchmark):
+    rows = []
+    for n in (3, 6, 9):
+        net = pipeline_net(n)
+        target = frozenset({"p%d" % n})
+        program, goal, db = petri_to_td(net, target)
+        engine = select_engine(program, goal)
+        td, td_s = measure(lambda: engine.succeeds(goal, db))
+        native, native_s = measure(lambda: net.can_reach(target))
+        assert td == native is True
+        rows.append([n, td, td_s, native_s])
+    print_series(
+        "C8: pipeline nets -- TD embedding vs native reachability",
+        ["stages", "reachable", "TD s", "native s"],
+        rows,
+    )
+    net = pipeline_net(6)
+    program, goal, db = petri_to_td(net, frozenset({"p6"}))
+    engine = select_engine(program, goal)
+    benchmark.pedantic(lambda: engine.succeeds(goal, db), rounds=3, iterations=1)
+
+
+def test_fork_join_state_space(benchmark):
+    """Fork/join nets have 2^width interleaving markings; both engines
+    face the same state space."""
+    rows = []
+    for width in (2, 3, 4):
+        net = fork_join_net(width)
+        target = frozenset({"end"})
+        program, goal, db = petri_to_td(net, target)
+        engine = select_engine(program, goal)
+        td, td_s = measure(lambda: engine.succeeds(goal, db))
+        reachable, native_s = measure(lambda: len(net.reachable()))
+        assert td
+        rows.append([width, reachable, td_s, native_s])
+    print_series(
+        "C8: fork/join nets -- reachable markings and cost",
+        ["width", "markings", "TD s", "native s"],
+        rows,
+    )
+    markings = [r[1] for r in rows]
+    assert markings == sorted(markings) and markings[-1] > markings[0]
+
+    net = fork_join_net(3)
+    program, goal, db = petri_to_td(net, frozenset({"end"}))
+    engine = select_engine(program, goal)
+    benchmark.pedantic(lambda: engine.succeeds(goal, db), rounds=3, iterations=1)
+
+
+def test_unreachable_markings_refuted(benchmark):
+    net = pipeline_net(4)
+    # two places marked at once can never happen with one token
+    target = frozenset({"p1", "p3"})
+    program, goal, db = petri_to_td(net, target)
+    engine = select_engine(program, goal)
+    td, seconds = measure(lambda: engine.succeeds(goal, db))
+    assert td == net.can_reach(target) is False
+    print_series(
+        "C8: unreachable marking refuted",
+        ["target", "reachable", "seconds"],
+        [["{p1, p3}", td, seconds]],
+    )
+    benchmark.pedantic(lambda: engine.succeeds(goal, db), rounds=3, iterations=1)

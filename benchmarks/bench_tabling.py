@@ -1,0 +1,68 @@
+"""Ablation: the tabled sequential engine's table dynamics.
+
+Tabling is the optimization the paper names for the tame fragments;
+these benchmarks measure its two practical payoffs on our
+dependency-driven implementation:
+
+* warm-table reuse: the table persists across queries, so repeated and
+  overlapping queries cost a fraction of the first;
+* goal-directedness: a ground point query touches fewer keys than an
+  open query on the same data.
+"""
+
+import pytest
+
+from repro import SequentialEngine, parse_goal
+from repro.complexity import chain_edges, measure, print_series, transitive_closure_program
+
+
+def test_warm_table_reuse(benchmark):
+    program = transitive_closure_program()
+    db = chain_edges(24)
+    engine = SequentialEngine(program)
+    _, cold_s = measure(lambda: list(engine.solve(parse_goal("path(0, X)"), db)))
+    _, warm_s = measure(lambda: list(engine.solve(parse_goal("path(0, X)"), db)))
+    _, overlap_s = measure(lambda: list(engine.solve(parse_goal("path(4, X)"), db)))
+    rows = [
+        ["cold path(0, X)", cold_s],
+        ["warm repeat", warm_s],
+        ["overlapping path(4, X)", overlap_s],
+    ]
+    print_series("tabling: warm-table reuse", ["query", "seconds"], rows)
+    assert warm_s < cold_s
+    assert overlap_s < cold_s
+
+    fresh = SequentialEngine(program)
+    benchmark.pedantic(
+        lambda: list(fresh.solve(parse_goal("path(0, X)"), db)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_goal_directedness(benchmark):
+    """A ground query near the chain's end touches a short key chain."""
+    program = transitive_closure_program()
+    db = chain_edges(24)
+    rows = []
+    point = SequentialEngine(program)
+    _, point_s = measure(lambda: point.succeeds(parse_goal("path(20, 24)"), db))
+    point_keys, _ = point.table_size
+    full = SequentialEngine(program)
+    _, full_s = measure(lambda: list(full.solve(parse_goal("path(X, Y)"), db)))
+    full_keys, _ = full.table_size
+    rows.append(["point path(20, 24)", point_keys, point_s])
+    rows.append(["open path(X, Y)", full_keys, full_s])
+    print_series(
+        "tabling: goal-directedness (keys touched)",
+        ["query", "table keys", "seconds"],
+        rows,
+    )
+    assert point_keys < full_keys
+    assert point_s < full_s
+
+    benchmark.pedantic(
+        lambda: SequentialEngine(program).succeeds(parse_goal("path(20, 24)"), db),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,103 @@
+"""Extension benchmark: model checking fully bounded workflows.
+
+Not a paper table; this measures the verification subsystem that fully
+bounded TD enables (Section 5's payoff, and the direction the follow-on
+literature [Davulcu-Kifer PODS'98] took).  The interesting shape: state
+space -- and hence verification cost -- grows combinatorially with
+concurrent instances, while simulation stays linear; verification is a
+design-time activity on small batches.
+"""
+
+import pytest
+
+from repro.complexity import measure, print_series
+from repro.verify import explore, verify_workflow
+from repro.workflow import Agent, SeqFlow, Step, Task, WorkflowSimulator, WorkflowSpec
+
+
+def _simulator(n_agents=1):
+    spec = WorkflowSpec(
+        "flow",
+        SeqFlow(Step("a"), Step("b")),
+        (Task("a", role="tech"), Task("b", role="tech")),
+    )
+    agents = [Agent("t%d" % i, ("tech",)) for i in range(n_agents)]
+    return WorkflowSimulator([spec], agents=agents)
+
+
+def test_state_space_vs_batch_size(benchmark):
+    rows = []
+    for n in (1, 2, 3):
+        sim = _simulator()
+        report, seconds = measure(
+            lambda: verify_workflow(
+                sim, ["w%d" % i for i in range(n)], final_task="b",
+                max_states=500_000,
+            )
+        )
+        assert report.completable
+        rows.append([n, report.states, seconds])
+    print_series(
+        "verification: state space vs concurrent instances",
+        ["items", "states", "seconds"],
+        rows,
+    )
+    states = [r[1] for r in rows]
+    # combinatorial growth: each added instance multiplies the space
+    assert states[2] / states[1] > states[1] / states[0] * 0.5
+    assert states[2] > 10 * states[1]
+
+    sim = _simulator()
+    benchmark.pedantic(
+        lambda: verify_workflow(sim, ["w1", "w2"], final_task="b",
+                                max_states=500_000),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_verification_vs_simulation_cost(benchmark):
+    """Simulation (one witness) vs verification (all states): the gap is
+    the price of the stronger guarantee."""
+    rows = []
+    for n in (1, 2, 3):
+        sim = _simulator()
+        items = ["w%d" % i for i in range(n)]
+        _res, sim_s = measure(lambda: sim.run(items))
+        rep, ver_s = measure(
+            lambda: verify_workflow(sim, items, final_task="b",
+                                    max_states=500_000)
+        )
+        rows.append([n, sim_s, ver_s, ver_s / max(sim_s, 1e-9)])
+    print_series(
+        "verification vs simulation cost",
+        ["items", "simulate s", "verify s", "ratio"],
+        rows,
+    )
+    assert rows[-1][3] > 1.0  # verification strictly costlier at scale
+
+    sim = _simulator()
+    benchmark.pedantic(lambda: sim.run(["w0", "w1", "w2"]), rounds=3, iterations=1)
+
+
+def test_uncovered_role_detected(benchmark):
+    spec = WorkflowSpec(
+        "flow",
+        SeqFlow(Step("a"), Step("b")),
+        (Task("a", role="tech"), Task("b", role="ghost")),
+    )
+    sim = WorkflowSimulator([spec], agents=[Agent("t1", ("tech",))])
+    report, seconds = measure(
+        lambda: verify_workflow(sim, ["w1"], final_task="b")
+    )
+    assert not report.completable
+    print_series(
+        "verification: staffing hole detected",
+        ["states", "completable", "seconds"],
+        [[report.states, report.completable, seconds]],
+    )
+    benchmark.pedantic(
+        lambda: verify_workflow(sim, ["w1"], final_task="b"),
+        rounds=3,
+        iterations=1,
+    )

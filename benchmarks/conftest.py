@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's artifacts (DESIGN.md
+section 3): it sweeps a size parameter, prints the measured series as a
+table (archived in EXPERIMENTS.md), asserts the *shape* the paper
+predicts (who wins, what growth class), and registers one representative
+configuration with pytest-benchmark for timing stats.
+
+Shape assertions use machine-independent counters (execution steps,
+table sizes) wherever possible so they hold on slow CI machines too.
+
+The series tables are replayed in the terminal summary so they reach
+stdout whatever capture mode pytest runs under.
+"""
+
+import pytest
+
+from repro.complexity.runner import recorded_series
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = recorded_series()
+    if not tables:
+        return
+    terminalreporter.section("experiment series (paper artifacts)")
+    for table in tables:
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

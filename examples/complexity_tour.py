@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's complexity map (Sections 4-5).
+
+Walks through the sublanguage classifier and the machine encodings:
+
+* query-only TD is classical Datalog;
+* nonrecursive TD decides quickly;
+* sequential TD is decidable but can be exponential (binary counter);
+* full TD runs Turing machines -- watch a two-counter machine execute
+  as three concurrent processes with a constant-size database, and a
+  diverging one exhaust the semi-decision budget;
+* fully bounded TD keeps workflows decidable.
+
+Run:  python examples/complexity_tour.py
+"""
+
+from repro import (
+    Database,
+    Interpreter,
+    SearchBudgetExceeded,
+    analyze,
+    parse_database,
+    parse_goal,
+    parse_program,
+    select_engine,
+)
+from repro.complexity import binary_counter_family, diverging_counter_machine
+from repro.machines import counter_to_td
+from repro.machines.counter import parity_program
+
+
+def banner(title):
+    print("\n" + "=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def main() -> None:
+    banner("1. The classifier: one program per sublanguage")
+    samples = {
+        "query-only (Datalog)": "path(X,Y) <- e(X,Y).\npath(X,Y) <- e(X,Z) * path(Z,Y).",
+        "nonrecursive": "audit <- done(T, W, A) * ins.credit(A).",
+        "fully bounded": "drain <- item(X) * del.item(X) * drain.\ndrain <- not item(_).",
+        "sequential (non-tail)": "p <- ins.down * p * ins.up.\np <- stop.",
+        "full TD": "sim <- w(X) * del.w(X) * (go(X) | sim).\nsim <- not w(_).\ngo(X) <- ins.done(X).",
+    }
+    for label, text in samples.items():
+        sub = analyze(parse_program(text)).classify()
+        print("  %-24s -> %s" % (label, sub.value))
+
+    banner("2. Sequential TD: decidable, but exponential (binary counter)")
+    for bits in (2, 4, 6):
+        program, goal, db = binary_counter_family(bits)
+        interp = Interpreter(program, max_configs=20_000_000)
+        execution = interp.simulate(goal, db)
+        print(
+            "  %d bits -> %5d execution steps (2^%d = %d states)"
+            % (bits, len(execution.trace), bits, 2**bits)
+        )
+
+    banner("3. Full TD: a two-counter machine as three TD processes")
+    machine = parity_program()
+    for n in (2, 3):
+        program, goal, db = counter_to_td(machine, c0=n)
+        interp = Interpreter(program, max_configs=5_000_000)
+        verdict = interp.succeeds(goal, db)
+        print(
+            "  parity(%d): machine says %-5s TD says %-5s (|db| stays %d)"
+            % (n, machine.accepts(c0=n), verdict, len(db))
+        )
+
+    banner("4. The RE boundary: divergence is only a budget, never a 'no'")
+    program, goal, db = counter_to_td(diverging_counter_machine())
+    interp = Interpreter(program, max_configs=5_000)
+    try:
+        interp.succeeds(goal, db)
+        print("  unexpected: the diverging machine halted?!")
+    except SearchBudgetExceeded as exc:
+        print("  %s" % exc)
+
+    banner("4b. Alternation: QBF through sequential TD")
+    from repro.machines import QBF, evaluate_qbf, qbf_to_td
+
+    formulas = {
+        "forall x exists y. (x|y)(~x|~y)": QBF(
+            (("forall", "x"), ("exists", "y")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        ),
+        "exists y forall x. (x|y)(~x|~y)": QBF(
+            (("exists", "y"), ("forall", "x")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        ),
+    }
+    for label, formula in formulas.items():
+        program, goal, db = qbf_to_td(formula)
+        interp = Interpreter(program, max_configs=5_000_000)
+        print(
+            "  %-36s native=%-5s TD=%s"
+            % (label, evaluate_qbf(formula), interp.succeeds(goal, db))
+        )
+
+    banner("5. Fully bounded TD: refutation terminates")
+    program = parse_program(
+        "drain <- item(X) * del.item(X) * need(X) * drain."
+        "\ndrain <- not item(_)."
+        "\nneed(X) <- token(X) * del.token(X)."
+    )
+    engine = select_engine(program)
+    db = parse_database("item(a). item(b).")
+    print("  engine decidable:", engine.decidable)
+    print("  drain without tokens commits:", engine.succeeds("drain", db))
+    db2 = parse_database("item(a). item(b). token(a). token(b).")
+    print("  drain with tokens commits:   ", engine.succeeds("drain", db2))
+
+
+if __name__ == "__main__":
+    main()

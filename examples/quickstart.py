@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: Transaction Datalog in five minutes.
+
+Covers the core API end to end: parse a program, classify it, run
+queries and updates, watch concurrent processes communicate through the
+database, and execute an isolated (atomic) transaction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Interpreter,
+    analyze,
+    parse_database,
+    parse_goal,
+    parse_program,
+    select_engine,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A first program: queries, updates, sequential composition.
+    #
+    # TD rules look like Datalog, but bodies are *processes*: `*` is
+    # sequential composition, ins./del. are elementary updates, and a
+    # plain atom is a tuple test against the current database state.
+    # ------------------------------------------------------------------
+    program = parse_program(
+        """
+        % Move one item from the inbox to the archive.
+        archive_one <- inbox(X) * del.inbox(X) * ins.archived(X).
+
+        % Drain the whole inbox: sequential tail recursion.
+        drain <- inbox(X) * del.inbox(X) * ins.archived(X) * drain.
+        drain <- not inbox(_).
+        """
+    )
+    db = parse_database("inbox(letter1). inbox(letter2). inbox(letter3).")
+
+    # The classifier places every program in the paper's complexity map.
+    print("--- analysis ---")
+    print(analyze(program).report())
+
+    # select_engine picks the weakest adequate evaluator (here, a
+    # decision procedure: the program is fully bounded).
+    engine = select_engine(program)
+    print("\n--- drain the inbox ---")
+    for solution in engine.solve("drain", db):
+        print("final state:", solution.database)
+
+    # ------------------------------------------------------------------
+    # 2. Nondeterminism: every way a transaction can commit.
+    # ------------------------------------------------------------------
+    print("\n--- all ways to archive exactly one item ---")
+    for solution in engine.solve("archive_one", db):
+        print("archived:", sorted(map(str, solution.database.facts("archived"))))
+
+    # ------------------------------------------------------------------
+    # 3. Concurrency: processes communicating through the database.
+    #
+    # The producer inserts a reading; the consumer's tuple test blocks
+    # until it appears.  `|` is concurrent composition (interleaving).
+    # ------------------------------------------------------------------
+    coop = parse_program(
+        """
+        producer <- ins.reading(42) * ins.producer_done.
+        consumer <- reading(V) * ins.consumed(V).
+        """
+    )
+    interp = Interpreter(coop)
+    execution = interp.simulate(parse_goal("consumer | producer"), parse_database(""))
+    print("\n--- concurrent producer/consumer trace ---")
+    for event in execution.events:
+        print(" ", event)
+
+    # ------------------------------------------------------------------
+    # 4. Isolation: iso(...) runs a subprocess atomically.
+    # ------------------------------------------------------------------
+    bank = parse_program(
+        """
+        transfer(F, T, Amt) <- iso(
+            balance(F, B1) * B1 >= Amt *
+            del.balance(F, B1) * B1n is B1 - Amt * ins.balance(F, B1n) *
+            balance(T, B2) *
+            del.balance(T, B2) * B2n is B2 + Amt * ins.balance(T, B2n)
+        ).
+        """
+    )
+    accounts = parse_database("balance(checking, 100). balance(savings, 50).")
+    bank_engine = select_engine(bank)
+    print("\n--- atomic transfer ---")
+    for solution in bank_engine.solve("transfer(checking, savings, 70)", accounts):
+        print("after transfer:", solution.database)
+    print(
+        "overdraft attempt commits:",
+        bank_engine.succeeds("transfer(savings, checking, 500)", accounts),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""Command-line interface: run, solve, and classify TD programs.
+
+Usage examples::
+
+    tdlog classify workflow.td
+    tdlog solve workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
+    tdlog run workflow.td --goal 'simulate' --db lab.facts --seed 7
+
+``run`` finds one successful execution (the simulator) and prints its
+trace and final database; ``solve`` enumerates all solutions (bindings +
+final state); ``classify`` prints the sublanguage analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    Database,
+    analyze,
+    format_database,
+    format_trace,
+    parse_database,
+    parse_goal,
+    parse_program,
+    select_engine,
+)
+
+__all__ = ["main"]
+
+
+def _load_db(path: Optional[str]) -> Database:
+    if path is None:
+        return Database()
+    with open(path) as handle:
+        return parse_database(handle.read())
+
+
+def _load_program(path: str):
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    goal = parse_goal(args.goal) if args.goal else None
+    print(analyze(program, goal).report())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    db = _load_db(args.db)
+    engine = select_engine(program, args.goal, max_configs=args.max_configs)
+    count = 0
+    for solution in engine.solve(args.goal, db):
+        count += 1
+        if solution.bindings:
+            bindings = ", ".join(
+                "%s = %s" % (v, t) for v, t in sorted(solution.bindings.items())
+            )
+            print("solution %d: %s" % (count, bindings))
+        else:
+            print("solution %d." % count)
+        print(format_database(solution.database) or "  (empty database)")
+        print()
+        if args.limit and count >= args.limit:
+            break
+    if count == 0:
+        print("no solution: the transaction cannot commit")
+        return 1
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    db = _load_db(args.db)
+    engine = select_engine(program, args.goal, max_configs=args.max_configs)
+    execution = engine.simulate(args.goal, db, seed=args.seed)
+    if execution is None:
+        print("no successful execution found")
+        return 1
+    print("trace:")
+    print(format_trace(execution.trace, indent="  "))
+    print("final database:")
+    print(format_database(execution.database) or "  (empty database)")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from .verify import deadlocks, explore, may_diverge
+
+    program = _load_program(args.program)
+    db = _load_db(args.db)
+    graph = explore(program, args.goal, db, max_states=args.max_states)
+    stuck = deadlocks(graph)
+    print("states:     %d" % len(graph))
+    print("final:      %d" % len(graph.final_ids))
+    print("stuck:      %d" % len(stuck))
+    print("may loop:   %s" % ("yes" if may_diverge(graph) else "no"))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(graph.to_dot())
+        print("dot graph written to %s" % args.dot)
+    if stuck and args.show_stuck:
+        print("first stuck state:")
+        print("  %s" % stuck[0])
+        print("  via: %s" % "; ".join(graph.path_to(stuck[0].node_id)))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .verify import diagnose
+
+    program = _load_program(args.program)
+    db = _load_db(args.db)
+    report = diagnose(program, args.goal, db, max_states=args.max_states)
+    print(report.summary())
+    return 0 if report.committed else 1
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .repl import Repl
+
+    Repl().loop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdlog",
+        description="Transaction Datalog: run, solve, classify",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser("classify", help="sublanguage analysis report")
+    p_classify.add_argument("program", help="path to a .td program file")
+    p_classify.add_argument("--goal", help="optional goal to include")
+    p_classify.set_defaults(fn=_cmd_classify)
+
+    common = dict(help="path to a .td program file")
+    p_solve = sub.add_parser("solve", help="enumerate all solutions")
+    p_solve.add_argument("program", **common)
+    p_solve.add_argument("--goal", required=True, help="goal to execute")
+    p_solve.add_argument("--db", help="path to an initial-database facts file")
+    p_solve.add_argument("--limit", type=int, default=0, help="stop after N solutions")
+    p_solve.add_argument("--max-configs", type=int, default=200_000)
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_run = sub.add_parser("run", help="simulate one successful execution")
+    p_run.add_argument("program", **common)
+    p_run.add_argument("--goal", required=True, help="goal to execute")
+    p_run.add_argument("--db", help="path to an initial-database facts file")
+    p_run.add_argument("--seed", type=int, help="randomize interleaving choices")
+    p_run.add_argument("--max-configs", type=int, default=2_000_000)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_graph = sub.add_parser(
+        "graph", help="explore the configuration graph (verification)"
+    )
+    p_graph.add_argument("program", **common)
+    p_graph.add_argument("--goal", required=True, help="goal to explore")
+    p_graph.add_argument("--db", help="path to an initial-database facts file")
+    p_graph.add_argument("--max-states", type=int, default=100_000)
+    p_graph.add_argument("--dot", help="write a Graphviz .dot file here")
+    p_graph.add_argument(
+        "--show-stuck", action="store_true",
+        help="print the first stuck state and its trace",
+    )
+    p_graph.set_defaults(fn=_cmd_graph)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="explain why a goal can or cannot commit"
+    )
+    p_diag.add_argument("program", **common)
+    p_diag.add_argument("--goal", required=True, help="goal to diagnose")
+    p_diag.add_argument("--db", help="path to an initial-database facts file")
+    p_diag.add_argument("--max-states", type=int, default=100_000)
+    p_diag.set_defaults(fn=_cmd_diagnose)
+
+    p_repl = sub.add_parser("repl", help="interactive TD session")
+    p_repl.set_defaults(fn=_cmd_repl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

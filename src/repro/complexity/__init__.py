@@ -1,0 +1,31 @@
+"""Program families and drivers behind the complexity benchmarks.
+
+Each family realizes one cell of the paper's complexity map (DESIGN.md
+section 3) as a concrete scaling experiment: a generator producing
+(program, goal, database) triples parameterized by an input size, plus
+measurement helpers shared by the benchmark scripts.
+"""
+
+from .families import (
+    binary_counter_family,
+    diverging_counter_machine,
+    chain_edges,
+    grid_andor_graph,
+    insert_only_closure,
+    nonrecursive_path_program,
+    transitive_closure_program,
+)
+from .runner import estimate_growth, measure, print_series
+
+__all__ = [
+    "binary_counter_family",
+    "chain_edges",
+    "diverging_counter_machine",
+    "estimate_growth",
+    "grid_andor_graph",
+    "insert_only_closure",
+    "measure",
+    "nonrecursive_path_program",
+    "print_series",
+    "transitive_closure_program",
+]

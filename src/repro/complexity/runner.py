@@ -1,0 +1,98 @@
+"""Measurement helpers shared by the benchmark scripts.
+
+The paper's evaluation is a complexity map, so what the harness reports
+is *growth shape*: time (or explored configurations / table size) as a
+function of input size, plus a crude growth-class estimate that lets a
+benchmark assert "this family scales exponentially, that one
+polynomially" without depending on absolute machine speed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["measure", "estimate_growth", "print_series", "recorded_series"]
+
+#: Every table printed this process, in order -- the benchmark suite's
+#: conftest replays them in the terminal summary so they survive pytest's
+#: output capture regardless of capture mode.
+_SERIES_LOG: List[str] = []
+
+
+def recorded_series() -> List[str]:
+    """All series tables rendered so far (most recent last)."""
+    return list(_SERIES_LOG)
+
+
+def measure(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run *fn*, returning (result, wall-clock seconds)."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def estimate_growth(sizes: Sequence[float], costs: Sequence[float]) -> str:
+    """Classify a cost curve as ``"polynomial"`` or ``"exponential"``.
+
+    Fits both ``cost = a * size^k`` (log-log linear) and
+    ``cost = a * b^size`` (semi-log linear) by least squares and returns
+    the better fit.  Deliberately coarse: benchmarks assert the *class*,
+    not constants.
+    """
+    pts = [(s, c) for s, c in zip(sizes, costs) if c > 0 and s > 0]
+    if len(pts) < 3:
+        return "inconclusive"
+    xs = [s for s, _ in pts]
+    ys = [c for _, c in pts]
+
+    def residual(fx: Sequence[float], fy: Sequence[float]) -> float:
+        n = len(fx)
+        mean_x = sum(fx) / n
+        mean_y = sum(fy) / n
+        sxx = sum((x - mean_x) ** 2 for x in fx)
+        if sxx == 0:
+            return float("inf")
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(fx, fy)) / sxx
+        intercept = mean_y - slope * mean_x
+        return sum((y - (slope * x + intercept)) ** 2 for x, y in zip(fx, fy))
+
+    log_ys = [math.log(y) for y in ys]
+    poly_fit = residual([math.log(x) for x in xs], log_ys)
+    expo_fit = residual(list(xs), log_ys)
+    return "polynomial" if poly_fit <= expo_fit else "exponential"
+
+
+def print_series(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Print one experiment's series as an aligned table.
+
+    This is the harness's reporting format: each benchmark regenerates
+    its paper artifact as one of these tables (EXPERIMENTS.md archives
+    the output).
+    """
+    widths = [len(h) for h in header]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = "%.4f" % cell
+            else:
+                text = str(cell)
+            cells.append(text)
+            widths[i] = max(widths[i], len(text))
+        rendered.append(cells)
+    lines = ["", "== %s ==" % title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)))
+    text_block = "\n".join(lines)
+    _SERIES_LOG.append(text_block)
+    print(text_block)

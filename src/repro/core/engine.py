@@ -1,0 +1,123 @@
+"""Engine façade: pick the weakest adequate evaluator for a program.
+
+The paper's complexity map is prescriptive for implementations: the less
+expressive the sublanguage, the better the evaluation strategy available.
+:func:`select_engine` runs the classifier and routes:
+
+========================  =============================  ==============
+sublanguage               engine                         termination
+========================  =============================  ==============
+query-only TD             tabled sequential evaluator    decision proc.
+nonrecursive TD           memoized top-down evaluator    decision proc.
+fully bounded TD          small-step exhaustive search   decision proc.
+sequential TD             tabled sequential evaluator    decision proc.
+full TD                   small-step BFS                 semi-decision
+========================  =============================  ==============
+
+:class:`Engine` wraps the result with a uniform API (``succeeds``,
+``solve``, ``final_databases``, ``simulate``) so examples, tests and
+benchmarks do not care which evaluator runs underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Set, Union
+
+from .analysis import Analysis, Sublanguage, analyze
+from .database import Database
+from .formulas import Formula
+from .interpreter import Execution, Interpreter, Solution
+from .nonrec import NonrecursiveEngine
+from .parser import parse_goal
+from .program import Program
+from .seqeval import SequentialEngine
+
+__all__ = ["Engine", "select_engine"]
+
+_Backend = Union[Interpreter, SequentialEngine, NonrecursiveEngine]
+
+#: Sublanguages for which the selected procedure is guaranteed to halt.
+_DECIDABLE = {
+    Sublanguage.QUERY_ONLY,
+    Sublanguage.NONRECURSIVE,
+    Sublanguage.FULLY_BOUNDED,
+    Sublanguage.SEQUENTIAL,
+}
+
+
+@dataclass
+class Engine:
+    """A program bundled with the evaluator chosen for its sublanguage."""
+
+    program: Program
+    backend: _Backend
+    analysis: Analysis
+    sublanguage: Sublanguage
+
+    @property
+    def decidable(self) -> bool:
+        """True when evaluation is guaranteed to terminate."""
+        return self.sublanguage in _DECIDABLE
+
+    def _goal(self, goal: Union[str, Formula]) -> Formula:
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        return goal
+
+    def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
+        """Does some execution of *goal* from *db* commit?"""
+        return self.backend.succeeds(self._goal(goal), db)
+
+    def solve(self, goal: Union[str, Formula], db: Database) -> Iterator[Solution]:
+        """Enumerate (answer bindings, final state) pairs."""
+        return self.backend.solve(self._goal(goal), db)
+
+    def final_databases(self, goal: Union[str, Formula], db: Database) -> Set[Database]:
+        """All states the transaction can leave the database in."""
+        return self.backend.final_databases(self._goal(goal), db)
+
+    def simulate(
+        self,
+        goal: Union[str, Formula],
+        db: Database,
+        seed: Optional[int] = None,
+        max_depth: int = 100_000,
+    ) -> Optional[Execution]:
+        """One successful execution with its full action trace.
+
+        Simulation always uses the small-step scheduler (traces are a
+        small-step notion), regardless of the analytic backend.
+        """
+        interp = (
+            self.backend
+            if isinstance(self.backend, Interpreter)
+            else Interpreter(self.program)
+        )
+        return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
+
+
+def select_engine(
+    program: Program,
+    goal: Union[str, Formula, None] = None,
+    max_configs: int = 200_000,
+) -> Engine:
+    """Classify *program* (and *goal*, if given) and build the matching
+    engine.
+
+    ``max_configs`` bounds the small-step searches (full and fully
+    bounded TD); the big-step evaluators ignore it, as they terminate
+    unconditionally.
+    """
+    if isinstance(goal, str):
+        goal = parse_goal(goal)
+    analysis = analyze(program, goal)
+    sub = analysis.classify()
+    backend: _Backend
+    if sub in (Sublanguage.QUERY_ONLY, Sublanguage.SEQUENTIAL):
+        backend = SequentialEngine(program)
+    elif sub is Sublanguage.NONRECURSIVE:
+        backend = NonrecursiveEngine(program)
+    else:
+        backend = Interpreter(program, max_configs=max_configs)
+    return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Transaction Datalog engines."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TDError",
+    "SafetyError",
+    "SearchBudgetExceeded",
+    "UnsupportedProgramError",
+]
+
+
+class TDError(Exception):
+    """Base class for engine errors."""
+
+
+class SafetyError(TDError):
+    """An elementary update or builtin was executed with unbound variables.
+
+    TD is a safe language; engines surface violations loudly instead of
+    guessing bindings.
+    """
+
+
+class SearchBudgetExceeded(TDError):
+    """The search exhausted its configuration budget without an answer.
+
+    Full TD is RE-complete, so the interpreter is a *semi*-decision
+    procedure: when the budget runs out the query's status is unknown,
+    which is reported as this exception rather than as failure.
+    """
+
+    def __init__(self, explored: int, budget: int):
+        super().__init__(
+            "search explored %d configurations (budget %d) without "
+            "resolving the goal" % (explored, budget)
+        )
+        self.explored = explored
+        self.budget = budget
+
+
+class UnsupportedProgramError(TDError):
+    """A program uses features outside the selected engine's sublanguage
+    (e.g. concurrent composition fed to the sequential evaluator)."""

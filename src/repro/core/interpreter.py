@@ -1,0 +1,334 @@
+"""The full Transaction Datalog engine.
+
+Full TD is data complete for RE (the paper's central expressibility
+theorem), so no terminating evaluator exists; this engine provides the
+two procedures that are possible:
+
+* :meth:`Interpreter.solve` -- a breadth-first *semi-decision* procedure.
+  BFS over the configuration graph is fair: if any execution of the goal
+  exists it is found, even when other branches diverge (e.g. a runaway
+  recursive process).  A configurable budget turns non-termination into a
+  :class:`~repro.core.errors.SearchBudgetExceeded` report.
+
+* :meth:`Interpreter.simulate` -- a depth-first backtracking scheduler
+  that finds *one* successful execution and returns its full trace of
+  elementary operations.  This is the mode in which the paper's workflow
+  examples are "executed on the prototype and perform exactly as
+  described"; a seed makes the interleaving choices reproducible, or
+  deterministic left-to-right when no seed is given.
+
+Isolated sub-processes (``iso(a)``) are executed by a nested search from
+the current state; each complete sub-execution contributes one atomic
+transition, which is precisely the paper's notion of isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .errors import SearchBudgetExceeded
+from .formulas import Formula, apply_subst, formula_variables
+from .program import Program
+from .terms import Term, Variable
+from .transitions import (
+    Action,
+    Configuration,
+    Step,
+    canonical_key,
+    dead_config,
+    enabled_steps,
+    frontier_blocked,
+    is_final,
+    update_footprint,
+)
+from .unify import Substitution, walk
+
+__all__ = ["Interpreter", "Solution", "Execution"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One way the goal can commit: answer bindings + final database."""
+
+    bindings: Substitution
+    database: Database
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A complete successful execution: solution plus the action trace."""
+
+    bindings: Substitution
+    database: Database
+    trace: Tuple[Action, ...]
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        """The trace rendered as strings (handy in tests and logs)."""
+        return tuple(str(a) for a in self.trace)
+
+
+class _Budget:
+    """A mutable step budget shared by a search and its nested searches."""
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> None:
+        self.used += 1
+        if self.used > self.limit:
+            raise SearchBudgetExceeded(self.used, self.limit)
+
+
+class Interpreter:
+    """Breadth-first semi-decision procedure and DFS simulator for full TD.
+
+    Parameters
+    ----------
+    program:
+        The rulebase.
+    max_configs:
+        Total configuration budget for one query (shared with nested
+        isolation searches).  Exceeding it raises
+        :class:`SearchBudgetExceeded`.
+    sort_concurrent:
+        Canonicalize configurations by sorting concurrent branches
+        (better memoization; switchable for the ablation benchmark).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_configs: int = 200_000,
+        sort_concurrent: bool = True,
+    ):
+        self.program = program
+        self.max_configs = max_configs
+        self.sort_concurrent = sort_concurrent
+
+    def _make_budget(self) -> "_Budget":
+        """A fresh step budget (used by the verifier, which drives the
+        transition relation directly but reuses the isolation runner)."""
+        return _Budget(self.max_configs)
+
+    # -- public API -------------------------------------------------------------
+
+    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
+        """Enumerate solutions fairly (BFS).
+
+        Yields each distinct (answer bindings, final database) pair once.
+        Terminates iff the reachable configuration space is finite;
+        otherwise enumeration is fair and the budget eventually fires.
+        """
+        goal = self.program.resolve_goal(goal)
+        budget = _Budget(self.max_configs)
+        goal_vars = _ordered_vars(goal)
+        for answers, final_db, _ in self._bfs(goal, db, goal_vars, budget, want_trace=False):
+            yield Solution(dict(zip(goal_vars, answers)), final_db)
+
+    def succeeds(self, goal: Formula, db: Database) -> bool:
+        """True iff some execution of *goal* from *db* commits."""
+        for _ in self.solve(goal, db):
+            return True
+        return False
+
+    def final_databases(self, goal: Formula, db: Database) -> Set[Database]:
+        """All final states reachable by executing *goal* from *db*."""
+        return {sol.database for sol in self.solve(goal, db)}
+
+    def run(self, goal: Formula, db: Database) -> Iterator[Execution]:
+        """Like :meth:`solve` but with execution traces attached."""
+        goal = self.program.resolve_goal(goal)
+        budget = _Budget(self.max_configs)
+        goal_vars = _ordered_vars(goal)
+        for answers, final_db, trace in self._bfs(
+            goal, db, goal_vars, budget, want_trace=True
+        ):
+            yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
+
+    def simulate(
+        self,
+        goal: Formula,
+        db: Database,
+        seed: Optional[int] = None,
+        max_depth: int = 100_000,
+    ) -> Optional[Execution]:
+        """Find one successful execution by DFS with backtracking.
+
+        With ``seed`` the interleaving choices are shuffled reproducibly;
+        without it the scheduler is deterministic (program order, left
+        branch first).  Returns ``None`` if the goal has no execution
+        within the explored space.
+        """
+        goal = self.program.resolve_goal(goal)
+        budget = _Budget(self.max_configs)
+        rng = random.Random(seed) if seed is not None else None
+        goal_vars = _ordered_vars(goal)
+        result = self._dfs(goal, db, goal_vars, budget, rng, max_depth)
+        if result is None:
+            return None
+        answers, final_db, trace = result
+        return Execution(dict(zip(goal_vars, answers)), final_db, trace)
+
+    # -- BFS core ---------------------------------------------------------------
+
+    def _bfs(
+        self,
+        goal: Formula,
+        db: Database,
+        goal_vars: Sequence[Variable],
+        budget: _Budget,
+        want_trace: bool,
+    ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
+        insertable, deletable = update_footprint(self.program, goal)
+        start = Configuration(goal, db, tuple(goal_vars))
+        start_key = self._key(start)
+        frontier = deque([start])
+        seen = {start_key}
+        traces: Dict[object, Tuple[Action, ...]] = {start_key: ()}
+        emitted = set()
+
+        while frontier:
+            config = frontier.popleft()
+            config_key = self._key(config)
+            if is_final(config.process):
+                result = (config.answers, config.database)
+                if result not in emitted:
+                    emitted.add(result)
+                    yield config.answers, config.database, traces.get(config_key, ())
+                continue
+            for step in enabled_steps(
+                self.program, config.process, config.database, self._isol_runner(budget)
+            ):
+                budget.spend()
+                new_proc = apply_subst(step.residual, step.subst)
+                if dead_config(new_proc, step.database, insertable, deletable):
+                    continue
+                new_answers = tuple(walk(t, step.subst) for t in config.answers)
+                succ = Configuration(new_proc, step.database, new_answers)
+                key = self._key(succ)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if want_trace:
+                    traces[key] = traces.get(config_key, ()) + (step.action,)
+                frontier.append(succ)
+
+    def _key(self, config: Configuration):
+        return (
+            canonical_key(config.process, sort_conc=self.sort_concurrent),
+            config.database,
+            tuple(
+                t if not isinstance(t, Variable) else None for t in config.answers
+            ),
+        )
+
+    # -- DFS core ---------------------------------------------------------------
+
+    def _dfs(
+        self,
+        goal: Formula,
+        db: Database,
+        goal_vars: Sequence[Variable],
+        budget: _Budget,
+        rng: Optional[random.Random],
+        max_depth: int,
+    ) -> Optional[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
+        insertable, deletable = update_footprint(self.program, goal)
+        failed: Set[object] = set()
+        limit_hits = 0  # depth-truncation events (blocks unsound fail-memo)
+        trace: List[Action] = []
+
+        def expand(proc: Formula, state: Database):
+            """Successor (step, residual process) pairs, pruned of dead
+            configurations and ordered so that children whose frontier is
+            immediately enabled come before blocked ones (see
+            :func:`frontier_blocked`)."""
+            ready = []
+            deferred = []
+            for step in enabled_steps(
+                self.program, proc, state, self._isol_runner(budget)
+            ):
+                budget.spend()
+                new_proc = apply_subst(step.residual, step.subst)
+                if dead_config(new_proc, step.database, insertable, deletable):
+                    continue
+                local = apply_subst(step.local, step.subst)
+                if frontier_blocked(local, step.database):
+                    deferred.append((step, new_proc))
+                else:
+                    ready.append((step, new_proc))
+            if rng is not None:
+                rng.shuffle(ready)
+                rng.shuffle(deferred)
+            return iter(ready + deferred)
+
+        # Each frame: (key, step iterator, answers, hits_before).  The
+        # explicit stack avoids Python recursion limits on long workflow
+        # executions.
+        start_key = (canonical_key(goal, self.sort_concurrent), db)
+        stack: List[list] = [[start_key, expand(goal, db), tuple(goal_vars), 0]]
+
+        while stack:
+            frame = stack[-1]
+            key, steps, answers, hits_before = frame
+            advanced = False
+            for step, new_proc in steps:
+                new_answers = tuple(walk(t, step.subst) for t in answers)
+                trace.append(step.action)
+                if is_final(new_proc):
+                    return new_answers, step.database, tuple(trace)
+                if len(stack) >= max_depth:
+                    limit_hits += 1
+                    trace.pop()
+                    continue
+                new_key = (canonical_key(new_proc, self.sort_concurrent), step.database)
+                if new_key in failed:
+                    trace.pop()
+                    continue
+                stack.append(
+                    [new_key, expand(new_proc, step.database), new_answers, limit_hits]
+                )
+                advanced = True
+                break
+            if not advanced:
+                # Frame exhausted: memoize as failed only if no descendant
+                # was truncated by the depth limit (soundness of the memo).
+                if limit_hits == hits_before:
+                    failed.add(key)
+                stack.pop()
+                if trace:
+                    trace.pop()
+        return None
+
+    # -- isolation ----------------------------------------------------------------
+
+    def _isol_runner(self, budget: _Budget):
+        def run_isolated(body: Formula, db: Database):
+            body_vars = _ordered_vars(body)
+            for answers, final_db, trace in self._bfs(
+                body, db, body_vars, budget, want_trace=True
+            ):
+                theta = {
+                    v: t
+                    for v, t in zip(body_vars, answers)
+                    if not isinstance(t, Variable)
+                }
+                yield theta, final_db, trace
+
+        return run_isolated
+
+
+def _ordered_vars(goal: Formula) -> List[Variable]:
+    """Free variables of the goal, first-occurrence order, deduplicated."""
+    seen: Dict[Variable, None] = {}
+    for v in formula_variables(goal):
+        seen.setdefault(v, None)
+    return list(seen)

@@ -1,0 +1,196 @@
+"""Evaluator for *nonrecursive* Transaction Datalog.
+
+Theorem 4.7 of the paper: dropping recursion collapses data complexity
+from RE to below PTIME.  The reason is visible in the evaluator below --
+with an acyclic call graph, top-down evaluation bottoms out after at most
+``depth(call graph)`` unfoldings, and memoizing on ``(call, state)``
+pairs keeps the work polynomial in the database for a fixed program.
+
+The evaluator accepts sequential nonrecursive programs directly.  For
+nonrecursive programs that *do* use concurrent composition, the engine
+delegates to the small-step interpreter, which terminates on them (the
+configuration space is finite because processes cannot grow), but note
+that naive interleaving search is exponential in the number of branches:
+the paper's polynomial bound relies on cleverer algorithms than
+interleaving enumeration.  The benchmark suite measures exactly this
+contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .database import Database
+from .errors import SafetyError, UnsupportedProgramError
+from .formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Formula,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+    formula_variables,
+    walk_formulas,
+)
+from .interpreter import Interpreter, Solution
+from .program import Program
+from .seqeval import _canonical_call
+from .terms import Atom, Variable
+from .unify import Substitution, apply_atom, unify_atoms, walk
+
+__all__ = ["NonrecursiveEngine"]
+
+
+class NonrecursiveEngine:
+    """Memoized top-down evaluator for nonrecursive TD.
+
+    Use :func:`repro.core.analysis.analyze` (or the engine façade) to
+    check nonrecursiveness; this class trusts its caller and would loop
+    on recursive programs like any top-down evaluator.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._has_conc = any(
+            isinstance(sub, Conc)
+            for rule in program.rules
+            for sub in walk_formulas(rule.body)
+        )
+        self._fallback = Interpreter(program) if self._has_conc else None
+        # Memo: (canonical call atom, db) -> list of (values, db_out).
+        self._memo: Dict[Tuple[Atom, Database], List] = {}
+
+    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
+        goal = self.program.resolve_goal(goal)
+        goal_has_conc = any(isinstance(s, Conc) for s in walk_formulas(goal))
+        if self._fallback is not None or goal_has_conc:
+            fallback = self._fallback or Interpreter(self.program)
+            yield from fallback.solve(goal, db)
+            return
+        goal_vars = _ordered_vars(goal)
+        emitted = set()
+        for theta, final_db in self._eval(goal, db, {}):
+            bindings = {v: walk(v, theta) for v in goal_vars}
+            key = (tuple(sorted(bindings.items())), final_db)
+            if key not in emitted:
+                emitted.add(key)
+                yield Solution(bindings, final_db)
+
+    def succeeds(self, goal: Formula, db: Database) -> bool:
+        for _ in self.solve(goal, db):
+            return True
+        return False
+
+    def final_databases(self, goal: Formula, db: Database) -> Set[Database]:
+        return {sol.database for sol in self.solve(goal, db)}
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _eval(
+        self, f: Formula, db: Database, theta: Substitution
+    ) -> Iterator[Tuple[Substitution, Database]]:
+        if isinstance(f, Truth):
+            yield theta, db
+            return
+        if isinstance(f, Test):
+            yield from ((t, db) for t in db.match(f.atom, theta))
+            return
+        if isinstance(f, Neg):
+            if not db.holds(f.atom, theta):
+                yield theta, db
+            return
+        if isinstance(f, Ins):
+            a = apply_atom(f.atom, theta)
+            if not a.is_ground():
+                raise SafetyError("ins with unbound variables: %s" % (a,))
+            yield theta, db.insert(a)
+            return
+        if isinstance(f, Del):
+            a = apply_atom(f.atom, theta)
+            if not a.is_ground():
+                raise SafetyError("del with unbound variables: %s" % (a,))
+            yield theta, db.delete(a)
+            return
+        if isinstance(f, Builtin):
+            try:
+                out = f.evaluate(theta)
+            except ValueError as exc:
+                raise SafetyError(str(exc)) from exc
+            if out is not None:
+                yield out, db
+            return
+        if isinstance(f, Seq):
+            yield from self._eval_seq(f.parts, 0, db, theta)
+            return
+        if isinstance(f, Isol):
+            yield from self._eval(f.body, db, theta)
+            return
+        if isinstance(f, Call):
+            yield from self._eval_call(f.atom, db, theta)
+            return
+        raise UnsupportedProgramError(
+            "formula %r is outside the nonrecursive sequential fragment"
+            % type(f).__name__
+        )
+
+    def _eval_seq(self, parts, idx, db, theta):
+        if idx == len(parts):
+            yield theta, db
+            return
+        for theta2, db2 in self._eval(parts[idx], db, theta):
+            yield from self._eval_seq(parts, idx + 1, db2, theta2)
+
+    def _eval_call(self, atom: Atom, db: Database, theta: Substitution):
+        instantiated = apply_atom(atom, theta)
+        canon_atom, originals = _canonical_call(instantiated)
+        key = (canon_atom, db)
+        answers = self._memo.get(key)
+        if answers is None:
+            answers = []
+            seen = set()
+            canon_vars: List[Variable] = []
+            seen_vars: Dict[Variable, None] = {}
+            for t in canon_atom.args:
+                if isinstance(t, Variable):
+                    seen_vars.setdefault(t, None)
+            canon_vars = list(seen_vars)
+            for rule in self.program.fresh_rules_for(canon_atom.signature):
+                theta0 = unify_atoms(rule.head, canon_atom)
+                if theta0 is None:
+                    continue
+                for theta1, db_out in self._eval(rule.body, db, theta0):
+                    values = tuple(walk(v, theta1) for v in canon_vars)
+                    if any(isinstance(v, Variable) for v in values):
+                        raise SafetyError(
+                            "rule for %s does not bind all head variables"
+                            % (canon_atom,)
+                        )
+                    entry = (values, db_out)
+                    if entry not in seen:
+                        seen.add(entry)
+                        answers.append(entry)
+            self._memo[key] = answers
+        for values, db_out in answers:
+            out = dict(theta)
+            consistent = True
+            for v, value in zip(originals, values):
+                bound = walk(v, out)
+                if isinstance(bound, Variable):
+                    out[bound] = value
+                elif bound != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield out, db_out
+
+
+def _ordered_vars(goal: Formula) -> List[Variable]:
+    seen: Dict[Variable, None] = {}
+    for v in formula_variables(goal):
+        seen.setdefault(v, None)
+    return list(seen)

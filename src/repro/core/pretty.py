@@ -1,0 +1,60 @@
+"""Pretty-printing of TD programs, formulas, and databases.
+
+The ``__str__`` methods on the AST already produce re-parseable text;
+this module adds whole-program layout and trace formatting for logs,
+examples, and the CLI.  ``parse(format(x)) == x`` is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .database import Database
+from .formulas import Formula
+from .program import Program, Rule
+from .transitions import Action
+
+__all__ = ["format_rule", "format_program", "format_goal", "format_database", "format_trace"]
+
+
+def format_rule(rule: Rule) -> str:
+    """One rule, one line, trailing dot."""
+    return str(rule)
+
+
+def format_program(program: Program, declare_base: bool = False) -> str:
+    """The whole rulebase; optionally with explicit ``#base`` directives."""
+    lines = []
+    if declare_base:
+        for name, arity in program.schema.signatures():
+            lines.append("#base %s/%d." % (name, arity))
+    grouped_from = None
+    for rule in program.rules:
+        if grouped_from is not None and rule.head.signature != grouped_from:
+            lines.append("")
+        grouped_from = rule.head.signature
+        lines.append(format_rule(rule))
+    return "\n".join(lines)
+
+
+def format_goal(goal: Formula) -> str:
+    """A goal as query text: ``?- body.``"""
+    return "?- %s." % (goal,)
+
+
+def format_database(db: Database) -> str:
+    """Facts, one per line, sorted, re-parseable with ``parse_database``."""
+    return "\n".join("%s." % fact for fact in db)
+
+
+def format_trace(trace: Iterable[Action], indent: str = "") -> str:
+    """An execution trace, one action per line; isolated sub-executions
+    are indented under their ``iso`` step."""
+    lines = []
+    for action in trace:
+        if action.kind == "iso":
+            lines.append(indent + "iso:")
+            lines.append(format_trace(action.subtrace, indent + "    "))
+        else:
+            lines.append(indent + str(action))
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Rules and rulebases (TD programs).
+
+A TD program (the paper says *rulebase*) is a finite set of rules
+
+    head <- body
+
+where ``head`` is an atom over a *derived* predicate and ``body`` is a TD
+formula.  Predicates split into two disjoint classes, exactly as in the
+paper:
+
+* *base* predicates -- stored in the database; accessed only through the
+  elementary operations (tuple testing, ``ins``, ``del``);
+* *derived* predicates -- defined by rules; invoking one unfolds its
+  rules (nondeterministically, when several rules match).
+
+The parser emits every body atom as a generic :class:`~repro.core.formulas.Call`;
+:meth:`Program.resolve` rewrites calls to base predicates into
+:class:`~repro.core.formulas.Test` once the base/derived split is known.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .database import Schema
+from .formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Formula,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+    apply_subst,
+    formula_variables,
+    walk_formulas,
+)
+from .terms import Atom, Signature, Variable
+from .unify import Substitution
+
+__all__ = ["Rule", "Program", "ProgramError"]
+
+
+class ProgramError(ValueError):
+    """Raised for ill-formed rulebases (e.g. updating a derived predicate)."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single TD rule ``head <- body``."""
+
+    head: Atom
+    body: Formula
+
+    def variables(self) -> Set[Variable]:
+        out = set(self.head.variables())
+        out.update(formula_variables(self.body))
+        return out
+
+    def rename(self, suffix: str) -> "Rule":
+        """Freshen every variable by appending *suffix*."""
+        renaming = {v: Variable(v.name + suffix) for v in self.variables()}
+        new_head = Atom(
+            self.head.pred,
+            tuple(renaming.get(t, t) if isinstance(t, Variable) else t for t in self.head.args),
+        )
+        return Rule(new_head, apply_subst(self.body, renaming))
+
+    def __str__(self) -> str:
+        if isinstance(self.body, Truth):
+            return "%s." % (self.head,)
+        return "%s <- %s." % (self.head, self.body)
+
+
+class Program:
+    """A TD rulebase together with its base-predicate schema.
+
+    Parameters
+    ----------
+    rules:
+        The rules.  Body atoms may still be unresolved generic calls; the
+        constructor resolves them (base-predicate calls become tests).
+    base:
+        Extra base-predicate signatures to declare beyond those inferred
+        from ``ins``/``del``/``not`` occurrences.
+    strict:
+        If true (default), using an undeclared predicate that is neither
+        a rule head nor inferable as base raises; if false, such
+        predicates are treated as base on first use.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        base: Iterable[Signature] = (),
+        strict: bool = False,
+    ):
+        self._rules: List[Rule] = list(rules)
+        self._derived: Dict[Signature, List[Rule]] = {}
+        for rule in self._rules:
+            self._derived.setdefault(rule.head.signature, []).append(rule)
+
+        self.schema = Schema(base, strict=False)
+        self._infer_base_predicates()
+        self.strict = strict
+        self._rules = [self._resolve_rule(r) for r in self._rules]
+        self._derived = {}
+        for rule in self._rules:
+            self._derived.setdefault(rule.head.signature, []).append(rule)
+        self._fresh_counter = itertools.count(1)
+        self._validate()
+
+    # -- construction internals ------------------------------------------------
+
+    def _infer_base_predicates(self) -> None:
+        for rule in self._rules:
+            for sub in walk_formulas(rule.body):
+                if isinstance(sub, (Ins, Del, Neg)):
+                    self.schema.declare(sub.atom.pred, sub.atom.arity)
+                elif isinstance(sub, Test):
+                    self.schema.declare(sub.atom.pred, sub.atom.arity)
+
+    def is_derived(self, sig: Signature) -> bool:
+        return sig in self._derived
+
+    def is_base(self, sig: Signature) -> bool:
+        return sig in self.schema and not self.is_derived(sig)
+
+    def _resolve_formula(self, f: Formula) -> Formula:
+        if isinstance(f, Call):
+            sig = f.atom.signature
+            if self.is_derived(sig):
+                return f
+            # Not a rule head: it is a tuple test on a base predicate.
+            if sig not in self.schema:
+                if self.strict:
+                    raise ProgramError(
+                        "predicate %s/%d is neither defined by rules nor "
+                        "declared as a base predicate" % sig
+                    )
+                self.schema.declare(*sig)
+            return Test(f.atom)
+        if isinstance(f, Seq):
+            return Seq(tuple(self._resolve_formula(p) for p in f.parts))
+        if isinstance(f, Conc):
+            return Conc(tuple(self._resolve_formula(p) for p in f.parts))
+        if isinstance(f, Isol):
+            return Isol(self._resolve_formula(f.body))
+        return f
+
+    def _resolve_rule(self, rule: Rule) -> Rule:
+        return Rule(rule.head, self._resolve_formula(rule.body))
+
+    def _validate(self) -> None:
+        for rule in self._rules:
+            if (
+                rule.head.signature in self.schema
+                and not self.is_derived(rule.head.signature)
+            ):
+                raise ProgramError(
+                    "predicate %s/%d is both base and derived"
+                    % rule.head.signature
+                )
+            for sub in walk_formulas(rule.body):
+                if isinstance(sub, (Ins, Del)) and self.is_derived(sub.atom.signature):
+                    raise ProgramError(
+                        "cannot update derived predicate %s/%d"
+                        % sub.atom.signature
+                    )
+                if isinstance(sub, Test) and self.is_derived(sub.atom.signature):
+                    raise ProgramError(
+                        "internal error: derived predicate %s/%d resolved "
+                        "as a tuple test" % sub.atom.signature
+                    )
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    def derived_signatures(self) -> Tuple[Signature, ...]:
+        return tuple(sorted(self._derived))
+
+    def rules_for(self, sig: Signature) -> Sequence[Rule]:
+        """Rules whose head matches *sig*, in program order."""
+        return self._derived.get(sig, ())
+
+    def fresh_rules_for(self, sig: Signature) -> Iterator[Rule]:
+        """Rules for *sig*, each with variables freshly renamed."""
+        for rule in self._derived.get(sig, ()):
+            yield rule.rename("#%d" % next(self._fresh_counter))
+
+    def resolve_goal(self, goal: Formula) -> Formula:
+        """Resolve generic calls in a parsed goal against this program."""
+        return self._resolve_formula(goal)
+
+    def extend(self, rules: Iterable[Rule]) -> "Program":
+        """A new program with extra rules (programs are immutable)."""
+        return Program(
+            list(self._rules) + list(rules),
+            base=self.schema.signatures(),
+            strict=self.strict,
+        )
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)

@@ -1,0 +1,347 @@
+"""Tabled big-step evaluator for *sequential* Transaction Datalog.
+
+Sequential TD is the sublanguage without concurrent composition.  The
+paper (Theorem 4.5) shows it is data complete for EXPTIME -- in sharp
+contrast to full TD's RE-completeness -- and in particular *decidable*.
+This module is the decision procedure.
+
+The semantic insight it implements: the meaning of a sequential TD
+predicate is a binary relation on database states.  For a fixed program
+and initial state, the reachable states are subsets of a finite Herbrand
+base (TD is safe: no new constants are invented), so the relation
+
+    (call atom, input state)  -->  { (answer bindings, output state) }
+
+has a finite table, computable as a least fixpoint.  We compute it by
+*tabling* with a dependency-driven worklist: evaluation registers every
+call it encounters as a table key and records which keys consulted it;
+when a key's answer set grows, only its recorded dependents are
+re-evaluated.  Termination is guaranteed by the finiteness of keys and
+answers; completeness by the monotone least-fixpoint argument, lifted
+from Datalog to state pairs -- this is exactly the sense in which the
+paper says Datalog optimization techniques like tabling apply to TD.
+
+Recursion depth is *not* bounded here, which matters: sequential TD can
+still use recursion-as-storage (a counter encoded in recursion depth),
+and top-down evaluation would diverge on it.  The table is what restores
+termination -- recursion that revisits a (call, state) pair contributes
+nothing new and closes the loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .database import Database
+from .errors import SafetyError, UnsupportedProgramError
+from .formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Formula,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+    formula_variables,
+    walk_formulas,
+)
+from .interpreter import Solution
+from .program import Program
+from .terms import Atom, Constant, Term, Variable
+from .unify import Substitution, apply_atom, unify_atoms, walk
+
+__all__ = ["SequentialEngine"]
+
+#: A table key: the canonicalized call atom plus the input state.
+_Key = Tuple[Atom, Database]
+#: A table answer: constants for the canonical variables, plus the output
+#: state.
+_Answer = Tuple[Tuple[Constant, ...], Database]
+
+
+def _canonical_call(atom: Atom) -> Tuple[Atom, List[Variable]]:
+    """Rename the atom's variables to V0, V1, ... in order of occurrence.
+
+    Returns the canonical atom and the original variables in index order
+    so answers can be mapped back onto the caller's substitution.
+    """
+    mapping: Dict[Variable, Variable] = {}
+    originals: List[Variable] = []
+    args: List[Term] = []
+    for t in atom.args:
+        if isinstance(t, Variable):
+            if t not in mapping:
+                mapping[t] = Variable("V%d" % len(mapping))
+                originals.append(t)
+            args.append(mapping[t])
+        else:
+            args.append(t)
+    return Atom(atom.pred, tuple(args)), originals
+
+
+class SequentialEngine:
+    """Decision procedure for sequential TD via tabled evaluation.
+
+    Raises :class:`UnsupportedProgramError` if the program or goal uses
+    concurrent composition.  ``iso(a)`` is accepted and equals ``a``:
+    with no siblings to interleave, isolation is a no-op.
+    """
+
+    def __init__(self, program: Program, max_rounds: int = 10_000_000):
+        self.program = program
+        self.max_rounds = max_rounds
+        self._check_sequential()
+        # Persistent across queries: the table only ever grows, and its
+        # entries are valid independently of which goal asked for them.
+        self._table: Dict[_Key, Set[_Answer]] = {}
+        # Dependency graph for the worklist driver: callee -> callers.
+        self._dependents: Dict[_Key, Set[_Key]] = {}
+        # Keys whose rules have been evaluated at least once (a key can
+        # be computed and still have an empty answer set).
+        self._computed: Set[_Key] = set()
+        # Per-evaluation scratch: keys consulted / newly registered.
+        self._consulted: Set[_Key] = set()
+        self._new_keys: List[_Key] = []
+
+    def _check_sequential(self) -> None:
+        for rule in self.program.rules:
+            for sub in walk_formulas(rule.body):
+                if isinstance(sub, Conc):
+                    raise UnsupportedProgramError(
+                        "rule for %s uses concurrent composition; "
+                        "the sequential engine cannot evaluate it"
+                        % (rule.head,)
+                    )
+
+    # -- public API -------------------------------------------------------------
+
+    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
+        """Enumerate all (bindings, final state) pairs for *goal*.
+
+        Complete and terminating: this is a decision procedure.
+        """
+        goal = self.program.resolve_goal(goal)
+        for sub in walk_formulas(goal):
+            if isinstance(sub, Conc):
+                raise UnsupportedProgramError(
+                    "goal uses concurrent composition; use the full interpreter"
+                )
+        goal_vars = _ordered_vars(goal)
+        self._run_fixpoint(goal, db)
+        emitted = set()
+        for theta, final_db in self._eval(goal, db, {}):
+            bindings = {v: walk(v, theta) for v in goal_vars}
+            key = (tuple(sorted(bindings.items())), final_db)
+            if key not in emitted:
+                emitted.add(key)
+                yield Solution(bindings, final_db)
+
+    def succeeds(self, goal: Formula, db: Database) -> bool:
+        for _ in self.solve(goal, db):
+            return True
+        return False
+
+    def final_databases(self, goal: Formula, db: Database) -> Set[Database]:
+        return {sol.database for sol in self.solve(goal, db)}
+
+    @property
+    def table_size(self) -> Tuple[int, int]:
+        """(number of keys, number of answers) -- exposed for the
+        EXPTIME scaling benchmark."""
+        return len(self._table), sum(len(v) for v in self._table.values())
+
+    # -- fixpoint driver ----------------------------------------------------------
+    #
+    # Dependency-driven (semi-naive) tabling: evaluating a key records
+    # which callee keys it consulted; when a key's answer set grows, only
+    # its recorded dependents are re-evaluated.  Far cheaper than naive
+    # rounds -- work is proportional to actual answer propagation, the
+    # classical tabling argument.
+
+    def _run_fixpoint(self, goal: Formula, db: Database) -> None:
+        worklist: List[_Key] = []
+        in_worklist: Set[_Key] = set()
+
+        def enqueue(key: _Key) -> None:
+            if key not in in_worklist:
+                in_worklist.add(key)
+                worklist.append(key)
+
+        def drain() -> None:
+            steps = 0
+            while worklist:
+                steps += 1
+                if steps > self.max_rounds:  # pragma: no cover - bound
+                    raise SearchExhausted_impossible()
+                key = worklist.pop()
+                in_worklist.discard(key)
+                self._computed.add(key)
+                before = len(self._table.get(key, ()))
+                self._consulted = set()
+                self._new_keys = []
+                self._recompute(key)
+                for callee in self._consulted:
+                    self._dependents.setdefault(callee, set()).add(key)
+                for fresh in self._new_keys:
+                    enqueue(fresh)
+                if len(self._table.get(key, ())) != before:
+                    for dependent in self._dependents.get(key, ()):
+                        enqueue(dependent)
+
+        # Alternate goal-seeding passes with worklist drains: a drain can
+        # grow answers that let the *goal* reach call patterns it could
+        # not instantiate before, so re-seed until the goal discovers
+        # nothing new.
+        for _ in range(self.max_rounds):  # pragma: no branch - returns inside
+            self._consulted = set()
+            self._new_keys = []
+            for _ in self._eval(goal, db, {}):
+                pass
+            for key in self._new_keys:
+                enqueue(key)
+            for key in self._consulted:
+                if key not in self._computed:
+                    enqueue(key)
+            if not worklist:
+                self._consulted = set()
+                self._new_keys = []
+                return
+            drain()
+        raise SearchExhausted_impossible()  # pragma: no cover - loop bound
+
+    def _recompute(self, key: _Key) -> None:
+        canon_atom, db_in = key
+        answers = self._table[key]
+        canon_vars = [t for t in canon_atom.args if isinstance(t, Variable)]
+        # Deduplicate canonical variables preserving order.
+        seen: Dict[Variable, None] = {}
+        for v in canon_vars:
+            seen.setdefault(v, None)
+        canon_vars = list(seen)
+        for rule in self.program.fresh_rules_for(canon_atom.signature):
+            theta = unify_atoms(rule.head, canon_atom)
+            if theta is None:
+                continue
+            for theta_out, db_out in self._eval(rule.body, db_in, theta):
+                values = []
+                ground = True
+                for v in canon_vars:
+                    t = walk(v, theta_out)
+                    if isinstance(t, Variable):
+                        ground = False
+                        break
+                    values.append(t)
+                if not ground:
+                    raise SafetyError(
+                        "rule for %s does not bind all head variables"
+                        % (canon_atom,)
+                    )
+                answers.add((tuple(values), db_out))
+
+    # -- big-step evaluation ---------------------------------------------------------
+
+    def _eval(
+        self, f: Formula, db: Database, theta: Substitution
+    ) -> Iterator[Tuple[Substitution, Database]]:
+        if isinstance(f, Truth):
+            yield theta, db
+            return
+        if isinstance(f, Test):
+            yield from ((t, db) for t in db.match(f.atom, theta))
+            return
+        if isinstance(f, Neg):
+            if not db.holds(f.atom, theta):
+                yield theta, db
+            return
+        if isinstance(f, Ins):
+            a = apply_atom(f.atom, theta)
+            if not a.is_ground():
+                raise SafetyError("ins with unbound variables: %s" % (a,))
+            yield theta, db.insert(a)
+            return
+        if isinstance(f, Del):
+            a = apply_atom(f.atom, theta)
+            if not a.is_ground():
+                raise SafetyError("del with unbound variables: %s" % (a,))
+            yield theta, db.delete(a)
+            return
+        if isinstance(f, Builtin):
+            try:
+                out = f.evaluate(theta)
+            except ValueError as exc:
+                raise SafetyError(str(exc)) from exc
+            if out is not None:
+                yield out, db
+            return
+        if isinstance(f, Seq):
+            yield from self._eval_seq(f.parts, 0, db, theta)
+            return
+        if isinstance(f, Isol):
+            # Sequential execution has no siblings; isolation is identity.
+            yield from self._eval(f.body, db, theta)
+            return
+        if isinstance(f, Call):
+            yield from self._eval_call(f.atom, db, theta)
+            return
+        if isinstance(f, Conc):
+            raise UnsupportedProgramError(
+                "concurrent composition reached the sequential evaluator"
+            )
+        raise TypeError("cannot evaluate formula %r" % type(f).__name__)
+
+    def _eval_seq(
+        self, parts: Tuple[Formula, ...], idx: int, db: Database, theta: Substitution
+    ) -> Iterator[Tuple[Substitution, Database]]:
+        if idx == len(parts):
+            yield theta, db
+            return
+        for theta2, db2 in self._eval(parts[idx], db, theta):
+            yield from self._eval_seq(parts, idx + 1, db2, theta2)
+
+    def _eval_call(
+        self, atom: Atom, db: Database, theta: Substitution
+    ) -> Iterator[Tuple[Substitution, Database]]:
+        instantiated = apply_atom(atom, theta)
+        canon_atom, originals = _canonical_call(instantiated)
+        key = (canon_atom, db)
+        self._consulted.add(key)
+        answers = self._table.get(key)
+        if answers is None:
+            # Register the key; the worklist driver will compute it.
+            self._table[key] = set()
+            self._new_keys.append(key)
+            return
+        for values, db_out in sorted(answers, key=_answer_order):
+            out = dict(theta)
+            consistent = True
+            for v, value in zip(originals, values):
+                bound = walk(v, out)
+                if isinstance(bound, Variable):
+                    out[bound] = value
+                elif bound != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield out, db_out
+
+
+def _answer_order(answer: _Answer):
+    values, db = answer
+    return (tuple(str(v) for v in values), tuple(str(f) for f in db))
+
+
+def _ordered_vars(goal: Formula) -> List[Variable]:
+    seen: Dict[Variable, None] = {}
+    for v in formula_variables(goal):
+        seen.setdefault(v, None)
+    return list(seen)
+
+
+class SearchExhausted_impossible(RuntimeError):
+    """Internal guard: the fixpoint loop bound was reached.  The table is
+    finite for safe programs, so hitting this indicates a safety bug."""

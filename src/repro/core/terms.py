@@ -1,0 +1,170 @@
+"""First-order terms and atoms for Transaction Datalog and classical Datalog.
+
+Transaction Datalog (TD) is a function-free logic language: a *term* is
+either a constant or a variable, and an *atom* is a predicate symbol
+applied to a tuple of terms.  Everything here is immutable and hashable so
+that ground atoms can live inside frozenset-based database states and so
+that whole process configurations can be memoized.
+
+The module deliberately keeps the data model tiny and explicit:
+
+* :class:`Constant` -- an uninterpreted constant (wraps a Python value).
+* :class:`Variable` -- a logical variable, identified by name.
+* :class:`Atom` -- ``pred(t1, ..., tn)``.
+
+Constants compare by value, variables by name.  ``Atom`` exposes the
+predicate *signature* ``name/arity`` used throughout schema handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple, Union
+
+__all__ = [
+    "Constant",
+    "Variable",
+    "Term",
+    "Atom",
+    "Signature",
+    "atom",
+    "const",
+    "var",
+    "is_ground",
+    "term_from_python",
+]
+
+
+# Python payload types allowed inside a Constant.  Strings and integers
+# cover everything in the paper's examples (work-item ids, agent names,
+# task names, account balances).
+ConstValue = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Constant:
+    """An uninterpreted constant symbol.
+
+    TD treats constants as uninterpreted (genericity); arithmetic shows up
+    only through built-in comparison atoms handled by the engines.
+
+    Ordering is total but purely syntactic (integers sort apart from
+    strings) -- it exists so databases iterate deterministically, not to
+    compare values; use builtins for value comparisons.
+    """
+
+    value: ConstValue
+
+    def _sort_key(self):
+        return ("c", type(self.value).__name__, str(self.value))
+
+    def __lt__(self, other):
+        if isinstance(other, (Constant, Variable)):
+            return self._sort_key() < other._sort_key()
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logical variable.  Names conventionally start with an uppercase
+    letter or underscore (the parser enforces this for concrete syntax).
+    """
+
+    name: str
+
+    def _sort_key(self):
+        return ("v", "", self.name)
+
+    def __lt__(self, other):
+        if isinstance(other, (Constant, Variable)):
+            return self._sort_key() < other._sort_key()
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Constant, Variable]
+
+#: A predicate signature: (name, arity).
+Signature = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A (possibly non-ground) atom ``pred(args)``.
+
+    Atoms are used in three roles in TD, distinguished by context rather
+    than by type: facts in a database state (ground), tuple tests /
+    elementary updates on base predicates, and calls to derived
+    predicates defined by rules.
+    """
+
+    pred: str
+    args: Tuple[Term, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Signature:
+        return (self.pred, len(self.args))
+
+    def is_ground(self) -> bool:
+        return all(isinstance(t, Constant) for t in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of this atom, left to right, with repeats."""
+        for t in self.args:
+            if isinstance(t, Variable):
+                yield t
+
+    def _sort_key(self):
+        return (self.pred, tuple(t._sort_key() for t in self.args))
+
+    def __lt__(self, other):
+        if isinstance(other, Atom):
+            return self._sort_key() < other._sort_key()
+        return NotImplemented
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.pred
+        return "%s(%s)" % (self.pred, ", ".join(str(t) for t in self.args))
+
+
+def term_from_python(value: Union[Term, ConstValue]) -> Term:
+    """Coerce a Python value into a :class:`Term`.
+
+    Existing terms pass through; strings and ints become constants.  This
+    is the convenience layer used by the fluent API and the test suite.
+    """
+    if isinstance(value, (Constant, Variable)):
+        return value
+    if isinstance(value, (str, int)):
+        return Constant(value)
+    raise TypeError("cannot convert %r to a term" % (value,))
+
+
+def atom(pred: str, *args: Union[Term, ConstValue]) -> Atom:
+    """Convenience constructor: ``atom('p', 'a', Variable('X'))``."""
+    return Atom(pred, tuple(term_from_python(a) for a in args))
+
+
+def const(value: ConstValue) -> Constant:
+    """Convenience constructor for a constant."""
+    return Constant(value)
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor for a variable."""
+    return Variable(name)
+
+
+def is_ground(atoms: Iterable[Atom]) -> bool:
+    """True if every atom in *atoms* is ground."""
+    return all(a.is_ground() for a in atoms)

@@ -1,0 +1,570 @@
+"""Small-step operational semantics of Transaction Datalog.
+
+A *configuration* pairs a residual process (a formula; ``true`` means
+finished) with a database state.  The transition relation below is the
+procedural interpretation from the paper:
+
+* an elementary operation (tuple test, ``ins``, ``del``, absence test,
+  builtin) executes atomically, possibly binding variables;
+* a call to a derived predicate unfolds, nondeterministically, into the
+  body of any rule whose head unifies with it;
+* ``a * b`` (sequential composition) steps in ``a`` until it finishes;
+* ``a | b`` (concurrent composition) steps in either side -- the
+  interleaving semantics through which concurrent TD processes
+  communicate via the database;
+* ``iso(a)`` contributes a *single* transition for each complete
+  execution of ``a`` from the current state: isolation means no sibling
+  steps are interleaved within ``a``.
+
+Bindings made by a step apply to the *entire* residual process, which is
+how a value read by one concurrent branch becomes visible to another
+branch sharing the variable.
+
+The module also provides configuration canonicalization (variables are
+renamed apart in traversal order, and concurrent branches are optionally
+sorted) so searches can memoize visited configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .database import Database
+from .errors import SafetyError
+from .formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Formula,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    TRUTH,
+    Truth,
+    apply_subst,
+    conc,
+    seq,
+    walk_formulas,
+)
+from .program import Program
+from .terms import Atom, Term, Variable
+from .unify import Substitution, apply_atom, unify_atoms
+
+__all__ = [
+    "Action",
+    "Step",
+    "Configuration",
+    "is_final",
+    "enabled_steps",
+    "canonical_key",
+    "update_footprint",
+    "dead_config",
+]
+
+
+@dataclass(frozen=True)
+class Action:
+    """A record of one executed elementary step, for execution traces.
+
+    ``kind`` is one of ``test ins del neg builtin call iso``.  For ``iso``
+    the nested trace of the isolated sub-execution is attached.
+    """
+
+    kind: str
+    atom: Optional[Atom] = None
+    detail: str = ""
+    subtrace: Tuple["Action", ...] = ()
+
+    def __str__(self) -> str:
+        if self.kind == "iso":
+            inner = "; ".join(str(a) for a in self.subtrace)
+            return "iso[%s]" % inner
+        if self.kind == "builtin":
+            return self.detail
+        if self.kind in ("ins", "del"):
+            return "%s.%s" % (self.kind, self.atom)
+        if self.kind == "neg":
+            return "not %s" % (self.atom,)
+        if self.kind == "call":
+            return "call %s" % (self.atom,)
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One enabled transition out of a configuration.
+
+    ``residual`` is the full remaining process; ``local`` is just the
+    subformula that replaced the stepped redex (``true`` for elementary
+    operations, the instantiated rule body for a call).  Schedulers use
+    ``local`` to notice that a rule choice left its own branch blocked --
+    e.g. an iteration's stop rule unfolded before its flag exists -- and
+    defer that choice behind immediately runnable ones.
+    """
+
+    action: Action
+    subst: Substitution
+    residual: Formula  # the full residual process, *before* applying subst
+    database: Database
+    local: Formula = TRUTH
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A process/database pair, plus the answer terms accumulated so far
+    for the goal's free variables."""
+
+    process: Formula
+    database: Database
+    answers: Tuple[Term, ...] = ()
+
+
+
+def _display_atom(a: Atom) -> Atom:
+    """Normalize an atom for trace display: unbound variables keep their
+    source name but lose the per-unfold freshness suffix, so traces are
+    reproducible across runs and engines."""
+    if a.is_ground():
+        return a
+    args = tuple(
+        Variable(t.name.split("#")[0]) if isinstance(t, Variable) else t
+        for t in a.args
+    )
+    return Atom(a.pred, args)
+
+
+def is_final(proc: Formula) -> bool:
+    """A configuration is final when its process has reduced to ``true``."""
+    return isinstance(proc, Truth)
+
+
+#: Type of the callback used to execute isolated sub-processes: given a
+#: body and a database it yields (answer substitution, final database,
+#: trace) triples for the body's complete executions.
+IsolRunner = Callable[
+    [Formula, Database], Iterator[Tuple[Substitution, Database, Tuple[Action, ...]]]
+]
+
+
+def enabled_steps(
+    program: Program,
+    proc: Formula,
+    db: Database,
+    isol_runner: IsolRunner,
+) -> Iterator[Step]:
+    """Yield every transition enabled in ``(proc, db)``.
+
+    The ``residual`` of each step is the whole remaining process with the
+    stepped redex replaced; the step's substitution has *not* yet been
+    applied (callers apply it once, to the whole tree).
+    """
+    yield from _steps(program, proc, db, isol_runner)
+
+
+def _steps(
+    program: Program, proc: Formula, db: Database, isol_runner: IsolRunner
+) -> Iterator[Step]:
+    if isinstance(proc, Truth):
+        return
+    if isinstance(proc, Test):
+        for theta in db.match(proc.atom):
+            yield Step(
+                Action("test", _display_atom(apply_atom(proc.atom, theta))),
+                theta,
+                Truth(),
+                db,
+            )
+        return
+    if isinstance(proc, Neg):
+        if not db.holds(proc.atom):
+            yield Step(Action("neg", _display_atom(proc.atom)), {}, Truth(), db)
+        return
+    if isinstance(proc, Ins):
+        if not proc.atom.is_ground():
+            # Not an error: a sibling branch sharing the variable may
+            # still bind it (cross-branch dataflow); until then the
+            # update is simply not enabled.  Genuinely unsafe programs
+            # are flagged by the static analysis instead.
+            return
+        yield Step(Action("ins", proc.atom), {}, Truth(), db.insert(proc.atom))
+        return
+    if isinstance(proc, Del):
+        if not proc.atom.is_ground():
+            return  # blocked until a sibling binds the variables
+        yield Step(Action("del", proc.atom), {}, Truth(), db.delete(proc.atom))
+        return
+    if isinstance(proc, Builtin):
+        try:
+            theta = proc.evaluate({})
+        except ValueError:
+            # Unbound arguments: blocked until a sibling binds them
+            # (same convention as unbound updates).
+            return
+        if theta is not None:
+            yield Step(Action("builtin", detail=str(proc)), theta, Truth(), db)
+        return
+    if isinstance(proc, Call):
+        sig = proc.atom.signature
+        if not program.is_derived(sig):
+            raise SafetyError(
+                "call to undefined predicate %s/%d" % sig
+            )
+        for rule in program.fresh_rules_for(sig):
+            theta = unify_atoms(rule.head, proc.atom)
+            if theta is not None:
+                yield Step(
+                    Action("call", _display_atom(apply_atom(proc.atom, theta))),
+                    theta,
+                    rule.body,
+                    db,
+                    rule.body,
+                )
+        return
+    if isinstance(proc, Seq):
+        head, rest = proc.parts[0], proc.parts[1:]
+        for step in _steps(program, head, db, isol_runner):
+            yield Step(
+                step.action,
+                step.subst,
+                seq(step.residual, *rest),
+                step.database,
+                step.local,
+            )
+        return
+    if isinstance(proc, Conc):
+        for i, branch in enumerate(proc.parts):
+            others_before = proc.parts[:i]
+            others_after = proc.parts[i + 1 :]
+            for step in _steps(program, branch, db, isol_runner):
+                yield Step(
+                    step.action,
+                    step.subst,
+                    conc(*others_before, step.residual, *others_after),
+                    step.database,
+                    step.local,
+                )
+        return
+    if isinstance(proc, Isol):
+        for theta, final_db, trace in isol_runner(proc.body, db):
+            yield Step(
+                Action("iso", subtrace=tuple(trace)),
+                theta,
+                Truth(),
+                final_db,
+            )
+        return
+    raise TypeError("cannot step formula of type %r" % type(proc).__name__)
+
+
+def apply_step(step: Step) -> Formula:
+    """The residual process after applying the step's bindings."""
+    return apply_subst(step.residual, step.subst)
+
+
+# ---------------------------------------------------------------------------
+# Trace replay
+# ---------------------------------------------------------------------------
+
+
+def replay_actions(actions, db: Database) -> Database:
+    """Re-apply a trace's update actions to *db*.
+
+    Execution traces are certificates: replaying the inserts and deletes
+    of a successful execution (including those inside ``iso`` subtraces)
+    over the initial state must reproduce the execution's final state.
+    Tests use this to validate every engine's traces; tools can use it
+    to audit a logged run against a claimed outcome.
+    """
+    for action in actions:
+        if action.kind == "ins":
+            db = db.insert(action.atom)
+        elif action.kind == "del":
+            db = db.delete(action.atom)
+        elif action.kind == "iso":
+            db = replay_actions(action.subtrace, db)
+        # tests / negs / builtins / calls do not change the state
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Dead-configuration pruning
+# ---------------------------------------------------------------------------
+
+
+def update_footprint(program: Program, *goals: Formula):
+    """Predicates the program (plus the given goals) can ever insert or
+    delete.  Used by :func:`dead_config`: tests on predicates outside the
+    insert footprint can never *become* true, absence tests on predicates
+    outside the delete footprint can never become true either.
+    """
+    insertable = set()
+    deletable = set()
+    bodies = [r.body for r in program.rules] + list(goals)
+    for body in bodies:
+        for sub in walk_formulas(body):
+            if isinstance(sub, Ins):
+                insertable.add(sub.atom.pred)
+            elif isinstance(sub, Del):
+                deletable.add(sub.atom.pred)
+    return frozenset(insertable), frozenset(deletable)
+
+
+def dead_config(
+    proc: Formula,
+    db: Database,
+    insertable: frozenset,
+    deletable: frozenset,
+) -> bool:
+    """True if *proc* can provably never complete from *db*.
+
+    The check looks at each concurrent branch's *frontier* (the next
+    formula it must execute).  A branch is permanently stuck -- and the
+    whole configuration dead -- when its frontier is
+
+    * a tuple test with no matching fact, on a predicate nothing can
+      insert (waiting for a fact that can never arrive);
+    * an absence test that currently fails, on a predicate nothing can
+      delete; or
+    * a failing builtin (builtins are state-independent).
+
+    This prunes exponentially many doomed interleavings: without it, a
+    branch that grabbed the wrong resource keeps every *other* branch
+    exploring before the failure is discovered.  Pruning is sound
+    because frontier failure of such a branch is invariant under any
+    sibling activity.
+    """
+    if isinstance(proc, Truth):
+        return False
+    if isinstance(proc, Test):
+        return proc.atom.pred not in insertable and not db.holds(proc.atom)
+    if isinstance(proc, Neg):
+        return proc.atom.pred not in deletable and db.holds(proc.atom)
+    if isinstance(proc, Builtin):
+        try:
+            return proc.evaluate({}) is None
+        except ValueError:
+            # Unbound variables: a sibling may still bind them.
+            return False
+    if isinstance(proc, Seq):
+        return dead_config(proc.parts[0], db, insertable, deletable)
+    if isinstance(proc, Conc):
+        return any(dead_config(p, db, insertable, deletable) for p in proc.parts)
+    if isinstance(proc, Isol):
+        # Every execution of the isolated body starts with the body's
+        # own frontier, so a dead body frontier kills the iso too.
+        return dead_config(proc.body, db, insertable, deletable)
+    # Ins/Del/Call frontiers can always act (or need deeper search).
+    return False
+
+
+def frontier_blocked(proc: Formula, db: Database) -> bool:
+    """True if *proc* currently has no enabled elementary frontier.
+
+    Weaker than :func:`dead_config`: a blocked configuration may be
+    unblocked by facts a sibling inserts later, so it cannot be pruned --
+    but a scheduler should *defer* it.  The depth-first simulator orders
+    successor configurations so that blocked ones are explored last;
+    without this, a rule choice whose guard is not yet satisfied (e.g.
+    the stop rule of an iteration testing a flag the loop body has not
+    emitted yet) poisons the search, which then enumerates every
+    interleaving of the sibling processes before backtracking out.
+    """
+    if isinstance(proc, Truth):
+        return False
+    if isinstance(proc, Test):
+        return not db.holds(proc.atom)
+    if isinstance(proc, Neg):
+        return db.holds(proc.atom)
+    if isinstance(proc, Builtin):
+        try:
+            return proc.evaluate({}) is None
+        except ValueError:
+            return True  # unbound: cannot fire until a sibling binds it
+    if isinstance(proc, (Ins, Del)):
+        return not proc.atom.is_ground()
+    if isinstance(proc, Seq):
+        return frontier_blocked(proc.parts[0], db)
+    if isinstance(proc, Conc):
+        return all(frontier_blocked(p, db) for p in proc.parts)
+    if isinstance(proc, Isol):
+        # An isolated body that cannot currently run should be deferred
+        # (e.g. a stop rule's atomic emptiness check taken while work
+        # remains -- committing to it early abandons the only consumer
+        # of that work and poisons the search).  For pure-read bodies we
+        # can decide enabledness exactly and cheaply; otherwise fall
+        # back to the body's frontier.
+        verdict = _pure_read_satisfiable(proc.body, db)
+        if verdict is not None:
+            return not verdict
+        return frontier_blocked(proc.body, db)
+    return False
+
+
+def _pure_read_satisfiable(body: Formula, db: Database) -> Optional[bool]:
+    """For bodies built only from tests / absence tests / builtins and
+    sequential composition: is the body satisfiable in *db* right now?
+    Returns None when the body contains updates, calls, or concurrency
+    (not decidable by inspection)."""
+
+    def pure(f: Formula) -> bool:
+        if isinstance(f, (Test, Neg, Builtin, Truth)):
+            return True
+        if isinstance(f, Seq):
+            return all(pure(p) for p in f.parts)
+        return False
+
+    if not pure(body):
+        return None
+
+    def sat(f: Formula, theta) -> bool:
+        if isinstance(f, Truth):
+            return True
+        if isinstance(f, Test):
+            return any(True for _ in db.match(f.atom, theta))
+        if isinstance(f, Neg):
+            return not db.holds(f.atom, theta)
+        if isinstance(f, Builtin):
+            try:
+                return f.evaluate(theta) is not None
+            except ValueError:
+                return False
+        if isinstance(f, Seq):
+            return _sat_seq(f.parts, 0, theta)
+        raise TypeError  # pragma: no cover - `pure` excludes the rest
+
+    def _sat_seq(parts, idx, theta) -> bool:
+        if idx == len(parts):
+            return True
+        part = parts[idx]
+        if isinstance(part, Test):
+            return any(
+                _sat_seq(parts, idx + 1, t2) for t2 in db.match(part.atom, theta)
+            )
+        if isinstance(part, Builtin):
+            try:
+                t2 = part.evaluate(theta)
+            except ValueError:
+                return False
+            return t2 is not None and _sat_seq(parts, idx + 1, t2)
+        return sat(part, theta) and _sat_seq(parts, idx + 1, theta)
+
+    return sat(body, {})
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization for memoization
+# ---------------------------------------------------------------------------
+
+
+def _skeleton(f: Formula):
+    """A branch-local canonical key, used only to order concurrent
+    branches deterministically before variables are numbered globally.
+
+    Variables are numbered by first occurrence *within this branch*, so
+    the skeleton is independent of outside naming but still captures the
+    branch's internal sharing pattern (``p(X, X)`` vs ``p(X, Y)``).
+    """
+    local: Dict[Variable, int] = {}
+
+    def walk(g: Formula):
+        if isinstance(g, Truth):
+            return ("T",)
+        if isinstance(g, (Test, Neg, Ins, Del, Call)):
+            return (type(g).__name__, g.atom.pred, term_keys(g.atom.args))
+        if isinstance(g, Builtin):
+            return ("B", g.op, expr_key(g.left), expr_key(g.right))
+        if isinstance(g, Seq):
+            return ("S",) + tuple(walk(p) for p in g.parts)
+        if isinstance(g, Conc):
+            # children sorted by their own (independent) skeletons
+            return ("C",) + tuple(sorted((_skeleton(p) for p in g.parts), key=repr))
+        if isinstance(g, Isol):
+            return ("I", walk(g.body))
+        raise TypeError("cannot canonicalize %r" % type(g).__name__)
+
+    def term_keys(terms):
+        out = []
+        for t in terms:
+            if isinstance(t, Variable):
+                if t not in local:
+                    local[t] = len(local)
+                out.append(("v", local[t]))
+            else:
+                out.append(("c", type(t.value).__name__, str(t.value)))
+        return tuple(out)
+
+    def expr_key(expr):
+        if isinstance(expr, Variable):
+            if expr not in local:
+                local[expr] = len(local)
+            return ("v", local[expr])
+        if hasattr(expr, "op"):
+            return ("e", expr.op, expr_key(expr.left), expr_key(expr.right))
+        return ("c", type(expr.value).__name__, str(expr.value))
+
+    return walk(f)
+
+
+def canonical_key(proc: Formula, sort_conc: bool = True):
+    """A hashable structural key for *proc*, invariant under variable
+    renaming and (optionally) under reordering of concurrent branches.
+
+    Renaming-apart matters because call unfolding freshens rule variables
+    with a global counter: two searches reaching "the same" residual
+    process would otherwise never share a memo entry.
+
+    Branch sorting is done in two passes: concurrent branches are first
+    ordered by a variable-identity-free *skeleton*, then variables are
+    numbered by first occurrence in the sorted traversal.  Sorting before
+    numbering makes the key genuinely order-invariant.  (Branches with
+    identical skeletons but different variable-sharing patterns with the
+    rest of the process can still key apart -- a sound approximation that
+    only costs memo hits, never correctness.)  ``sort_conc=False``
+    disables sorting for the ablation benchmark.
+    """
+    counter: Dict[Variable, int] = {}
+
+    def key(f: Formula):
+        if isinstance(f, Truth):
+            return ("T",)
+        if isinstance(f, (Test, Neg, Ins, Del, Call)):
+            tag = type(f).__name__
+            return (tag, f.atom.pred, _term_keys(f.atom.args))
+        if isinstance(f, Builtin):
+            return ("B", f.op, _expr_key(f.left), _expr_key(f.right))
+        if isinstance(f, Seq):
+            return ("S",) + tuple(key(p) for p in f.parts)
+        if isinstance(f, Conc):
+            parts = list(f.parts)
+            if sort_conc:
+                parts.sort(key=lambda p: repr(_skeleton(p)))
+            return ("C",) + tuple(key(p) for p in parts)
+        if isinstance(f, Isol):
+            return ("I", key(f.body))
+        raise TypeError("cannot canonicalize %r" % type(f).__name__)
+
+    def _term_keys(terms):
+        out = []
+        for t in terms:
+            if isinstance(t, Variable):
+                if t not in counter:
+                    counter[t] = len(counter)
+                out.append(("v", counter[t]))
+            else:
+                out.append(("c", type(t.value).__name__, str(t.value)))
+        return tuple(out)
+
+    def _expr_key(expr):
+        if isinstance(expr, Variable):
+            if expr not in counter:
+                counter[expr] = len(counter)
+            return ("v", counter[expr])
+        if hasattr(expr, "op"):
+            return ("e", expr.op, _expr_key(expr.left), _expr_key(expr.right))
+        return ("c", type(expr.value).__name__, str(expr.value))
+
+    return key(proc)

@@ -1,0 +1,29 @@
+"""Classical Datalog substrate.
+
+TD is "Datalog plus process modeling": its query-only fragment *is*
+classical Datalog, and the paper repeatedly appeals to Datalog technology
+(least fixpoints, tabling, magic sets) when discussing the tame
+sublanguages.  This subpackage provides a standalone bottom-up Datalog
+engine -- naive and seminaive evaluation with stratified negation -- used
+
+* on its own, for monitoring queries over workflow histories;
+* as an oracle: query-only TD programs are translated here and the two
+  evaluators are property-tested against each other (experiment C5).
+"""
+
+from .ast import DatalogProgram, DatalogRule, Literal, StratificationError
+from .engine import evaluate, evaluate_naive, from_td, query
+from .magic import magic_query, magic_transform
+
+__all__ = [
+    "DatalogProgram",
+    "DatalogRule",
+    "Literal",
+    "StratificationError",
+    "evaluate",
+    "evaluate_naive",
+    "from_td",
+    "magic_query",
+    "magic_transform",
+    "query",
+]

@@ -1,0 +1,169 @@
+"""Bottom-up Datalog evaluation: naive and seminaive, stratum by stratum.
+
+Seminaive evaluation is the classical optimization the paper alludes to
+when it says Datalog techniques apply to the tame TD sublanguages: each
+iteration joins only against the *delta* (facts new in the previous
+round), so the fixpoint costs O(|derivations|) instead of re-deriving
+everything every round.  Naive evaluation is kept alongside as the
+obviously-correct oracle for property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.database import Database
+from ..core.formulas import Call, Conc, Isol, Neg, Seq, Test, Truth, walk_formulas
+from ..core.program import Program
+from ..core.terms import Atom, Variable
+from ..core.unify import Substitution, apply_atom, match_atom, unify_atoms
+from .ast import DatalogProgram, DatalogRule, Literal
+
+__all__ = ["evaluate", "evaluate_naive", "query", "from_td"]
+
+
+def _order_body(body: Sequence[Literal]) -> List[Literal]:
+    """Positive literals first (in given order), then negative ones.
+
+    Safety checking guarantees negated variables are bound by positive
+    literals, so this order always evaluates negation on ground atoms.
+    """
+    return [l for l in body if l.positive] + [l for l in body if not l.positive]
+
+
+def _join(
+    body: Sequence[Literal],
+    facts: Database,
+    delta_index: Optional[Tuple[int, Set[Atom]]] = None,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions satisfying *body* against *facts*.
+
+    With ``delta_index = (i, delta)``, the i-th positive literal is
+    matched against *delta* only -- the seminaive trick.
+    """
+
+    ordered = _order_body(body)
+
+    def recurse(idx: int, subst: Substitution) -> Iterator[Substitution]:
+        if idx == len(ordered):
+            yield subst
+            return
+        lit = ordered[idx]
+        if lit.positive:
+            if delta_index is not None and idx == delta_index[0]:
+                pattern = apply_atom(lit.atom, subst)
+                for fact in sorted(delta_index[1]):
+                    theta = match_atom(pattern, fact, subst)
+                    if theta is not None:
+                        yield from recurse(idx + 1, theta)
+            else:
+                for theta in facts.match(lit.atom, subst):
+                    yield from recurse(idx + 1, theta)
+        else:
+            if not facts.holds(lit.atom, subst):
+                yield from recurse(idx + 1, subst)
+
+    yield from recurse(0, {})
+
+
+def evaluate_naive(program: DatalogProgram, edb: Database) -> Database:
+    """Naive (Jacobi-style) stratified evaluation: recompute all rules
+    until nothing changes.  The oracle implementation."""
+    facts = edb
+    for stratum in program.strata:
+        rules = program.rules_for_stratum(stratum)
+        changed = True
+        while changed:
+            changed = False
+            for rule in rules:
+                for theta in _join(rule.body, facts):
+                    fact = apply_atom(rule.head, theta)
+                    if not fact.is_ground():
+                        raise ValueError("derived non-ground fact %s" % (fact,))
+                    if fact not in facts:
+                        facts = facts.insert(fact)
+                        changed = True
+    return facts
+
+
+def evaluate(program: DatalogProgram, edb: Database) -> Database:
+    """Seminaive stratified evaluation (the production evaluator)."""
+    facts = edb
+    for stratum in program.strata:
+        rules = program.rules_for_stratum(stratum)
+        stratum_sigs = set(stratum)
+
+        # Round 0: all-new facts = plain evaluation of each rule once.
+        delta: Set[Atom] = set()
+        for rule in rules:
+            for theta in _join(rule.body, facts):
+                fact = apply_atom(rule.head, theta)
+                if fact not in facts:
+                    delta.add(fact)
+        facts = facts.insert_all(delta)
+
+        while delta:
+            new_delta: Set[Atom] = set()
+            for rule in rules:
+                ordered = _order_body(rule.body)
+                # One seminaive pass per positive recursive literal: that
+                # literal ranges over delta, the others over all facts.
+                recursive_positions = [
+                    i
+                    for i, lit in enumerate(ordered)
+                    if lit.positive and lit.atom.signature in stratum_sigs
+                ]
+                if not recursive_positions:
+                    continue  # already saturated in round 0
+                for i in recursive_positions:
+                    for theta in _join(rule.body, facts, delta_index=(i, delta)):
+                        fact = apply_atom(rule.head, theta)
+                        if fact not in facts and fact not in new_delta:
+                            new_delta.add(fact)
+            facts = facts.insert_all(new_delta)
+            delta = new_delta
+    return facts
+
+
+def query(
+    program: DatalogProgram, edb: Database, goal: Atom
+) -> List[Substitution]:
+    """Evaluate and return the substitutions matching *goal*."""
+    facts = evaluate(program, edb)
+    return list(facts.match(goal))
+
+
+# ---------------------------------------------------------------------------
+# Bridge from query-only TD
+# ---------------------------------------------------------------------------
+
+
+def from_td(program: Program) -> DatalogProgram:
+    """Translate a query-only TD program into Datalog.
+
+    In the absence of updates, sequential composition is ordinary
+    conjunction and concurrent composition adds nothing (tests commute),
+    so the paper's query-only fragment coincides with classical Datalog.
+    Raises :class:`ValueError` if the program contains updates.
+    """
+    rules: List[DatalogRule] = []
+    for rule in program.rules:
+        literals: List[Literal] = []
+        for sub in walk_formulas(rule.body):
+            if isinstance(sub, (Seq, Conc, Truth)):
+                continue
+            if isinstance(sub, Isol):
+                continue  # isolation of a query is the query
+            if isinstance(sub, Test):
+                literals.append(Literal(sub.atom, True))
+            elif isinstance(sub, Call):
+                literals.append(Literal(sub.atom, True))
+            elif isinstance(sub, Neg):
+                literals.append(Literal(sub.atom, False))
+            else:
+                raise ValueError(
+                    "not a query-only TD program: %s contains %s"
+                    % (rule.head, type(sub).__name__)
+                )
+        rules.append(DatalogRule(rule.head, tuple(literals)))
+    return DatalogProgram(rules)

@@ -1,0 +1,41 @@
+"""Genome-laboratory LIMS workload (LabFlow-1 flavoured).
+
+The paper grounds its examples in the workflows of the Whitehead/MIT
+Center for Genome Research: factory-like production lines pushing tens of
+millions of laboratory experiments, with an *insert-only* experiment
+history ("experimental results are accumulated in the database, and
+queried by analysis programs, but never deleted or altered") and agents
+(machines, technicians) as shared resources.  The authors' LabFlow-1
+benchmark [26] stressed storage managers with exactly this shape of
+workload.
+
+We cannot ship the genome center's LIMS, so this subpackage builds the
+closest synthetic equivalent: a gel-mapping pipeline workflow, agent
+pools with realistic qualification mixes, sample batches, and a direct
+generator of insert-only history databases for query benchmarks.  The
+substitution is recorded in DESIGN.md section 4.
+"""
+
+from .lab import (
+    build_lab_simulator,
+    build_network_simulator,
+    gel_pipeline,
+    lab_agents,
+    mapping_then_sequencing,
+    network_agents,
+    sample_batch,
+    sequencing_pipeline,
+    synthetic_history,
+)
+
+__all__ = [
+    "build_lab_simulator",
+    "build_network_simulator",
+    "gel_pipeline",
+    "lab_agents",
+    "mapping_then_sequencing",
+    "network_agents",
+    "sample_batch",
+    "sequencing_pipeline",
+    "synthetic_history",
+]

@@ -1,0 +1,46 @@
+"""Machine substrates behind the paper's complexity theorems.
+
+The paper's expressibility results rest on machine simulations:
+
+* full TD is data complete for **RE** because it can simulate Turing
+  machines with a *fixed* data domain and schema -- unbounded storage
+  lives in recursion depth, not in the database;
+* Corollary 4.6 sharpens this: **three** concurrent sequential processes
+  suffice, by simulating a two-stack machine -- two processes encode the
+  stacks in their recursion depth and the third is the finite control,
+  communicating through the database;
+* sequential TD reaches **EXPTIME** via alternation (AND/OR search);
+* safe Petri nets embed directly into TD (related-work comparison).
+
+This subpackage implements each machine model natively (as an oracle) and
+its encoding into TD, so the benchmarks can run both and compare.
+"""
+
+from .andor import AndOrGraph, andor_to_td, solve_andor
+from .counter import CounterMachine, CounterProgramError, Halt, Inc, Dec
+from .encodings import counter_to_td, two_stack_to_td
+from .petri import PetriNet, petri_to_td
+from .qbf import QBF, evaluate_qbf, qbf_to_td
+from .turing import TuringMachine, tm_to_two_stack
+from .twostack import TwoStackMachine
+
+__all__ = [
+    "AndOrGraph",
+    "CounterMachine",
+    "CounterProgramError",
+    "Dec",
+    "Halt",
+    "Inc",
+    "PetriNet",
+    "QBF",
+    "TuringMachine",
+    "TwoStackMachine",
+    "andor_to_td",
+    "counter_to_td",
+    "evaluate_qbf",
+    "petri_to_td",
+    "qbf_to_td",
+    "solve_andor",
+    "tm_to_two_stack",
+    "two_stack_to_td",
+]

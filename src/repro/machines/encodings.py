@@ -1,0 +1,349 @@
+"""Encodings of machines into Transaction Datalog.
+
+These constructions mirror the paper's RE-completeness proofs:
+
+* :func:`counter_to_td` -- a two-counter (Minsky) machine as **three
+  concurrent TD processes**: one process per counter, holding the
+  counter's value in its *recursion depth*, plus a sequential control
+  process.  The processes communicate exclusively through a
+  constant-size database of command/acknowledge flags -- the database
+  never grows with the computation, exhibiting the paper's point that TD
+  reaches RE with a fixed data domain and schema (Theorem 4.1 /
+  Corollary 4.6 use two stacks; counters are the leaner cousin).
+
+* :func:`two_stack_to_td` -- the construction of Corollary 4.6 itself:
+  two stack processes (stack contents in recursion depth, one recursion
+  level per stack cell) and a finite control, again three concurrent
+  sequential processes communicating via the database.
+
+Both encodings follow the same protocol: the control writes a command
+fact (``inc0``, ``pop1``, ...), the owning process consumes it, performs
+its recursion step, writes the reply (``popped1(s)``, ``zero0``) and an
+acknowledge flag, and the control resumes.  Synchronization needs no
+primitive: a tuple test on a not-yet-inserted fact simply cannot fire,
+so the interleaving search schedules the partner first -- communication
+through the database, exactly as the paper describes.
+
+Acceptance maps to commitment: the control inserts ``halt`` at an
+accepting configuration, every process unwinds by testing ``halt``, and
+the goal commits.  A rejecting computation leaves some process stuck, so
+no execution exists and the goal fails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.database import Database
+from ..core.formulas import Call, Del, Formula, Ins, Neg, Test, TRUTH, conc, seq
+from ..core.program import Program, Rule
+from ..core.terms import Atom, Constant, Variable, atom
+from .counter import CounterMachine, Dec, Halt, Inc
+from .twostack import BOTTOM, TwoStackMachine
+
+__all__ = ["counter_to_td", "two_stack_to_td"]
+
+
+# ---------------------------------------------------------------------------
+# Counter machines
+# ---------------------------------------------------------------------------
+
+
+def _counter_process_rules(i: int) -> List[Rule]:
+    """The recursion-depth counter process for counter *i*.
+
+    ``czero`` is the process at value 0; each live activation of ``cpos``
+    is one unit of the counter.  ``inc`` descends one level, ``dec``
+    returns one, ``isz`` reports without changing depth.
+    """
+    inc = atom("inc%d" % i)
+    dec = atom("dec%d" % i)
+    isz = atom("isz%d" % i)
+    zero = atom("zero%d" % i)
+    nonzero = atom("nonzero%d" % i)
+    ack = atom("ack%d" % i)
+    halt = atom("halt")
+    czero = atom("czero%d" % i)
+    cpos = atom("cpos%d" % i)
+    counter = atom("counter%d" % i)
+
+    return [
+        Rule(counter, Call(czero)),
+        # At zero: terminate on halt, grow on inc, report zero on isz.
+        Rule(czero, Test(halt)),
+        Rule(czero, seq(Test(inc), Del(inc), Ins(ack), Call(cpos), Call(czero))),
+        Rule(czero, seq(Test(isz), Del(isz), Ins(zero), Ins(ack), Call(czero))),
+        # One positive unit: unwind on halt, nest on inc, return on dec,
+        # report nonzero on isz.
+        Rule(cpos, Test(halt)),
+        Rule(cpos, seq(Test(inc), Del(inc), Ins(ack), Call(cpos), Call(cpos))),
+        Rule(cpos, seq(Test(dec), Del(dec), Ins(ack))),
+        Rule(cpos, seq(Test(isz), Del(isz), Ins(nonzero), Ins(ack), Call(cpos))),
+    ]
+
+
+def _loader_rules(i: int) -> List[Rule]:
+    """Feed ``seed_i(k)`` facts from the input database into counter *i*
+    one increment at a time -- the input lives in the database, keeping
+    the data-complexity reading honest."""
+    x = Variable("X")
+    seed = Atom("seed%d" % i, (x,))
+    load = atom("load%d" % i)
+    return [
+        Rule(
+            load,
+            seq(
+                Test(seed),
+                Del(seed),
+                Ins(atom("inc%d" % i)),
+                Test(atom("ack%d" % i)),
+                Del(atom("ack%d" % i)),
+                Call(load),
+            ),
+        ),
+        Rule(load, Neg(Atom("seed%d" % i, (Variable("_L%d" % i),)))),
+    ]
+
+
+def _ctrl_rules(machine: CounterMachine) -> List[Rule]:
+    rules: List[Rule] = []
+    for pc, instr in enumerate(machine.program):
+        head = atom("exec", pc)
+        if isinstance(instr, Inc):
+            c = instr.counter
+            body = seq(
+                Ins(atom("inc%d" % c)),
+                Test(atom("ack%d" % c)),
+                Del(atom("ack%d" % c)),
+                Call(atom("exec", instr.goto)),
+            )
+            rules.append(Rule(head, body))
+        elif isinstance(instr, Dec):
+            c = instr.counter
+            probe = [
+                Ins(atom("isz%d" % c)),
+                Test(atom("ack%d" % c)),
+                Del(atom("ack%d" % c)),
+            ]
+            nonzero_body = seq(
+                *probe,
+                Test(atom("nonzero%d" % c)),
+                Del(atom("nonzero%d" % c)),
+                Ins(atom("dec%d" % c)),
+                Test(atom("ack%d" % c)),
+                Del(atom("ack%d" % c)),
+                Call(atom("exec", instr.goto_nonzero)),
+            )
+            zero_body = seq(
+                *probe,
+                Test(atom("zero%d" % c)),
+                Del(atom("zero%d" % c)),
+                Call(atom("exec", instr.goto_zero)),
+            )
+            rules.append(Rule(head, nonzero_body))
+            rules.append(Rule(head, zero_body))
+        elif isinstance(instr, Halt):
+            if instr.accept:
+                rules.append(Rule(head, Ins(atom("halt"))))
+            # A rejecting halt has no rule: the control gets stuck and
+            # the whole goal fails, which is TD's notion of rejection.
+    return rules
+
+
+def counter_to_td(
+    machine: CounterMachine, c0: int = 0, c1: int = 0
+) -> Tuple[Program, Formula, Database]:
+    """Encode *machine* with inputs ``c0``/``c1`` into TD.
+
+    Returns ``(program, goal, initial database)``; the goal commits under
+    the full-TD interpreter iff the machine accepts.  The database holds
+    only the input seeds plus a handful of flag propositions -- it never
+    grows with running time.
+    """
+    rules: List[Rule] = []
+    rules += _counter_process_rules(0)
+    rules += _counter_process_rules(1)
+    rules += _loader_rules(0)
+    rules += _loader_rules(1)
+    rules += _ctrl_rules(machine)
+    program = Program(rules)
+
+    goal = conc(
+        Call(atom("counter0")),
+        Call(atom("counter1")),
+        seq(Call(atom("load0")), Call(atom("load1")), Call(atom("exec", 0))),
+    )
+
+    facts = [atom("seed0", k) for k in range(1, c0 + 1)]
+    facts += [atom("seed1", k) for k in range(1, c1 + 1)]
+    return program, goal, Database(facts)
+
+
+# ---------------------------------------------------------------------------
+# Two-stack machines
+# ---------------------------------------------------------------------------
+
+_BOT_CONST = "bot"  # database-friendly spelling of the bottom marker
+
+
+def _sym(s: str) -> str:
+    return _BOT_CONST if s == BOTTOM else s
+
+
+def _stack_process_rules(i: int) -> List[Rule]:
+    """The recursion-depth stack process for stack *i*: each activation of
+    ``hold_i`` is one stack cell, its argument the cell's symbol."""
+    s = Variable("S")
+    t = Variable("T")
+    push = Atom("push%d" % i, (s,))
+    pop = atom("pop%d" % i)
+    popped_t = Atom("popped%d" % i, (t,))
+    popped_bot = atom("popped%d" % i, _BOT_CONST)
+    ack = atom("ack%d" % i)
+    halt = atom("halt")
+    sbot = atom("sbot%d" % i)
+    hold_s = Atom("hold%d" % i, (s,))
+    hold_t = Atom("hold%d" % i, (t,))
+    stack = atom("stack%d" % i)
+
+    return [
+        Rule(stack, Call(sbot)),
+        # Bottom of stack: reports the bottom marker but never pops it.
+        Rule(sbot, Test(halt)),
+        Rule(sbot, seq(Test(pop), Del(pop), Ins(popped_bot), Ins(ack), Call(sbot))),
+        Rule(sbot, seq(Test(push), Del(push), Ins(ack), Call(hold_s), Call(sbot))),
+        # One held cell: pop returns this level (revealing the one below).
+        Rule(hold_t, Test(halt)),
+        Rule(hold_t, seq(Test(pop), Del(pop), Ins(popped_t), Ins(ack))),
+        Rule(
+            hold_t,
+            seq(Test(push), Del(push), Ins(ack), Call(hold_s), Call(hold_t)),
+        ),
+    ]
+
+
+def _rw_helper_rules(i: int) -> List[Rule]:
+    a = Variable("A")
+    s = Variable("S")
+    return [
+        # read_i(A): pop and observe the top symbol.
+        Rule(
+            Atom("read%d" % i, (a,)),
+            seq(
+                Ins(atom("pop%d" % i)),
+                Test(atom("ack%d" % i)),
+                Del(atom("ack%d" % i)),
+                Test(Atom("popped%d" % i, (a,))),
+                Del(Atom("popped%d" % i, (a,))),
+            ),
+        ),
+        # wr_i(S): push one symbol.
+        Rule(
+            Atom("wr%d" % i, (s,)),
+            seq(
+                Ins(Atom("push%d" % i, (s,))),
+                Test(atom("ack%d" % i)),
+                Del(atom("ack%d" % i)),
+            ),
+        ),
+    ]
+
+
+def _two_stack_ctrl_rules(machine: TwoStackMachine) -> List[Rule]:
+    rules: List[Rule] = []
+    for q in sorted(machine.accepting):
+        rules.append(Rule(atom("ctrl", q), Ins(atom("halt"))))
+    for (q, a1, a2), outs in sorted(machine.transitions.items()):
+        for q2, gamma1, gamma2 in outs:
+            parts: List[Formula] = [
+                Call(atom("read1", _sym(a1))),
+                Call(atom("read2", _sym(a2))),
+            ]
+            # gamma's leftmost symbol must end on top: push right-to-left.
+            for sym in reversed(gamma1):
+                parts.append(Call(atom("wr1", sym)))
+            for sym in reversed(gamma2):
+                parts.append(Call(atom("wr2", sym)))
+            parts.append(Call(atom("ctrl", q2)))
+            rules.append(Rule(atom("ctrl", q), seq(*parts)))
+    return rules
+
+
+def _input_loader_rules() -> List[Rule]:
+    """Push the input word (``in2(k, s)`` facts, 1-based) onto stack 2,
+    last position first, so position 1 ends on top."""
+    k = Variable("K")
+    k2 = Variable("K2")
+    s = Variable("S")
+    from ..core.formulas import Builtin
+
+    return [
+        Rule(atom("load2", 0), TRUTH),
+        Rule(
+            Atom("load2", (k,)),
+            seq(
+                Builtin(">", k, Constant(0)),
+                Test(Atom("in2", (k, s))),
+                Call(Atom("wr2", (s,))),
+                Builtin("is", k2, _minus(k)),
+                Call(Atom("load2", (k2,))),
+            ),
+        ),
+        Rule(
+            atom("boot"),
+            seq(
+                Test(Atom("inlen", (Variable("N"),))),
+                Call(Atom("load2", (Variable("N"),))),
+                Call(Atom("ctrl", (Constant(_start_placeholder),))),
+            ),
+        ),
+    ]
+
+
+_start_placeholder = "__start__"
+
+
+def _minus(k: Variable):
+    from ..core.formulas import BinOp
+
+    return BinOp("-", k, Constant(1))
+
+
+def two_stack_to_td(
+    machine: TwoStackMachine, word: Sequence[str] = ()
+) -> Tuple[Program, Formula, Database]:
+    """Encode *machine* on input *word* into TD: three concurrent
+    sequential processes (Corollary 4.6).
+
+    Returns ``(program, goal, initial database)``; the goal commits iff
+    the machine accepts the input.
+    """
+    rules: List[Rule] = []
+    rules += _stack_process_rules(1)
+    rules += _stack_process_rules(2)
+    rules += _rw_helper_rules(1)
+    rules += _rw_helper_rules(2)
+    rules += _two_stack_ctrl_rules(machine)
+    loader = _input_loader_rules()
+    # Patch the boot rule's start state.
+    patched: List[Rule] = []
+    for rule in loader:
+        if rule.head.pred == "boot":
+            body = rule.body
+            from ..core.formulas import Seq as _Seq
+
+            assert isinstance(body, _Seq)
+            parts = list(body.parts)
+            parts[-1] = Call(atom("ctrl", machine.start))
+            patched.append(Rule(rule.head, seq(*parts)))
+        else:
+            patched.append(rule)
+    rules += patched
+    program = Program(rules)
+
+    goal = conc(Call(atom("stack1")), Call(atom("stack2")), Call(atom("boot")))
+
+    facts = [atom("inlen", len(word))]
+    for k, sym in enumerate(word, start=1):
+        facts.append(atom("in2", k, sym))
+    return program, goal, Database(facts)

@@ -1,0 +1,166 @@
+"""Failure diagnosis: *why* can a goal not commit?
+
+``engine.succeeds(...) == False`` is the right semantics but a poor
+error message.  :func:`diagnose` explores the configuration space and
+summarizes what every stuck branch was waiting for -- the missing fact,
+the unsatisfied guard -- ranked by how often it blocks.  For workflow
+programs this typically reads like "waiting for: available(A) with
+qualified(A, sequencer)" -- i.e. a staffing hole -- turning a silent
+failure into an actionable report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core.database import Database
+from ..core.formulas import (
+    Builtin,
+    Conc,
+    Formula,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+)
+from ..core.parser import parse_goal
+from ..core.program import Program
+from .statespace import StateGraph, explore
+
+__all__ = ["Diagnosis", "diagnose"]
+
+
+@dataclass
+class Diagnosis:
+    """Summary of the blocking frontiers across all stuck states."""
+
+    committed: bool
+    states: int
+    stuck_states: int
+    blockers: Tuple[Tuple[str, int], ...]  # (description, occurrences)
+    example_trace: Optional[List[str]]
+
+    def summary(self) -> str:
+        if self.committed:
+            return "the goal can commit (explored %d states)" % self.states
+        lines = [
+            "the goal cannot commit (%d states, %d stuck)"
+            % (self.states, self.stuck_states)
+        ]
+        for description, count in self.blockers:
+            lines.append("  blocked %3dx on: %s" % (count, description))
+        if self.example_trace is not None:
+            lines.append("  one stuck run: " + "; ".join(self.example_trace))
+        return "\n".join(lines)
+
+
+def _frontier_blockers(proc: Formula, db: Database) -> List[str]:
+    """Human-readable reasons the frontier of *proc* cannot fire."""
+    out: List[str] = []
+    if isinstance(proc, Truth):
+        return out
+    if isinstance(proc, Test):
+        if not db.holds(proc.atom):
+            out.append("waiting for fact %s" % (proc.atom,))
+    elif isinstance(proc, Neg):
+        if db.holds(proc.atom):
+            out.append("waiting for absence of %s" % (proc.atom,))
+    elif isinstance(proc, Builtin):
+        try:
+            if proc.evaluate({}) is None:
+                out.append("guard fails: %s" % (proc,))
+        except ValueError:
+            out.append("unbound builtin: %s" % (proc,))
+    elif isinstance(proc, Seq):
+        out.extend(_frontier_blockers(proc.parts[0], db))
+    elif isinstance(proc, Conc):
+        for part in proc.parts:
+            out.extend(_frontier_blockers(part, db))
+    elif isinstance(proc, Isol):
+        inner = _frontier_blockers(proc.body, db)
+        out.extend("inside iso: %s" % reason for reason in inner)
+    return out
+
+
+def _iso_frontiers(proc: Formula) -> List[Isol]:
+    """Isolation formulas sitting at the frontier of *proc*."""
+    if isinstance(proc, Isol):
+        return [proc]
+    if isinstance(proc, Seq):
+        return _iso_frontiers(proc.parts[0])
+    if isinstance(proc, Conc):
+        out: List[Isol] = []
+        for part in proc.parts:
+            out.extend(_iso_frontiers(part))
+        return out
+    return []
+
+
+def _iso_blockers(
+    program: Program, proc: Formula, db: Database, max_states: int
+) -> List[str]:
+    """Blocking reasons inside frontier iso bodies, by nested exploration
+    of each body (the body is its own bounded sub-problem)."""
+    reasons: List[str] = []
+    for isol in _iso_frontiers(proc):
+        try:
+            sub = diagnose(program, isol.body, db, max_states=max_states // 10 or 100)
+        except Exception:  # pragma: no cover - budget blowups degrade softly
+            reasons.append("iso body could not be analyzed")
+            continue
+        if sub.committed:
+            continue  # not this iso (should not happen for a stuck node)
+        if sub.blockers:
+            reasons.extend(
+                "inside iso: %s" % description for description, _n in sub.blockers
+            )
+        else:
+            reasons.append("iso body has no successful execution")
+    return reasons
+
+
+def diagnose(
+    program: Program,
+    goal: Union[str, Formula],
+    db: Database,
+    max_states: int = 100_000,
+    top: int = 5,
+) -> Diagnosis:
+    """Explain why *goal* commits or fails from *db*.
+
+    Explores the configuration graph (decidable for bounded programs;
+    budget-guarded otherwise) and aggregates blocking reasons over the
+    stuck states.
+    """
+    if isinstance(goal, str):
+        goal = parse_goal(goal)
+    graph = explore(program, goal, db, max_states=max_states)
+    committed = bool(graph.final_ids)
+    stuck = [
+        node
+        for node in graph.nodes
+        if not node.final and not graph.edges.get(node.node_id)
+    ]
+    reasons: Counter = Counter()
+    for node in stuck:
+        node_reasons = _frontier_blockers(node.process, node.database)
+        if not node_reasons:
+            # The blocker hides deeper than the frontier -- typically an
+            # iso(...) whose body fails mid-way.  Recurse into every iso
+            # frontier with a nested exploration of its body.
+            node_reasons = _iso_blockers(
+                program, node.process, node.database, max_states
+            )
+        for reason in node_reasons:
+            reasons[reason] += 1
+    example = graph.path_to(stuck[0].node_id) if (stuck and not committed) else None
+    return Diagnosis(
+        committed=committed,
+        states=len(graph),
+        stuck_states=len(stuck),
+        blockers=tuple(reasons.most_common(top)),
+        example_trace=example,
+    )

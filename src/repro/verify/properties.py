@@ -1,0 +1,121 @@
+"""Temporal properties over configuration graphs.
+
+All functions take a :class:`~repro.verify.statespace.StateGraph` (a
+finite graph for fully bounded programs) and answer in graph time.  The
+vocabulary follows branching-time temporal logic:
+
+* ``can_reach``     -- EF p: some execution reaches a p-state;
+* ``inevitably``    -- AF p: every maximal execution reaches a p-state;
+* ``invariant_holds`` -- AG p: p holds in every reachable state;
+* ``deadlocks``     -- stuck states (no transition, not finished);
+* ``may_diverge``   -- EG true over non-final states: an infinite run.
+
+Database predicates are plain Python callables ``Database -> bool`` so
+properties can say anything ("no agent double-booked", "every started
+task eventually done", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.database import Database
+from .statespace import StateGraph, StateNode
+
+__all__ = [
+    "deadlocks",
+    "invariant_holds",
+    "can_reach",
+    "inevitably",
+    "may_diverge",
+]
+
+#: A state property: a predicate over database states.
+StatePredicate = Callable[[Database], bool]
+
+
+def deadlocks(graph: StateGraph) -> List[StateNode]:
+    """Stuck configurations: not finished, yet no transition applies.
+
+    In TD semantics these are just failed branches (the transaction
+    cannot commit *that way*), but for a workflow designer each one is a
+    diagnosis: an unsatisfiable resource requirement, a lost token, a
+    circular wait.
+    """
+    return [
+        node
+        for node in graph.nodes
+        if not node.final and not graph.edges.get(node.node_id)
+    ]
+
+
+def invariant_holds(
+    graph: StateGraph, prop: StatePredicate
+) -> Tuple[bool, Optional[List[str]]]:
+    """AG prop: does *prop* hold in every reachable database state?
+
+    Returns ``(True, None)`` or ``(False, counterexample)`` where the
+    counterexample is the action trace from the initial state to the
+    first violating one.
+    """
+    for node in graph.nodes:
+        if not prop(node.database):
+            return False, graph.path_to(node.node_id)
+    return True, None
+
+
+def can_reach(graph: StateGraph, prop: StatePredicate) -> bool:
+    """EF prop: is some state satisfying *prop* reachable?"""
+    return any(prop(node.database) for node in graph.nodes)
+
+
+def inevitably(graph: StateGraph, prop: StatePredicate) -> bool:
+    """AF prop: does every maximal execution pass through a prop-state?
+
+    Computed as the usual least fixpoint: a state is good if it
+    satisfies *prop*, or it has at least one transition and *all* its
+    successors are good.  Deadlocked and final states that fail *prop*
+    are immediate counterexamples.
+    """
+    n = len(graph.nodes)
+    good = [prop(node.database) for node in graph.nodes]
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.nodes:
+            i = node.node_id
+            if good[i]:
+                continue
+            succs = graph.successors(i)
+            if succs and all(good[s] for s in succs):
+                good[i] = True
+                changed = True
+    return good[graph.initial]
+
+
+def may_diverge(graph: StateGraph) -> bool:
+    """Is there an infinite execution (a reachable cycle)?
+
+    Fully bounded workflows usually should *not* have one unless they
+    iterate intentionally; a surprise cycle is a livelock diagnosis.
+    """
+    # iterative DFS cycle detection over the (finite) graph
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * len(graph.nodes)
+    stack: List[Tuple[int, int]] = [(graph.initial, 0)]
+    color[graph.initial] = GRAY
+    while stack:
+        node_id, idx = stack[-1]
+        succs = graph.successors(node_id)
+        if idx < len(succs):
+            stack[-1] = (node_id, idx + 1)
+            succ = succs[idx]
+            if color[succ] == GRAY:
+                return True
+            if color[succ] == WHITE:
+                color[succ] = GRAY
+                stack.append((succ, 0))
+        else:
+            color[node_id] = BLACK
+            stack.pop()
+    return False

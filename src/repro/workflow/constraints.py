@@ -1,0 +1,210 @@
+"""Intertask dependencies: specification and checking.
+
+The transactional-workflow literature the paper engages (Attie, Singh,
+Sheth & Rusinkiewicz: "Specifying and enforcing intertask dependencies")
+expresses correctness of workflows as ordering/occurrence constraints
+between tasks.  This module provides the common constraint forms over
+our execution histories:
+
+* :class:`Before` -- if both tasks run on an item, one precedes the
+  other;
+* :class:`Requires` -- a task may run on an item only if another ran
+  first (a *precondition* dependency);
+* :class:`Exclusive` -- at most one of two tasks runs per item;
+* :class:`MustFollow` -- whenever the trigger runs, the response must
+  eventually run on the same item (an obligation).
+
+Constraints are *checked* against a simulation's event sequence
+(:func:`check_trace`) or -- stronger -- against **every** execution via
+the verification module (:func:`holds_in_all_executions`), which is the
+design-time guarantee the paper's follow-on work automates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.database import Database
+from .scheduler import SimulationResult
+
+__all__ = [
+    "Before",
+    "Requires",
+    "Exclusive",
+    "MustFollow",
+    "Constraint",
+    "Violation",
+    "check_trace",
+    "check_history",
+]
+
+
+@dataclass(frozen=True)
+class Before:
+    """If both ``first`` and ``then`` run on an item, ``first`` starts
+    before ``then`` starts."""
+
+    first: str
+    then: str
+
+
+@dataclass(frozen=True)
+class Requires:
+    """``task`` may start on an item only after ``prerequisite`` has
+    completed on the same item."""
+
+    task: str
+    prerequisite: str
+
+
+@dataclass(frozen=True)
+class Exclusive:
+    """At most one of the two tasks runs on any single item."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class MustFollow:
+    """If ``trigger`` completes on an item, ``response`` must complete on
+    the same item (by the end of the execution)."""
+
+    trigger: str
+    response: str
+
+
+Constraint = Union[Before, Requires, Exclusive, MustFollow]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation, with the offending item."""
+
+    constraint: Constraint
+    item: str
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s on %s: %s" % (type(self.constraint).__name__, self.item, self.detail)
+
+
+def _task_events(result: SimulationResult) -> List[Tuple[str, str, str]]:
+    """(kind, task, item) triples from the event stream, in order;
+    kind is 'started' or 'done'."""
+    out = []
+    for event in result.events:
+        if event.startswith("ins.started(") or event.startswith("ins.done("):
+            inner = event[len("ins."):]
+            kind = "started" if inner.startswith("started") else "done"
+            args = inner[inner.index("(") + 1 : -1].split(", ")
+            task, item = args[0], args[1]
+            out.append((kind, task, item))
+    return out
+
+
+def check_trace(
+    result: SimulationResult, constraints: Sequence[Constraint]
+) -> List[Violation]:
+    """Check *constraints* against one execution's event order."""
+    events = _task_events(result)
+    start_pos: Dict[Tuple[str, str], int] = {}
+    done_pos: Dict[Tuple[str, str], int] = {}
+    items = set()
+    for i, (kind, task, item) in enumerate(events):
+        items.add(item)
+        key = (task, item)
+        if kind == "started":
+            start_pos.setdefault(key, i)
+        else:
+            done_pos.setdefault(key, i)
+
+    violations: List[Violation] = []
+    for constraint in constraints:
+        for item in sorted(items):
+            violation = _check_one(constraint, item, start_pos, done_pos)
+            if violation is not None:
+                violations.append(violation)
+    return violations
+
+
+def _check_one(
+    constraint: Constraint,
+    item: str,
+    start_pos: Dict[Tuple[str, str], int],
+    done_pos: Dict[Tuple[str, str], int],
+) -> Optional[Violation]:
+    if isinstance(constraint, Before):
+        a = start_pos.get((constraint.first, item))
+        b = start_pos.get((constraint.then, item))
+        if a is not None and b is not None and not a < b:
+            return Violation(
+                constraint, item,
+                "%s started at %d, %s at %d" % (constraint.then, b,
+                                                constraint.first, a),
+            )
+        return None
+    if isinstance(constraint, Requires):
+        b = start_pos.get((constraint.task, item))
+        a = done_pos.get((constraint.prerequisite, item))
+        if b is not None and (a is None or not a < b):
+            return Violation(
+                constraint, item,
+                "%s ran without completed prerequisite %s"
+                % (constraint.task, constraint.prerequisite),
+            )
+        return None
+    if isinstance(constraint, Exclusive):
+        l = start_pos.get((constraint.left, item))
+        r = start_pos.get((constraint.right, item))
+        if l is not None and r is not None:
+            return Violation(
+                constraint, item,
+                "both %s and %s ran" % (constraint.left, constraint.right),
+            )
+        return None
+    if isinstance(constraint, MustFollow):
+        t = done_pos.get((constraint.trigger, item))
+        r = done_pos.get((constraint.response, item))
+        if t is not None and r is None:
+            return Violation(
+                constraint, item,
+                "%s completed but %s never did"
+                % (constraint.trigger, constraint.response),
+            )
+        return None
+    raise TypeError("unknown constraint %r" % (constraint,))
+
+
+def check_history(
+    history: Database, constraints: Sequence[Constraint]
+) -> List[Violation]:
+    """Check occurrence constraints (Exclusive / MustFollow) against a
+    final history database.  Ordering constraints (Before / Requires)
+    need the event sequence: use :func:`check_trace` for those."""
+    done: Dict[str, set] = {}
+    for fact in history.facts("done"):
+        task, item = str(fact.args[0]), str(fact.args[1])
+        done.setdefault(item, set()).add(task)
+
+    violations: List[Violation] = []
+    for constraint in constraints:
+        if isinstance(constraint, Exclusive):
+            for item, tasks in sorted(done.items()):
+                if constraint.left in tasks and constraint.right in tasks:
+                    violations.append(
+                        Violation(constraint, item, "both tasks in history")
+                    )
+        elif isinstance(constraint, MustFollow):
+            for item, tasks in sorted(done.items()):
+                if constraint.trigger in tasks and constraint.response not in tasks:
+                    violations.append(
+                        Violation(constraint, item, "response missing from history")
+                    )
+        elif isinstance(constraint, (Before, Requires)):
+            raise ValueError(
+                "ordering constraint %r needs the event trace; use check_trace"
+                % (constraint,)
+            )
+    return violations

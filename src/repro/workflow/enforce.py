@@ -1,0 +1,111 @@
+"""Compile intertask dependencies *into* workflow programs.
+
+Checking constraints on traces (:mod:`repro.workflow.constraints`) tells
+you a schedule was bad after the fact; the Davulcu–Kifer line of work
+the paper connects to compiles constraints into the workflow itself so
+bad schedules never execute.  This module does that for the locally
+enforceable constraint forms:
+
+* :class:`~repro.workflow.constraints.Requires` ``(task, prerequisite)``
+  -- the task's rule gains a guard ``done(prerequisite, W, _)``: the
+  task simply cannot fire for an item until the prerequisite completed.
+  Operationally this *delays* the task (the guard is a tuple test, which
+  blocks until the fact arrives).
+* :class:`~repro.workflow.constraints.Exclusive` ``(left, right)`` --
+  each side gains an atomic check-and-claim guard
+  ``iso(not started(other, W) * ins.started(this, W))``: once one side
+  has claimed an item, the other can never start for it (``started``
+  facts are never deleted, so the failure is permanent and the engines
+  prune it eagerly).
+
+``Before`` and ``MustFollow`` are *global* properties of a schedule --
+not enforceable by guarding a single rule -- and are rejected; check
+them on traces, or verify them on the configuration graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.formulas import Ins, Neg, Test, iso, seq
+from ..core.program import Program, Rule
+from ..core.terms import Atom, Constant, Variable
+from .compiler import task_predicate
+from .constraints import Before, Constraint, Exclusive, MustFollow, Requires
+
+__all__ = ["enforce"]
+
+
+def enforce(program: Program, constraints: Sequence[Constraint]) -> Program:
+    """A new program whose task rules guard the given constraints.
+
+    *program* must be a compiled workflow program (its task rules are
+    recognized by the ``task_<name>/1`` convention).  Raises
+    :class:`ValueError` for constraint forms that cannot be enforced
+    locally, or when a named task has no rule to guard.
+    """
+    guards: dict = {}  # task name -> list of guard formulas (given W)
+
+    def add_guard(task: str, guard_factory) -> None:
+        guards.setdefault(task, []).append(guard_factory)
+
+    for constraint in constraints:
+        if isinstance(constraint, Requires):
+            prerequisite = constraint.prerequisite
+
+            def requires_guard(w, prerequisite=prerequisite):
+                return Test(
+                    Atom("done", (Constant(prerequisite), w, Variable("_G")))
+                )
+
+            add_guard(constraint.task, requires_guard)
+        elif isinstance(constraint, Exclusive):
+            for this, other in (
+                (constraint.left, constraint.right),
+                (constraint.right, constraint.left),
+            ):
+
+                def exclusive_guard(w, this=this, other=other):
+                    # Atomic check-and-claim: without iso, two parallel
+                    # tasks could both pass the absence test before
+                    # either records its start.  Claiming `started`
+                    # inside the same atomic step closes the race (the
+                    # task body's own ins.started is then a no-op).
+                    return iso(
+                        seq(
+                            Neg(Atom("started", (Constant(other), w))),
+                            Ins(Atom("started", (Constant(this), w))),
+                        )
+                    )
+
+                add_guard(this, exclusive_guard)
+        elif isinstance(constraint, (Before, MustFollow)):
+            raise ValueError(
+                "%s is a global schedule property; check it on traces or "
+                "verify it on the configuration graph"
+                % type(constraint).__name__
+            )
+        else:
+            raise TypeError("unknown constraint %r" % (constraint,))
+
+    guarded_signatures = {(task_predicate(name), 1) for name in guards}
+    found = set()
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        sig = rule.head.signature
+        if sig in guarded_signatures:
+            found.add(sig)
+            task_name = rule.head.pred[len("task_"):]
+            (w,) = rule.head.args
+            guard_formulas = [factory(w) for factory in guards[task_name]]
+            new_rules.append(Rule(rule.head, seq(*guard_formulas, rule.body)))
+        else:
+            new_rules.append(rule)
+
+    missing = guarded_signatures - found
+    if missing:
+        raise ValueError(
+            "no task rule found for constrained task(s): %s"
+            % ", ".join(sorted(sig[0] for sig in missing))
+        )
+    return Program(new_rules, base=program.schema.signatures())

@@ -1,0 +1,110 @@
+"""Structured event logs from workflow executions.
+
+Workflow-management systems live off their event logs (the paper:
+"monitoring, tracking and querying the status of workflow activities").
+This module turns a simulation's raw action trace into a structured,
+serializable log: one record per task start/completion and per
+synchronization fact, in execution order -- the shape process-mining
+tools expect.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+from .scheduler import SimulationResult
+
+__all__ = ["EventRecord", "event_log", "to_json", "timeline"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured workflow event.
+
+    ``kind`` is ``task_started`` / ``task_done`` / ``item_dispatched`` /
+    ``fact_emitted`` / ``fact_consumed``.  ``agent`` is set only for
+    ``task_done`` (the history records the performer at completion).
+    """
+
+    seq: int
+    kind: str
+    item: str
+    task: Optional[str] = None
+    agent: Optional[str] = None
+    fact: Optional[str] = None
+
+
+def _parse_args(event: str) -> List[str]:
+    inner = event[event.index("(") + 1 : -1]
+    return [a.strip() for a in inner.split(",")]
+
+
+def event_log(result: SimulationResult) -> List[EventRecord]:
+    """The structured event log of one simulation run."""
+    records: List[EventRecord] = []
+    seq = 0
+    for event in result.events:
+        record: Optional[EventRecord] = None
+        if event.startswith("ins.started("):
+            task, item = _parse_args(event)[:2]
+            record = EventRecord(seq, "task_started", item, task=task)
+        elif event.startswith("ins.done("):
+            task, item, agent = _parse_args(event)[:3]
+            record = EventRecord(seq, "task_done", item, task=task, agent=agent)
+        elif event.startswith("del.workitem("):
+            (item,) = _parse_args(event)[:1]
+            record = EventRecord(seq, "item_dispatched", item)
+        elif event.startswith("ins.") and "(" in event:
+            pred = event[len("ins."):event.index("(")]
+            if pred not in ("started", "done", "available", "workitem"):
+                args = _parse_args(event)
+                record = EventRecord(
+                    seq, "fact_emitted", args[-1] if args else "",
+                    fact=event[len("ins."):],
+                )
+        elif event.startswith("del.") and "(" in event:
+            pred = event[len("del."):event.index("(")]
+            if pred not in ("available", "workitem", "pending"):
+                args = _parse_args(event)
+                record = EventRecord(
+                    seq, "fact_consumed", args[-1] if args else "",
+                    fact=event[len("del."):],
+                )
+        if record is not None:
+            records.append(record)
+            seq += 1
+    return records
+
+
+def to_json(result: SimulationResult, indent: int = 2) -> str:
+    """The event log as JSON (for process-mining / dashboard export)."""
+    return json.dumps([asdict(r) for r in event_log(result)], indent=indent)
+
+
+def timeline(result: SimulationResult) -> str:
+    """A human-readable per-item timeline."""
+    records = event_log(result)
+    by_item: dict = {}
+    for record in records:
+        by_item.setdefault(record.item, []).append(record)
+    lines = []
+    for item in sorted(by_item):
+        lines.append(item + ":")
+        for record in by_item[item]:
+            if record.kind == "task_done":
+                lines.append(
+                    "  [%3d] %-14s %s (by %s)"
+                    % (record.seq, record.kind, record.task, record.agent)
+                )
+            elif record.kind == "task_started":
+                lines.append(
+                    "  [%3d] %-14s %s" % (record.seq, record.kind, record.task)
+                )
+            else:
+                lines.append(
+                    "  [%3d] %-14s %s"
+                    % (record.seq, record.kind, record.fact or "")
+                )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Rendering workflow specifications: ASCII trees and Graphviz.
+
+Specs are data; designers want to *see* them.  Two renderers:
+
+* :func:`ascii_tree` -- an indented tree of the combinator structure,
+  annotated with task roles;
+* :func:`to_dot` -- a Graphviz digraph of the control flow (clusters for
+  parallel regions, diamonds for choices, loops for iteration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import (
+    Choice,
+    Consume,
+    Emit,
+    Iterate,
+    Node,
+    NonVital,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    WaitFor,
+    WorkflowSpec,
+)
+
+__all__ = ["ascii_tree", "to_dot"]
+
+
+def _label(node: Node, roles: Dict[str, Optional[str]]) -> str:
+    if isinstance(node, Step):
+        role = roles.get(node.task)
+        return "step %s%s" % (node.task, " [%s]" % role if role else " [auto]")
+    if isinstance(node, SeqFlow):
+        return "sequence"
+    if isinstance(node, ParFlow):
+        return "parallel"
+    if isinstance(node, Choice):
+        return "choice"
+    if isinstance(node, Iterate):
+        return "iterate until %s" % node.until
+    if isinstance(node, NonVital):
+        return "non-vital"
+    if isinstance(node, Subflow):
+        return "subflow %s" % node.workflow
+    if isinstance(node, WaitFor):
+        return "wait for %s" % node.pred
+    if isinstance(node, Emit):
+        return "emit %s" % node.pred
+    if isinstance(node, Consume):
+        return "consume %s" % node.pred
+    raise TypeError("unknown node %r" % (node,))
+
+
+def _children(node: Node) -> Sequence[Node]:
+    if isinstance(node, (SeqFlow, ParFlow, Choice)):
+        return node.children
+    if isinstance(node, (Iterate, NonVital)):
+        return (node.body,)
+    return ()
+
+
+def ascii_tree(spec: WorkflowSpec) -> str:
+    """The spec's combinator structure as an indented tree."""
+    roles = {t.name: t.role for t in spec.tasks}
+    lines = ["workflow %s" % spec.name]
+
+    def walk(node: Node, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + _label(node, roles))
+        kids = _children(node)
+        extension = "    " if is_last else "|   "
+        for i, child in enumerate(kids):
+            walk(child, prefix + extension, i == len(kids) - 1)
+
+    walk(spec.body, "", True)
+    return "\n".join(lines)
+
+
+def to_dot(spec: WorkflowSpec, all_specs: Sequence[WorkflowSpec] = ()) -> str:
+    """A Graphviz digraph of the control flow.
+
+    Boxes are tasks (labelled with their role); diamonds are choices;
+    double circles are synchronization points; edges follow sequential
+    order, fanning out/in around parallel regions.
+    """
+    roles = {t.name: t.role for t in spec.tasks}
+    for other in all_specs:
+        for t in other.tasks:
+            roles.setdefault(t.name, t.role)
+    counter = itertools.count(1)
+    lines = [
+        "digraph workflow {",
+        "  rankdir=LR;",
+        '  start [shape=circle label="" style=filled fillcolor=black width=0.15];',
+        '  end   [shape=doublecircle label="" width=0.12];',
+    ]
+
+    def fresh(kind: str) -> str:
+        return "%s%d" % (kind, next(counter))
+
+    def emit_node(node_id: str, shape: str, label: str) -> None:
+        lines.append('  %s [shape=%s label="%s"];' % (node_id, shape, label))
+
+    def walk(node: Node, entry: str) -> str:
+        """Wire *node* after graph node *entry*; return its exit node."""
+        if isinstance(node, Step):
+            node_id = fresh("t")
+            role = roles.get(node.task)
+            emit_node(node_id, "box", "%s\\n(%s)" % (node.task, role or "auto"))
+            lines.append("  %s -> %s;" % (entry, node_id))
+            return node_id
+        if isinstance(node, SeqFlow):
+            current = entry
+            for child in node.children:
+                current = walk(child, current)
+            return current
+        if isinstance(node, ParFlow):
+            fork = fresh("fork")
+            emit_node(fork, "point", "")
+            lines.append("  %s -> %s;" % (entry, fork))
+            join = fresh("join")
+            emit_node(join, "point", "")
+            for child in node.children:
+                exit_node = walk(child, fork)
+                lines.append("  %s -> %s;" % (exit_node, join))
+            return join
+        if isinstance(node, Choice):
+            branch = fresh("choice")
+            emit_node(branch, "diamond", "?")
+            lines.append("  %s -> %s;" % (entry, branch))
+            merge = fresh("merge")
+            emit_node(merge, "point", "")
+            for child in node.children:
+                exit_node = walk(child, branch)
+                lines.append("  %s -> %s;" % (exit_node, merge))
+            return merge
+        if isinstance(node, Iterate):
+            loop_entry = fresh("loop")
+            emit_node(loop_entry, "point", "")
+            lines.append("  %s -> %s;" % (entry, loop_entry))
+            exit_node = walk(node.body, loop_entry)
+            lines.append(
+                '  %s -> %s [style=dashed label="until %s"];'
+                % (exit_node, loop_entry, node.until)
+            )
+            return exit_node
+        if isinstance(node, NonVital):
+            exit_node = walk(node.body, entry)
+            skip = fresh("skip")
+            emit_node(skip, "point", "")
+            lines.append('  %s -> %s [style=dotted label="skip"];' % (entry, skip))
+            lines.append("  %s -> %s;" % (exit_node, skip))
+            return skip
+        if isinstance(node, Subflow):
+            node_id = fresh("sf")
+            emit_node(node_id, "box3d", node.workflow)
+            lines.append("  %s -> %s;" % (entry, node_id))
+            return node_id
+        if isinstance(node, (WaitFor, Emit, Consume)):
+            node_id = fresh("sync")
+            emit_node(node_id, "ellipse", _label(node, roles))
+            lines.append("  %s -> %s;" % (entry, node_id))
+            return node_id
+        raise TypeError("unknown node %r" % (node,))
+
+    final = walk(spec.body, "start")
+    lines.append("  %s -> end;" % final)
+    lines.append("}")
+    return "\n".join(lines)

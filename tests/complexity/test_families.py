@@ -1,0 +1,76 @@
+"""Tests for the benchmark program families."""
+
+import pytest
+
+from repro import Database, Interpreter, parse_goal, select_engine
+from repro.complexity import (
+    binary_counter_family,
+    chain_edges,
+    diverging_counter_machine,
+    grid_andor_graph,
+    insert_only_closure,
+    nonrecursive_path_program,
+    transitive_closure_program,
+)
+
+
+class TestBinaryCounter:
+    def test_counts_to_all_set(self):
+        program, goal, db = binary_counter_family(3)
+        exe = Interpreter(program, max_configs=2_000_000).simulate(goal, db)
+        assert exe is not None
+        # final state: all three bits set
+        assert len(exe.database.facts("set")) == 3
+
+    def test_program_is_fixed_data_grows(self):
+        p2, _, d2 = binary_counter_family(2)
+        p6, _, d6 = binary_counter_family(6)
+        assert str(p2) == str(p6)  # same rules
+        assert len(d6) > len(d2)  # more data
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            binary_counter_family(0)
+
+
+class TestChainEdges:
+    def test_chain_shape(self):
+        db = chain_edges(4)
+        assert len(db.facts("e")) == 4
+        assert len(db.facts("src")) == 1
+
+    def test_extra_random_edges(self):
+        db = chain_edges(4, extra_random=10, seed=1)
+        assert len(db.facts("e")) >= 4
+
+    def test_seed_determinism(self):
+        assert chain_edges(5, 5, seed=3) == chain_edges(5, 5, seed=3)
+
+
+class TestDivergingMachine:
+    def test_never_halts(self):
+        with pytest.raises(TimeoutError):
+            diverging_counter_machine().run(max_steps=50)
+
+
+class TestGridAndOr:
+    def test_layers_alternate(self):
+        g = grid_andor_graph(depth=4, fanout=2, seed=0)
+        assert g.kind["n0_0"] == "and"
+        assert g.kind["n1_0"] == "or"
+
+    def test_deterministic(self):
+        g1 = grid_andor_graph(3, 2, seed=5)
+        g2 = grid_andor_graph(3, 2, seed=5)
+        assert g1.successors == g2.successors
+
+
+class TestProgramFamiliesClassify:
+    def test_families_land_in_expected_fragments(self):
+        from repro import Sublanguage, classify
+
+        assert classify(transitive_closure_program()) is Sublanguage.QUERY_ONLY
+        assert classify(nonrecursive_path_program()) is Sublanguage.NONRECURSIVE
+        from repro import analyze
+
+        assert analyze(insert_only_closure()).insert_only

@@ -1,0 +1,53 @@
+"""Tests for the measurement helpers."""
+
+import pytest
+
+from repro.complexity import estimate_growth, measure, print_series
+
+
+class TestMeasure:
+    def test_returns_result_and_time(self):
+        value, seconds = measure(lambda: sum(range(1000)))
+        assert value == 499500
+        assert seconds >= 0
+
+
+class TestEstimateGrowth:
+    def test_polynomial_detected(self):
+        sizes = [10, 20, 40, 80, 160]
+        costs = [s**2 for s in sizes]
+        assert estimate_growth(sizes, costs) == "polynomial"
+
+    def test_linear_is_polynomial(self):
+        sizes = [10, 20, 40, 80]
+        costs = [3 * s for s in sizes]
+        assert estimate_growth(sizes, costs) == "polynomial"
+
+    def test_exponential_detected(self):
+        sizes = [2, 4, 6, 8, 10, 12]
+        costs = [2**s for s in sizes]
+        assert estimate_growth(sizes, costs) == "exponential"
+
+    def test_exponential_with_noise(self):
+        sizes = [2, 4, 6, 8, 10]
+        costs = [1.1 * 2**s + 5 for s in sizes]
+        assert estimate_growth(sizes, costs) == "exponential"
+
+    def test_too_few_points(self):
+        assert estimate_growth([1, 2], [1, 2]) == "inconclusive"
+
+    def test_zero_costs_filtered(self):
+        assert estimate_growth([1, 2, 3], [0, 0, 0]) == "inconclusive"
+
+
+class TestPrintSeries:
+    def test_prints_aligned_table(self, capsys):
+        print_series(
+            "demo",
+            ["n", "time"],
+            [[1, 0.5], [100, 2.25]],
+        )
+        out = capsys.readouterr().out
+        assert "== demo ==" in out
+        assert "0.5000" in out
+        assert "100" in out

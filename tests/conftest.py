@@ -1,0 +1,59 @@
+"""Shared fixtures: small programs and databases used across test files."""
+
+import pytest
+
+from repro import Database, Interpreter, parse_database, parse_program
+
+
+@pytest.fixture
+def empty_db():
+    return Database()
+
+
+@pytest.fixture
+def bank_program():
+    """The paper's Examples 2.1/2.2: nested banking transactions."""
+    return parse_program(
+        """
+        transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+        withdraw(Acct, Amt) <-
+            balance(Acct, Bal) * Bal >= Amt *
+            del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+        deposit(Acct, Amt) <-
+            balance(Acct, Bal) *
+            del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+    )
+
+
+@pytest.fixture
+def bank_db():
+    return parse_database("balance(a, 100). balance(b, 10).")
+
+
+@pytest.fixture
+def tc_program():
+    """Query-only recursive TD: transitive closure."""
+    return parse_program(
+        """
+        path(X, Y) <- e(X, Y).
+        path(X, Y) <- e(X, Z) * path(Z, Y).
+        """
+    )
+
+
+@pytest.fixture
+def chain_db():
+    return parse_database("e(a, b). e(b, c). e(c, d).")
+
+
+@pytest.fixture
+def simulate_program():
+    """The paper's Example 3.2 shape: dynamic instance creation."""
+    return parse_program(
+        """
+        simulate <- workitem(W) * del.workitem(W) * (workflow(W) | simulate).
+        simulate <- not workitem(_).
+        workflow(W) <- ins.done(W).
+        """
+    )

@@ -1,0 +1,151 @@
+"""Tests for the sublanguage classifier (the paper's complexity map)."""
+
+import pytest
+
+from repro import Sublanguage, analyze, classify, parse_goal, parse_program
+
+
+class TestFeatureDetection:
+    def test_query_only(self):
+        a = analyze(parse_program("p(X) <- q(X) * r(X)."))
+        assert a.query_only and not a.uses_conc and not a.recursive
+        assert a.classify() is Sublanguage.QUERY_ONLY
+
+    def test_insert_only_flag(self):
+        a = analyze(parse_program("p <- q(X) * ins.r(X)."))
+        assert a.insert_only and a.uses_ins and not a.uses_del
+
+    def test_deletion_detected(self):
+        a = analyze(parse_program("p <- del.q(a)."))
+        assert a.uses_del and not a.insert_only
+
+    def test_concurrency_detected(self):
+        a = analyze(parse_program("p <- a | b."))
+        assert a.uses_conc
+
+    def test_goal_contributes_features(self):
+        prog = parse_program("p <- ins.q(a).")
+        assert not analyze(prog).uses_conc
+        assert analyze(prog, parse_goal("p | p")).uses_conc
+
+    def test_iso_and_neg_and_builtin_flags(self):
+        a = analyze(parse_program("p <- iso(not q(a) * 1 < 2)."))
+        assert a.uses_iso and a.uses_neg and a.uses_builtin
+
+
+class TestRecursionShapes:
+    def test_nonrecursive(self):
+        a = analyze(parse_program("p <- q.\nq <- r(X) * ins.s(X)."))
+        assert not a.recursive
+        assert a.classify() is Sublanguage.NONRECURSIVE
+
+    def test_nonrecursive_query_only_classifies_query_only(self):
+        # query-only wins over nonrecursive (it is the smaller language)
+        a = analyze(parse_program("p <- q.\nq <- r(X)."))
+        assert a.classify() is Sublanguage.QUERY_ONLY
+
+    def test_direct_recursion(self):
+        a = analyze(parse_program("p <- ins.x * p."))
+        assert a.recursive and a.tail_recursive_only
+
+    def test_mutual_recursion_via_scc(self):
+        a = analyze(parse_program("p <- ins.x * q.\nq <- del.x * p."))
+        assert a.recursive
+        assert ("p", 0) in a.recursive_signatures
+        assert ("q", 0) in a.recursive_signatures
+
+    def test_non_tail_recursion(self):
+        a = analyze(parse_program("p <- p * ins.x."))
+        assert a.recursive and not a.tail_recursive_only
+        assert not a.fully_bounded
+
+    def test_recursion_through_concurrency(self):
+        a = analyze(parse_program("p <- ins.x * (q | p).\nq <- true."))
+        assert a.recursion_in_conc
+        assert not a.fully_bounded
+        assert a.classify() is Sublanguage.FULL
+
+    def test_recursion_inside_iso(self):
+        a = analyze(parse_program("p <- iso(del.x(a) * p)."))
+        assert a.recursion_in_iso
+        assert not a.fully_bounded
+
+    def test_nonrecursive_call_inside_conc_is_fine(self):
+        a = analyze(
+            parse_program(
+                """
+                main <- (taskA | taskB) * main.
+                taskA <- ins.a.
+                taskB <- ins.b.
+                """
+            )
+        )
+        assert a.recursive and a.fully_bounded
+        assert a.classify() is Sublanguage.FULLY_BOUNDED
+
+
+class TestClassification:
+    def test_sequential_with_nontail_recursion(self):
+        prog = parse_program("p <- ins.d * p * ins.u.\np <- stop.")
+        assert classify(prog) is Sublanguage.SEQUENTIAL
+
+    def test_fully_bounded_workflow_driver_is_full(self, simulate_program):
+        # Example 3.2 spawns a process per work item: full TD.
+        assert classify(simulate_program) is Sublanguage.FULL
+
+    def test_query_only_recursive_still_query_only(self, tc_program):
+        assert classify(tc_program) is Sublanguage.QUERY_ONLY
+
+    def test_report_mentions_sublanguage(self):
+        report = analyze(parse_program("p <- ins.x * p.")).report()
+        assert "fully bounded" in report
+        assert "recursive:          yes" in report
+
+
+class TestSafetyWarnings:
+    def test_unbound_update_warned(self):
+        a = analyze(parse_program("bad <- ins.p(X)."))
+        assert any("ins.p(X)" in w for w in a.safety_warnings)
+
+    def test_bound_update_not_warned(self):
+        a = analyze(parse_program("good <- q(X) * ins.p(X)."))
+        assert not a.safety_warnings
+
+    def test_head_variables_count_as_bound(self):
+        a = analyze(parse_program("good(X) <- ins.p(X)."))
+        assert not a.safety_warnings
+
+    def test_unbound_builtin_warned(self):
+        a = analyze(parse_program("bad <- X > 3 * q(X)."))
+        assert any("builtin" in w for w in a.safety_warnings)
+
+    def test_is_binds_its_left_variable(self):
+        a = analyze(parse_program("good <- q(X) * Y is X + 1 * ins.p(Y)."))
+        assert not a.safety_warnings
+
+    def test_concurrent_sibling_bindings_trusted(self):
+        # X is bound by the left branch at runtime; the optimistic
+        # cross-branch rule avoids a false positive.
+        a = analyze(parse_program("good <- q(X) | ins.p(X)."))
+        assert not a.safety_warnings
+
+    def test_call_binds_its_arguments(self):
+        a = analyze(
+            parse_program("top <- pick(X) * ins.keep(X).\npick(X) <- item(X).")
+        )
+        assert not a.safety_warnings
+
+
+class TestToDict:
+    def test_json_friendly(self):
+        import json
+
+        a = analyze(parse_program("p <- ins.x * p.\np <- del.go."))
+        payload = json.loads(json.dumps(a.to_dict()))
+        assert payload["sublanguage"] == "FULLY_BOUNDED"
+        assert payload["recursive"] is True
+        assert payload["recursive_predicates"] == ["p/0"]
+
+    def test_warnings_included(self):
+        a = analyze(parse_program("bad <- ins.p(X)."))
+        assert a.to_dict()["safety_warnings"]

@@ -1,0 +1,172 @@
+"""Unit tests for immutable database states."""
+
+import pytest
+
+from repro.core.database import Database, Schema, SchemaError
+from repro.core.terms import Atom, Variable, atom
+
+X = Variable("X")
+
+
+class TestConstruction:
+    def test_empty(self):
+        db = Database()
+        assert len(db) == 0
+        assert not db
+
+    def test_from_facts(self):
+        db = Database([atom("p", "a"), atom("p", "b"), atom("q")])
+        assert len(db) == 3
+        assert atom("p", "a") in db
+        assert atom("q") in db
+
+    def test_duplicates_collapse(self):
+        db = Database([atom("p", "a"), atom("p", "a")])
+        assert len(db) == 1
+
+    def test_rejects_nonground(self):
+        with pytest.raises(ValueError):
+            Database([Atom("p", (X,))])
+
+    def test_from_mapping(self):
+        db = Database.from_mapping({"p": [("a",), ("b",)], "flag": [()]})
+        assert atom("p", "a") in db
+        assert atom("flag") in db
+
+    def test_from_mapping_scalar_rows(self):
+        db = Database.from_mapping({"p": ["a", 3]})
+        assert atom("p", "a") in db
+        assert atom("p", 3) in db
+
+
+class TestEqualityHash:
+    def test_content_equality(self):
+        d1 = Database([atom("p", "a"), atom("q", "b")])
+        d2 = Database([atom("q", "b"), atom("p", "a")])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_path_independence(self):
+        base = Database([atom("p", "a")])
+        via1 = base.insert(atom("q", "b")).insert(atom("r", "c"))
+        via2 = base.insert(atom("r", "c")).insert(atom("q", "b"))
+        assert via1 == via2
+        assert hash(via1) == hash(via2)
+
+    def test_not_equal_to_other_types(self):
+        assert Database() != frozenset()
+
+
+class TestUpdates:
+    def test_insert_returns_new(self):
+        d0 = Database()
+        d1 = d0.insert(atom("p", "a"))
+        assert atom("p", "a") in d1
+        assert atom("p", "a") not in d0
+
+    def test_insert_existing_is_noop_same_object(self):
+        d1 = Database([atom("p", "a")])
+        assert d1.insert(atom("p", "a")) is d1
+
+    def test_delete(self):
+        d1 = Database([atom("p", "a"), atom("p", "b")])
+        d2 = d1.delete(atom("p", "a"))
+        assert atom("p", "a") not in d2
+        assert atom("p", "b") in d2
+        assert atom("p", "a") in d1
+
+    def test_delete_absent_is_noop_same_object(self):
+        d1 = Database([atom("p", "a")])
+        assert d1.delete(atom("q", "x")) is d1
+        assert d1.delete(atom("p", "b")) is d1
+
+    def test_delete_last_fact_clears_predicate(self):
+        d = Database([atom("p", "a")]).delete(atom("p", "a"))
+        assert "p" not in d.predicates()
+        assert d == Database()
+
+    def test_insert_all_delete_all(self):
+        facts = [atom("p", i) for i in range(5)]
+        d = Database().insert_all(facts)
+        assert len(d) == 5
+        assert d.delete_all(facts) == Database()
+
+    def test_nonground_updates_rejected(self):
+        with pytest.raises(ValueError):
+            Database().insert(Atom("p", (X,)))
+        with pytest.raises(ValueError):
+            Database().delete(Atom("p", (X,)))
+
+
+class TestQueries:
+    def test_match_ground(self):
+        db = Database([atom("p", "a")])
+        assert list(db.match(atom("p", "a"))) == [{}]
+        assert list(db.match(atom("p", "b"))) == []
+
+    def test_match_binds_variables(self):
+        db = Database([atom("p", "a"), atom("p", "b")])
+        results = list(db.match(Atom("p", (X,))))
+        values = sorted(str(s[X]) for s in results)
+        assert values == ["a", "b"]
+
+    def test_match_respects_subst(self):
+        db = Database([atom("p", "a"), atom("p", "b")])
+        results = list(db.match(Atom("p", (X,)), {X: atom("x", "a").args[0]}))
+        assert len(results) == 1
+
+    def test_holds(self):
+        db = Database([atom("p", "a")])
+        assert db.holds(Atom("p", (X,)))
+        assert not db.holds(atom("q"))
+
+    def test_facts_and_predicates(self):
+        db = Database([atom("p", "a"), atom("q", "b")])
+        assert db.facts("p") == frozenset({atom("p", "a")})
+        assert db.facts("absent") == frozenset()
+        assert db.predicates() == {"p", "q"}
+
+    def test_iteration_sorted(self):
+        db = Database([atom("q", "z"), atom("p", "b"), atom("p", "a")])
+        assert list(db) == [atom("p", "a"), atom("p", "b"), atom("q", "z")]
+
+    def test_difference(self):
+        d1 = Database([atom("p", "a"), atom("p", "b")])
+        d2 = Database([atom("p", "a")])
+        assert d1.difference(d2) == frozenset({atom("p", "b")})
+
+    def test_union(self):
+        d1 = Database([atom("p", "a")])
+        d2 = Database([atom("q", "b")])
+        assert d1.union(d2) == Database([atom("p", "a"), atom("q", "b")])
+
+
+class TestSchema:
+    def test_declare_and_check(self):
+        s = Schema([("p", 2)])
+        s.check(atom("p", "a", "b"))
+        with pytest.raises(SchemaError):
+            s.check(atom("p", "a"))
+
+    def test_strict_unknown_predicate(self):
+        s = Schema([("p", 1)], strict=True)
+        with pytest.raises(SchemaError):
+            s.check(atom("q", "a"))
+
+    def test_open_schema_learns(self):
+        s = Schema(strict=False)
+        s.check(atom("q", "a"))
+        assert "q" in s
+
+    def test_same_name_different_arity_coexist(self):
+        # predicate identity is name/arity: p/1 and p/2 are unrelated
+        s = Schema([("p", 1)])
+        s.declare("p", 2)
+        s.check(atom("p", "a"))
+        s.check(atom("p", "a", "b"))
+        assert ("p", 1) in s and ("p", 2) in s
+        assert ("p", 3) not in s
+
+    def test_signatures_sorted(self):
+        s = Schema([("b", 1), ("a", 2)])
+        assert s.signatures() == (("a", 2), ("b", 1))

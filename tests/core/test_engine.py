@@ -1,0 +1,95 @@
+"""Tests for the engine façade: routing programs to evaluators."""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    NonrecursiveEngine,
+    SequentialEngine,
+    Sublanguage,
+    parse_database,
+    parse_goal,
+    parse_program,
+    select_engine,
+)
+
+
+class TestRouting:
+    def test_query_only_routes_to_tabled(self, tc_program):
+        eng = select_engine(tc_program)
+        assert eng.sublanguage is Sublanguage.QUERY_ONLY
+        assert isinstance(eng.backend, SequentialEngine)
+        assert eng.decidable
+
+    def test_nonrecursive_routes_to_nonrec(self):
+        eng = select_engine(parse_program("p <- q(X) * ins.r(X)."))
+        assert eng.sublanguage is Sublanguage.NONRECURSIVE
+        assert isinstance(eng.backend, NonrecursiveEngine)
+
+    def test_sequential_routes_to_tabled(self):
+        eng = select_engine(parse_program("p <- p * ins.x.\np <- del.go."))
+        assert eng.sublanguage is Sublanguage.SEQUENTIAL
+        assert isinstance(eng.backend, SequentialEngine)
+
+    def test_fully_bounded_routes_to_interpreter(self):
+        prog = parse_program(
+            "drain <- item(X) * del.item(X) * drain.\ndrain <- not item(_)."
+        )
+        eng = select_engine(prog)
+        assert eng.sublanguage is Sublanguage.FULLY_BOUNDED
+        assert isinstance(eng.backend, Interpreter)
+        assert eng.decidable
+
+    def test_full_td_routes_to_interpreter(self, simulate_program):
+        eng = select_engine(simulate_program)
+        assert eng.sublanguage is Sublanguage.FULL
+        assert isinstance(eng.backend, Interpreter)
+        assert not eng.decidable
+
+    def test_goal_affects_routing(self, tc_program):
+        # A query-only program stays query-only...
+        assert select_engine(tc_program).sublanguage is Sublanguage.QUERY_ONLY
+        # ...but an updating goal moves the combination up the map
+        # (tail-recursive + insert => fully bounded, not query-only).
+        eng = select_engine(tc_program, "path(a, X) * ins.found(X)")
+        assert eng.sublanguage is Sublanguage.FULLY_BOUNDED
+
+    def test_goal_level_concurrency_stays_bounded(self):
+        # A fixed number of concurrent tail-recursive processes in the
+        # *goal* does not grow with recursion: still fully bounded.
+        prog = parse_program("p <- ins.x * del.x * p.\np <- done.")
+        assert select_engine(prog, "p | p").sublanguage is Sublanguage.FULLY_BOUNDED
+
+
+class TestUniformAPI:
+    def test_string_goals_accepted(self, tc_program, chain_db):
+        eng = select_engine(tc_program)
+        assert eng.succeeds("path(a, d)", chain_db)
+        assert not eng.succeeds("path(d, a)", chain_db)
+
+    def test_solve_and_final_databases(self):
+        eng = select_engine(parse_program("t <- q(X) * ins.r(X)."))
+        db = parse_database("q(a). q(b).")
+        finals = eng.final_databases("t", db)
+        assert len(finals) == 2
+
+    def test_simulate_works_for_analytic_backends(self, tc_program, chain_db):
+        # simulation is small-step; the façade constructs an interpreter
+        eng = select_engine(tc_program)
+        exe = eng.simulate("path(a, d)", chain_db)
+        assert exe is not None
+        assert any("e(" in ev for ev in exe.events)
+
+    def test_all_backends_agree(self):
+        # one program expressible in several fragments, forced through
+        # each backend explicitly
+        prog = parse_program("t <- q(X) * not r(X) * ins.r(X).")
+        goal = parse_goal("t")
+        db = parse_database("q(a). q(b). r(b).")
+        finals = [
+            Interpreter(prog).final_databases(goal, db),
+            SequentialEngine(prog).final_databases(goal, db),
+            NonrecursiveEngine(prog).final_databases(goal, db),
+        ]
+        assert finals[0] == finals[1] == finals[2]

@@ -1,0 +1,149 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.core.formulas import (
+    BinOp,
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    TRUTH,
+    Test,
+    Truth,
+    apply_subst,
+    conc,
+    formula_variables,
+    iso,
+    seq,
+    walk_formulas,
+)
+from repro.core.terms import Atom, Constant, Variable, atom
+
+X, Y = Variable("X"), Variable("Y")
+a = Constant("a")
+
+
+class TestConstructors:
+    def test_seq_flattens(self):
+        f = seq(Test(atom("p")), seq(Test(atom("q")), Test(atom("r"))))
+        assert isinstance(f, Seq)
+        assert len(f.parts) == 3
+
+    def test_conc_flattens(self):
+        f = conc(Test(atom("p")), conc(Test(atom("q")), Test(atom("r"))))
+        assert isinstance(f, Conc)
+        assert len(f.parts) == 3
+
+    def test_units_dropped(self):
+        f = seq(TRUTH, Test(atom("p")), TRUTH)
+        assert f == Test(atom("p"))
+
+    def test_empty_is_truth(self):
+        assert seq() == TRUTH
+        assert conc() == TRUTH
+
+    def test_singleton_unwrapped(self):
+        t = Test(atom("p"))
+        assert seq(t) is t
+        assert conc(t) is t
+
+    def test_iso_of_truth_is_truth(self):
+        assert iso(TRUTH) == TRUTH
+        assert isinstance(iso(Test(atom("p"))), Isol)
+
+    def test_associativity_as_equality(self):
+        p, q, r = (Test(atom(n)) for n in "pqr")
+        assert seq(seq(p, q), r) == seq(p, seq(q, r))
+        assert conc(conc(p, q), r) == conc(p, conc(q, r))
+
+
+class TestApplySubst:
+    def test_applies_through_tree(self):
+        f = seq(Test(Atom("p", (X,))), Ins(Atom("q", (X,))))
+        g = apply_subst(f, {X: a})
+        assert g == seq(Test(atom("p", "a")), Ins(atom("q", "a")))
+
+    def test_empty_subst_identity(self):
+        f = conc(Test(Atom("p", (X,))), Del(Atom("q", (Y,))))
+        assert apply_subst(f, {}) is f
+
+    def test_applies_inside_iso_and_builtin(self):
+        f = Isol(Builtin(">", X, Constant(0)))
+        g = apply_subst(f, {X: Constant(5)})
+        assert g == Isol(Builtin(">", Constant(5), Constant(0)))
+
+    def test_applies_inside_binop(self):
+        f = Builtin("is", Y, BinOp("+", X, Constant(1)))
+        g = apply_subst(f, {X: Constant(2)})
+        assert g.right == BinOp("+", Constant(2), Constant(1))
+
+
+class TestBuiltinEvaluate:
+    def test_comparisons(self):
+        assert Builtin(">", Constant(3), Constant(2)).evaluate({}) == {}
+        assert Builtin(">", Constant(2), Constant(3)).evaluate({}) is None
+        assert Builtin("=", Constant("a"), Constant("a")).evaluate({}) == {}
+        assert Builtin("!=", Constant("a"), Constant("b")).evaluate({}) == {}
+        assert Builtin("<=", Constant(2), Constant(2)).evaluate({}) == {}
+
+    def test_is_binds_left(self):
+        out = Builtin("is", X, BinOp("-", Constant(5), Constant(2))).evaluate({})
+        assert out == {X: Constant(3)}
+
+    def test_is_checks_bound_left(self):
+        f = Builtin("is", X, Constant(3))
+        assert f.evaluate({X: Constant(3)}) == {X: Constant(3)}
+        assert f.evaluate({X: Constant(4)}) is None
+
+    def test_unbound_comparison_raises(self):
+        with pytest.raises(ValueError):
+            Builtin(">", X, Constant(0)).evaluate({})
+
+    def test_arithmetic_on_strings_raises(self):
+        with pytest.raises(ValueError):
+            Builtin("is", X, BinOp("+", Constant("a"), Constant(1))).evaluate({})
+
+    def test_multiplication_binop(self):
+        out = Builtin("is", X, BinOp("*", Constant(4), Constant(3))).evaluate({})
+        assert out == {X: Constant(12)}
+
+    def test_comparison_over_expressions(self):
+        f = Builtin("<", BinOp("+", Constant(1), Constant(1)), Constant(3))
+        assert f.evaluate({}) == {}
+
+
+class TestTraversals:
+    def test_formula_variables_in_order(self):
+        f = seq(Test(Atom("p", (X,))), Conc((Ins(Atom("q", (Y,))), Test(Atom("r", (X,))))))
+        assert list(formula_variables(f)) == [X, Y, X]
+
+    def test_variables_in_builtins(self):
+        f = Builtin("is", Y, BinOp("+", X, Constant(1)))
+        assert list(formula_variables(f)) == [Y, X]
+
+    def test_walk_formulas_preorder(self):
+        inner = Test(atom("p"))
+        f = Isol(seq(inner, Ins(atom("q"))))
+        kinds = [type(x).__name__ for x in walk_formulas(f)]
+        assert kinds == ["Isol", "Seq", "Test", "Ins"]
+
+
+class TestStr:
+    def test_round_trip_shapes(self):
+        f = seq(
+            Test(Atom("p", (X,))),
+            conc(Ins(atom("q", "a")), Del(atom("r", "b"))),
+            Neg(atom("s")),
+        )
+        text = str(f)
+        assert "p(X)" in text
+        assert "ins.q(a)" in text
+        assert "del.r(b)" in text
+        assert "not s" in text
+        # concurrent group parenthesized inside the sequence
+        assert "(ins.q(a) | del.r(b))" in text

@@ -1,0 +1,208 @@
+"""Unit tests for the concrete syntax."""
+
+import pytest
+
+from repro.core.formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+)
+from repro.core.parser import (
+    ParseError,
+    parse_atom,
+    parse_database,
+    parse_goal,
+    parse_program,
+    parse_rules,
+)
+from repro.core.terms import Atom, Constant, Variable, atom
+
+
+class TestAtomsAndTerms:
+    def test_simple_atom(self):
+        assert parse_atom("p(a, b)") == atom("p", "a", "b")
+
+    def test_propositional(self):
+        assert parse_atom("halt") == atom("halt")
+
+    def test_variables_uppercase(self):
+        a = parse_atom("p(X, abc)")
+        assert a.args[0] == Variable("X")
+        assert a.args[1] == Constant("abc")
+
+    def test_integers(self):
+        assert parse_atom("p(42)") == atom("p", 42)
+
+    def test_underscore_prefix_is_variable(self):
+        a = parse_atom("p(_thing)")
+        assert isinstance(a.args[0], Variable)
+
+    def test_anonymous_variables_fresh(self):
+        goal = parse_goal("p(_, _)")
+        args = goal.atom.args
+        assert args[0] != args[1]
+
+
+class TestGoals:
+    def test_sequential(self):
+        g = parse_goal("p(X) * q(X)")
+        assert isinstance(g, Seq)
+        assert len(g.parts) == 2
+
+    def test_comma_is_seq(self):
+        assert parse_goal("p * q") == parse_goal("p , q")
+
+    def test_unicode_otimes(self):
+        assert parse_goal("p ⊗ q") == parse_goal("p * q")
+
+    def test_concurrent_lower_precedence(self):
+        g = parse_goal("a * b | c * d")
+        assert isinstance(g, Conc)
+        assert all(isinstance(p, Seq) for p in g.parts)
+
+    def test_parentheses(self):
+        g = parse_goal("a * (b | c)")
+        assert isinstance(g, Seq)
+        assert isinstance(g.parts[1], Conc)
+
+    def test_updates(self):
+        g = parse_goal("ins.p(a) * del.q(X)")
+        assert g.parts[0] == Ins(atom("p", "a"))
+        assert isinstance(g.parts[1], Del)
+
+    def test_negation(self):
+        g = parse_goal("not p(X)")
+        assert isinstance(g, Neg)
+
+    def test_iso(self):
+        g = parse_goal("iso(p * q)")
+        assert isinstance(g, Isol)
+        assert isinstance(g.body, Seq)
+
+    def test_true(self):
+        assert isinstance(parse_goal("true"), Truth)
+
+    def test_query_prefix(self):
+        assert parse_goal("?- p(X).") == parse_goal("p(X)")
+
+    def test_builtin_comparison(self):
+        g = parse_goal("X > 3")
+        assert g == Builtin(">", Variable("X"), Constant(3))
+
+    def test_builtin_is_with_arith(self):
+        g = parse_goal("Y is X - 1")
+        assert isinstance(g, Builtin)
+        assert g.op == "is"
+
+    def test_builtin_between_seq_parts(self):
+        g = parse_goal("bal(B) * B >= 10 * ins.ok")
+        assert len(g.parts) == 3
+        assert isinstance(g.parts[1], Builtin)
+
+    def test_constant_comparison(self):
+        g = parse_goal("a != b")
+        assert g == Builtin("!=", Constant("a"), Constant("b"))
+
+    def test_negative_literal_arith(self):
+        g = parse_goal("X > -1")
+        assert isinstance(g, Builtin)
+
+
+class TestRulesAndPrograms:
+    def test_fact_rule(self):
+        (rule,) = parse_rules("p(a).")
+        assert rule.head == atom("p", "a")
+        assert isinstance(rule.body, Truth)
+
+    def test_rule_with_body(self):
+        (rule,) = parse_rules("p(X) <- q(X) * ins.r(X).")
+        assert rule.head.pred == "p"
+        assert isinstance(rule.body, Seq)
+
+    def test_classic_arrow(self):
+        assert parse_rules("p <- q.") == parse_rules("p :- q.")
+
+    def test_comments_ignored(self):
+        rules = parse_rules("% header\np <- q. % trailing\n% done\n")
+        assert len(rules) == 1
+
+    def test_base_directive(self):
+        prog = parse_program("#base stock/2.\ncheck <- stock(X, N).")
+        assert ("stock", 2) in [("stock", 2)]
+        assert prog.schema.signatures() == (("stock", 2),)
+
+    def test_base_calls_resolve_to_tests(self):
+        prog = parse_program("p(X) <- q(X).")
+        (rule,) = prog.rules
+        assert isinstance(rule.body, Test)
+
+    def test_derived_calls_stay_calls(self):
+        prog = parse_program("p(X) <- q(X).\nq(X) <- r(X).")
+        rule = prog.rules_for(("p", 1))[0]
+        assert isinstance(rule.body, Call)
+
+    def test_multiple_rules_same_head(self):
+        prog = parse_program("p <- q.\np <- r.")
+        assert len(prog.rules_for(("p", 0))) == 2
+
+
+class TestDatabaseText:
+    def test_parse_database(self):
+        db = parse_database("p(a). q(b, c). flag.")
+        assert atom("p", "a") in db
+        assert atom("q", "b", "c") in db
+        assert atom("flag") in db
+
+    def test_rejects_nonground(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X).")
+
+    def test_empty(self):
+        assert len(parse_database("")) == 0
+
+
+class TestErrors:
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_goal("p( &")
+        assert err.value.line == 1
+        assert err.value.column >= 3
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rules("p <- q")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse_program("#frobnicate p/1.")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_goal("p * ")
+
+    def test_ins_requires_atom(self):
+        with pytest.raises(ParseError):
+            parse_goal("ins.(p)")
+
+    def test_base_directive_rejected_in_fragments(self):
+        with pytest.raises(ValueError):
+            parse_rules("#base p/1.")
+
+
+class TestLexerEdgeCases:
+    def test_ins_as_plain_identifier(self):
+        # `ins` not followed by `.name` is an ordinary constant/predicate.
+        g = parse_goal("p(ins)")
+        assert g == Call(atom("p", "ins"))
+
+    def test_rule_ending_directly_after_ins_name(self):
+        # "q <- ins.p." the final dot terminates the rule.
+        (rule,) = parse_rules("q <- ins.p.")
+        assert rule.body == Ins(atom("p"))

@@ -1,0 +1,73 @@
+"""Tests for pretty-printing: output is readable and re-parseable."""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+from repro.core.pretty import (
+    format_database,
+    format_goal,
+    format_program,
+    format_rule,
+    format_trace,
+)
+
+
+class TestProgramFormatting:
+    ROUND_TRIP_PROGRAMS = [
+        "p(X) <- q(X) * ins.r(X).",
+        "p <- a | b * c.",
+        "t <- iso(del.x(a) * not y(b)).",
+        "w(A, B) <- v(A, B) * A != B.",
+        "f(X) <- g(X, Y) * Z is Y + 1 * ins.h(Z).",
+        "p <- q.\np <- r.\ns(a).",
+    ]
+
+    @pytest.mark.parametrize("text", ROUND_TRIP_PROGRAMS)
+    def test_round_trip(self, text):
+        prog = parse_program(text)
+        reparsed = parse_program(format_program(prog))
+        assert [str(r) for r in reparsed.rules] == [str(r) for r in prog.rules]
+
+    def test_base_directives_emitted(self):
+        prog = parse_program("p <- ins.log(a).")
+        out = format_program(prog, declare_base=True)
+        assert "#base log/1." in out
+        parse_program(out)  # still parseable
+
+    def test_rules_grouped_by_head(self):
+        prog = parse_program("p <- a.\np <- b.\nq <- c.")
+        out = format_program(prog)
+        assert "\n\n" in out  # blank line between p-group and q-group
+
+    def test_format_rule_fact(self):
+        prog = parse_program("axiom(a).")
+        assert format_rule(prog.rules[0]) == "axiom(a)."
+
+
+class TestGoalAndDatabase:
+    def test_format_goal(self):
+        g = parse_goal("p(X) * q(X)")
+        assert format_goal(g) == "?- p(X) * q(X)."
+
+    def test_database_round_trip(self):
+        db = parse_database("p(a). q(b, 3). flag.")
+        assert parse_database(format_database(db)) == db
+
+    def test_empty_database(self):
+        assert format_database(Database()) == ""
+
+
+class TestTraceFormatting:
+    def test_trace_lines(self):
+        interp = Interpreter(parse_program("t <- ins.p(a) * iso(del.p(a))."))
+        exe = interp.simulate(parse_goal("t"), Database())
+        out = format_trace(exe.trace)
+        assert "ins.p(a)" in out
+        assert "iso:" in out
+        assert "    del.p(a)" in out  # nested indentation

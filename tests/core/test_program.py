@@ -1,0 +1,101 @@
+"""Unit tests for rulebases: resolution, validation, renaming."""
+
+import pytest
+
+from repro.core.formulas import Call, Ins, Seq, Test, Truth
+from repro.core.parser import parse_program, parse_rules
+from repro.core.program import Program, ProgramError, Rule
+from repro.core.terms import Atom, Variable, atom
+
+
+class TestResolution:
+    def test_base_atoms_become_tests(self):
+        prog = parse_program("p(X) <- q(X) * r(X).")
+        (rule,) = prog.rules
+        assert all(isinstance(part, Test) for part in rule.body.parts)
+
+    def test_derived_atoms_stay_calls(self):
+        prog = parse_program("p(X) <- helper(X).\nhelper(X) <- q(X).")
+        rule = prog.rules_for(("p", 1))[0]
+        assert isinstance(rule.body, Call)
+
+    def test_update_targets_declared_base(self):
+        prog = parse_program("p <- ins.log(a).")
+        assert "log" in prog.schema
+        assert ("log", 1) in prog.schema.signatures()
+
+    def test_goal_resolution(self):
+        prog = parse_program("p(X) <- q(X).")
+        from repro.core.parser import parse_goal
+
+        goal = prog.resolve_goal(parse_goal("p(a) * q(b)"))
+        assert isinstance(goal.parts[0], Call)
+        assert isinstance(goal.parts[1], Test)
+
+    def test_same_name_different_arity_are_distinct(self):
+        prog = parse_program("p(X) <- p(X, a).")
+        assert prog.is_derived(("p", 1))
+        assert prog.is_base(("p", 2))
+
+
+class TestValidation:
+    def test_cannot_update_derived(self):
+        with pytest.raises(ProgramError):
+            parse_program("p <- q.\nq <- true.\nr <- ins.p.")
+
+    def test_strict_mode_rejects_unknown(self):
+        with pytest.raises(ProgramError):
+            parse_program("p <- mystery(X).", strict=True)
+
+    def test_strict_mode_accepts_declared(self):
+        prog = parse_program("#base mystery/1.\np <- mystery(X).", strict=True)
+        assert prog.is_base(("mystery", 1))
+
+
+class TestRuleRenaming:
+    def test_rename_is_consistent(self):
+        (rule,) = parse_rules("p(X, Y) <- q(X) * r(Y) * s(X).")
+        renamed = rule.rename("_7")
+        head_vars = list(renamed.head.variables())
+        assert head_vars[0].name == "X_7"
+        # the body uses the same renamed variables
+        from repro.core.formulas import formula_variables
+
+        body_vars = {v.name for v in formula_variables(renamed.body)}
+        assert body_vars == {"X_7", "Y_7"}
+
+    def test_fresh_rules_unique_per_unfold(self):
+        prog = parse_program("p(X) <- q(X).")
+        r1 = next(prog.fresh_rules_for(("p", 1)))
+        r2 = next(prog.fresh_rules_for(("p", 1)))
+        assert r1.variables() != r2.variables()
+
+
+class TestProgramAPI:
+    def test_len_iter_str(self):
+        prog = parse_program("p <- q.\nr <- s.")
+        assert len(prog) == 2
+        assert len(list(prog)) == 2
+        text = str(prog)
+        assert "p <- q." in text
+
+    def test_rules_for_program_order(self):
+        prog = parse_program("p <- a.\np <- b.\np <- c.")
+        bodies = [str(r.body) for r in prog.rules_for(("p", 0))]
+        assert bodies == ["a", "b", "c"]
+
+    def test_extend_is_pure(self):
+        prog = parse_program("p <- q.")
+        bigger = prog.extend(parse_rules("r <- s."))
+        assert len(prog) == 1
+        assert len(bigger) == 2
+        assert bigger.is_derived(("r", 0))
+
+    def test_derived_signatures_sorted(self):
+        prog = parse_program("zz <- a.\naa <- b.")
+        assert prog.derived_signatures() == (("aa", 0), ("zz", 0))
+
+    def test_facts_for_derived_predicates(self):
+        prog = parse_program("axiom(a).\naxiom(b).\nok <- axiom(X).")
+        assert prog.is_derived(("axiom", 1))
+        assert len(prog.rules_for(("axiom", 1))) == 2

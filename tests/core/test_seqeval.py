@@ -1,0 +1,137 @@
+"""Tests for the tabled sequential-TD decision procedure."""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    SequentialEngine,
+    UnsupportedProgramError,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+
+
+def engine(text):
+    return SequentialEngine(parse_program(text))
+
+
+class TestBasics:
+    def test_query_and_update(self):
+        e = engine("t <- p(X) * del.p(X) * ins.q(X).")
+        (sol,) = e.solve(parse_goal("t"), parse_database("p(a)."))
+        assert sol.database == parse_database("q(a).")
+
+    def test_failure(self):
+        e = engine("t <- p(zz).")
+        assert not e.succeeds(parse_goal("t"), parse_database("p(a)."))
+
+    def test_rejects_concurrent_program(self):
+        with pytest.raises(UnsupportedProgramError):
+            engine("t <- a | b.")
+
+    def test_rejects_concurrent_goal(self):
+        e = engine("t <- ins.p(a).")
+        with pytest.raises(UnsupportedProgramError):
+            list(e.solve(parse_goal("t | t"), Database()))
+
+    def test_iso_is_identity_sequentially(self):
+        e = engine("t <- iso(ins.p(a) * del.p(a)).")
+        (sol,) = e.solve(parse_goal("t"), Database())
+        assert sol.database == Database()
+
+
+class TestRecursionTermination:
+    def test_query_only_recursion_transitive_closure(self, tc_program, chain_db):
+        e = SequentialEngine(tc_program)
+        sols = list(e.solve(parse_goal("path(a, X)"), chain_db))
+        values = sorted(str(t) for s in sols for t in s.bindings.values())
+        assert values == ["b", "c", "d"]
+
+    def test_cyclic_graph_terminates(self, tc_program):
+        e = SequentialEngine(tc_program)
+        db = parse_database("e(a, b). e(b, a).")
+        assert e.succeeds(parse_goal("path(a, a)"), db)
+
+    def test_recursion_with_updates_terminates(self):
+        # tail recursion through deletion -- finite state space, tabled
+        e = engine(
+            """
+            drain <- item(X) * del.item(X) * drain.
+            drain <- not item(_).
+            """
+        )
+        (sol,) = e.solve(parse_goal("drain"), parse_database("item(a). item(b)."))
+        assert sol.database == Database()
+
+    def test_nontail_recursion_decides(self):
+        # Non-tail recursion (push then pop around the recursive call)
+        # diverges top-down but the table closes the loop.
+        e = engine(
+            """
+            bounce <- ins.down * bounce * ins.up.
+            bounce <- stop.
+            """
+        )
+        finals = e.final_databases(parse_goal("bounce"), parse_database("stop."))
+        # Base case commits unchanged; any positive recursion depth
+        # leaves the same (idempotent) marks.  Crucially: finite answer.
+        assert finals == {
+            parse_database("stop."),
+            parse_database("stop. down. up."),
+        }
+
+    def test_unsatisfiable_recursion_fails_finitely(self):
+        e = engine("loop <- loop.")
+        assert not e.succeeds(parse_goal("loop"), Database())
+
+    def test_mutual_recursion(self):
+        e = engine(
+            """
+            even(X) <- zero(X).
+            even(X) <- pred(X, Y) * odd(Y).
+            odd(X) <- pred(X, Y) * even(Y).
+            """
+        )
+        db = parse_database("zero(n0). pred(n1, n0). pred(n2, n1). pred(n3, n2).")
+        assert e.succeeds(parse_goal("even(n2)"), db)
+        assert not e.succeeds(parse_goal("even(n3)"), db)
+        assert e.succeeds(parse_goal("odd(n3)"), db)
+
+
+class TestAgreementWithInterpreter:
+    PROGRAMS = [
+        ("t <- p(X) * ins.q(X).", "t", "p(a). p(b)."),
+        ("t <- p(X) * del.p(X) * t.\nt <- not p(_).", "t", "p(a). p(b)."),
+        ("t(X) <- s(X) * flag.\nt(X) <- s(X) * not flag * ins.flag.", "t(Y)", "s(v)."),
+    ]
+
+    @pytest.mark.parametrize("prog_text,goal_text,db_text", PROGRAMS)
+    def test_same_final_databases(self, prog_text, goal_text, db_text):
+        prog = parse_program(prog_text)
+        goal = parse_goal(goal_text)
+        db = parse_database(db_text)
+        seq_finals = SequentialEngine(prog).final_databases(goal, db)
+        bfs_finals = Interpreter(prog).final_databases(goal, db)
+        assert seq_finals == bfs_finals
+
+
+class TestTableBehaviour:
+    def test_table_persists_across_queries(self, tc_program, chain_db):
+        e = SequentialEngine(tc_program)
+        e.succeeds(parse_goal("path(a, d)"), chain_db)
+        keys1, answers1 = e.table_size
+        e.succeeds(parse_goal("path(a, d)"), chain_db)
+        keys2, answers2 = e.table_size
+        assert (keys2, answers2) == (keys1, answers1)
+
+    def test_answers_deduplicated(self):
+        e = engine(
+            """
+            dup <- p(X).
+            dup <- p(X).
+            """
+        )
+        sols = list(e.solve(parse_goal("dup"), parse_database("p(a).")))
+        assert len(sols) == 1

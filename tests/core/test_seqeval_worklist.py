@@ -1,0 +1,113 @@
+"""Regression tests for the dependency-driven tabling driver.
+
+The worklist driver replaced naive full-table rounds; these tests pin
+the behaviours that broke (or could break) during that change.
+"""
+
+import pytest
+
+from repro import Database, SequentialEngine, parse_database, parse_goal, parse_program
+
+
+class TestEmptyAnswerKeys:
+    def test_unsatisfiable_key_terminates(self):
+        # A key with a legitimately empty answer set must be computed
+        # once and never re-enqueued (the empty-set-is-falsy hang).
+        e = SequentialEngine(parse_program("p <- q(zz).\nq(X) <- base(X)."))
+        assert not e.succeeds(parse_goal("p"), parse_database("base(a)."))
+
+    def test_failing_recursion_terminates(self):
+        e = SequentialEngine(parse_program("loop <- step * loop.\nstep <- gate."))
+        assert not e.succeeds(parse_goal("loop"), Database())
+
+    def test_mixed_empty_and_nonempty_keys(self):
+        e = SequentialEngine(
+            parse_program(
+                """
+                main <- deadend.
+                main <- useful.
+                deadend <- nothing(x).
+                useful <- ins.ok.
+                """
+            )
+        )
+        (sol,) = e.solve(parse_goal("main"), Database())
+        assert sol.database == parse_database("ok.")
+
+
+class TestDependencyPropagation:
+    def test_late_answers_reach_dependents(self):
+        # path(0,N) depends on a chain of keys; the base answer appears
+        # deep in the chain and must propagate all the way back.
+        prog = parse_program(
+            "path(X, Y) <- e(X, Y).\npath(X, Y) <- e(X, Z) * path(Z, Y)."
+        )
+        e = SequentialEngine(prog)
+        db = parse_database(" ".join("e(n%d, n%d)." % (i, i + 1) for i in range(9)))
+        assert e.succeeds(parse_goal("path(n0, n9)"), db)
+
+    def test_mutual_recursion_propagates_both_ways(self):
+        prog = parse_program(
+            """
+            even(X) <- zero(X).
+            even(X) <- pred(X, Y) * odd(Y).
+            odd(X) <- pred(X, Y) * even(Y).
+            """
+        )
+        e = SequentialEngine(prog)
+        facts = ["zero(n0)."] + ["pred(n%d, n%d)." % (i + 1, i) for i in range(8)]
+        db = parse_database(" ".join(facts))
+        assert e.succeeds(parse_goal("even(n8)"), db)
+        assert not e.succeeds(parse_goal("even(n7)"), db)
+
+    def test_state_changing_recursion_chains(self):
+        # answers carry output states; a grown state set must propagate
+        prog = parse_program(
+            """
+            pump <- item(X) * del.item(X) * ins.out(X) * pump.
+            pump <- not item(_).
+            """
+        )
+        e = SequentialEngine(prog)
+        finals = e.final_databases(
+            parse_goal("pump"), parse_database("item(a). item(b). item(c).")
+        )
+        assert parse_database("out(a). out(b). out(c).") in finals
+
+
+class TestTableReuseAcrossQueries:
+    def test_second_query_reuses_and_extends(self):
+        prog = parse_program(
+            "path(X, Y) <- e(X, Y).\npath(X, Y) <- e(X, Z) * path(Z, Y)."
+        )
+        e = SequentialEngine(prog)
+        db = parse_database("e(a, b). e(b, c). e(c, d).")
+        assert e.succeeds(parse_goal("path(a, b)"), db)
+        keys_before, _ = e.table_size
+        # a different goal must extend the same table, not corrupt it
+        assert e.succeeds(parse_goal("path(a, d)"), db)
+        keys_after, _ = e.table_size
+        assert keys_after >= keys_before
+        # and the first result still holds
+        assert e.succeeds(parse_goal("path(a, b)"), db)
+
+    def test_different_databases_key_apart(self):
+        prog = parse_program("hit <- p(a).")
+        e = SequentialEngine(prog)
+        assert e.succeeds(parse_goal("hit"), parse_database("p(a)."))
+        assert not e.succeeds(parse_goal("hit"), parse_database("p(b)."))
+
+    def test_goal_discovering_keys_after_drain(self):
+        # The goal's own evaluation can reach new call patterns only
+        # after earlier drains produced answers: the re-seed loop.
+        prog = parse_program(
+            """
+            stage1(X) <- src(X) * ins.mid(X).
+            stage2(Y) <- mid(Y) * ins.out(Y).
+            """
+        )
+        e = SequentialEngine(prog)
+        (sol,) = e.solve(
+            parse_goal("stage1(X) * stage2(X)"), parse_database("src(v).")
+        )
+        assert sol.database == parse_database("src(v). mid(v). out(v).")

@@ -1,0 +1,99 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.core.terms import (
+    Atom,
+    Constant,
+    Variable,
+    atom,
+    const,
+    is_ground,
+    term_from_python,
+    var,
+)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant(2)
+
+    def test_string_and_int_payloads_differ(self):
+        assert Constant("1") != Constant(1)
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str(self):
+        assert str(Constant("lab")) == "lab"
+        assert str(Constant(42)) == "42"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_distinct_from_constant(self):
+        assert Variable("X") != Constant("X")
+
+    def test_str(self):
+        assert str(Variable("Work")) == "Work"
+
+
+class TestAtom:
+    def test_signature(self):
+        a = atom("done", "t1", "w1", "alice")
+        assert a.signature == ("done", 3)
+        assert a.arity == 3
+
+    def test_propositional_atom(self):
+        a = atom("halt")
+        assert a.args == ()
+        assert str(a) == "halt"
+
+    def test_str_with_args(self):
+        a = Atom("p", (Constant("a"), Variable("X")))
+        assert str(a) == "p(a, X)"
+
+    def test_is_ground(self):
+        assert atom("p", "a", 3).is_ground()
+        assert not Atom("p", (Variable("X"),)).is_ground()
+
+    def test_variables_yields_repeats_in_order(self):
+        x, y = Variable("X"), Variable("Y")
+        a = Atom("p", (x, y, x))
+        assert list(a.variables()) == [x, y, x]
+
+    def test_atoms_hashable_and_ordered(self):
+        atoms = {atom("p", "a"), atom("p", "a"), atom("q", "a")}
+        assert len(atoms) == 2
+        assert sorted(atoms) == [atom("p", "a"), atom("q", "a")]
+
+
+class TestConversions:
+    def test_term_from_python_passthrough(self):
+        v = Variable("X")
+        assert term_from_python(v) is v
+        c = Constant("a")
+        assert term_from_python(c) is c
+
+    def test_term_from_python_wraps_scalars(self):
+        assert term_from_python("a") == Constant("a")
+        assert term_from_python(7) == Constant(7)
+
+    def test_term_from_python_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            term_from_python(3.14)
+        with pytest.raises(TypeError):
+            term_from_python(["list"])
+
+    def test_const_var_helpers(self):
+        assert const("a") == Constant("a")
+        assert var("X") == Variable("X")
+
+    def test_is_ground_helper(self):
+        assert is_ground([atom("p", "a"), atom("q")])
+        assert not is_ground([atom("p", "a"), Atom("q", (Variable("X"),))])

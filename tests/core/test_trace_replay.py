@@ -1,0 +1,59 @@
+"""Trace-as-certificate tests: replaying an execution's updates over the
+initial state must reproduce its final state."""
+
+import pytest
+
+from repro import Database, Interpreter, parse_database, parse_goal, parse_program
+from repro.core.transitions import replay_actions
+
+
+CASES = [
+    # (program, goal, db)
+    ("t <- ins.a * ins.b * del.a.", "t", ""),
+    ("t <- p(X) * del.p(X) * ins.q(X).", "t", "p(a). p(b)."),
+    ("t <- iso(ins.x * del.x * ins.y).", "t", ""),
+    ("t <- iso(ins.a) * iso(del.a * ins.b).", "t", ""),
+    (
+        "drain <- item(X) * del.item(X) * drain.\ndrain <- not item(_).",
+        "drain",
+        "item(a). item(b). item(c).",
+    ),
+    (
+        "p <- ins.l.\nq <- ins.r * del.l.",
+        "p | q",
+        "",
+    ),
+]
+
+
+class TestReplay:
+    @pytest.mark.parametrize("prog_text,goal_text,db_text", CASES)
+    def test_simulate_trace_replays_to_final(self, prog_text, goal_text, db_text):
+        prog = parse_program(prog_text)
+        db = parse_database(db_text)
+        exe = Interpreter(prog).simulate(parse_goal(goal_text), db)
+        assert exe is not None
+        assert replay_actions(exe.trace, db) == exe.database
+
+    @pytest.mark.parametrize("prog_text,goal_text,db_text", CASES)
+    def test_bfs_traces_replay_to_final(self, prog_text, goal_text, db_text):
+        prog = parse_program(prog_text)
+        db = parse_database(db_text)
+        for exe in Interpreter(prog).run(parse_goal(goal_text), db):
+            assert replay_actions(exe.trace, db) == exe.database
+
+    def test_replay_is_pure(self):
+        prog = parse_program("t <- ins.a.")
+        db = Database()
+        exe = Interpreter(prog).simulate(parse_goal("t"), db)
+        replay_actions(exe.trace, db)
+        assert db == Database()  # the initial state is untouched
+
+    def test_workflow_trace_replays(self):
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator()
+        items = sample_batch(3)
+        db = sim.initial_database(items)
+        result = sim.run(items)
+        assert replay_actions(result.execution.trace, db) == result.history

@@ -1,0 +1,160 @@
+"""Tests for the small-step transition relation and its pruning helpers."""
+
+import pytest
+
+from repro import Database, parse_database, parse_goal, parse_program
+from repro.core.formulas import Conc, Truth
+from repro.core.transitions import (
+    canonical_key,
+    dead_config,
+    enabled_steps,
+    frontier_blocked,
+    is_final,
+    update_footprint,
+)
+
+
+def steps_of(prog_text, goal_text, db_text=""):
+    prog = parse_program(prog_text)
+    goal = prog.resolve_goal(parse_goal(goal_text))
+    db = parse_database(db_text)
+
+    def no_iso(body, db):  # pragma: no cover - not used in these tests
+        return iter(())
+
+    return prog, list(enabled_steps(prog, goal, db, no_iso))
+
+
+class TestEnabledSteps:
+    def test_truth_has_no_steps(self):
+        prog, steps = steps_of("p <- q.", "true")
+        assert steps == []
+        assert is_final(Truth())
+
+    def test_test_step_per_match(self):
+        _, steps = steps_of("x <- y.", "p(X)", "p(a). p(b).")
+        assert len(steps) == 2
+        assert {str(s.action) for s in steps} == {"p(a)", "p(b)"}
+
+    def test_failed_test_no_steps(self):
+        _, steps = steps_of("x <- y.", "p(zz)", "p(a).")
+        assert steps == []
+
+    def test_seq_steps_only_first(self):
+        _, steps = steps_of("x <- y.", "ins.a * ins.b")
+        assert len(steps) == 1
+        assert str(steps[0].action) == "ins.a"
+
+    def test_conc_steps_all_branches(self):
+        _, steps = steps_of("x <- y.", "ins.a | ins.b")
+        assert {str(s.action) for s in steps} == {"ins.a", "ins.b"}
+
+    def test_call_steps_one_per_rule(self):
+        _, steps = steps_of("p <- ins.a.\np <- ins.b.", "p")
+        assert len(steps) == 2
+        assert all(s.action.kind == "call" for s in steps)
+
+    def test_unbound_update_is_blocked(self):
+        _, steps = steps_of("x <- y.", "ins.p(X)")
+        assert steps == []
+
+    def test_unbound_builtin_is_blocked(self):
+        _, steps = steps_of("x <- y.", "X > 3")
+        assert steps == []
+
+    def test_neg_step_when_absent(self):
+        _, steps = steps_of("x <- y.", "not p(a)", "p(b).")
+        assert len(steps) == 1
+        assert steps[0].action.kind == "neg"
+
+
+class TestCanonicalKey:
+    def test_invariant_under_renaming(self):
+        prog = parse_program("x <- y.")
+        g1 = prog.resolve_goal(parse_goal("p(A) * q(A, B)"))
+        g2 = prog.resolve_goal(parse_goal("p(Z) * q(Z, W)"))
+        assert canonical_key(g1) == canonical_key(g2)
+
+    def test_distinguishes_sharing(self):
+        prog = parse_program("x <- y.")
+        shared = prog.resolve_goal(parse_goal("p(A) * q(A)"))
+        distinct = prog.resolve_goal(parse_goal("p(A) * q(B)"))
+        assert canonical_key(shared) != canonical_key(distinct)
+
+    def test_conc_sorting_merges_branch_orders(self):
+        prog = parse_program("x <- y.")
+        g1 = prog.resolve_goal(parse_goal("ins.a | ins.b"))
+        g2 = prog.resolve_goal(parse_goal("ins.b | ins.a"))
+        assert canonical_key(g1, sort_conc=True) == canonical_key(g2, sort_conc=True)
+        assert canonical_key(g1, sort_conc=False) != canonical_key(
+            g2, sort_conc=False
+        )
+
+    def test_seq_order_matters(self):
+        prog = parse_program("x <- y.")
+        g1 = prog.resolve_goal(parse_goal("ins.a * ins.b"))
+        g2 = prog.resolve_goal(parse_goal("ins.b * ins.a"))
+        assert canonical_key(g1) != canonical_key(g2)
+
+    def test_keys_are_hashable(self):
+        prog = parse_program("x <- y.")
+        g = prog.resolve_goal(parse_goal("iso(p(X) * 1 < 2) | del.q(a)"))
+        assert hash(canonical_key(g)) is not None
+
+
+class TestUpdateFootprint:
+    def test_collects_from_rules_and_goal(self):
+        prog = parse_program("p <- ins.a * del.b.")
+        ins, dels = update_footprint(prog, prog.resolve_goal(parse_goal("ins.c")))
+        assert ins == {"a", "c"}
+        assert dels == {"b"}
+
+
+class TestDeadConfig:
+    def _ctx(self, prog_text):
+        prog = parse_program(prog_text)
+        ins, dels = update_footprint(prog)
+        return prog, ins, dels
+
+    def test_test_on_never_inserted_pred_is_dead(self):
+        prog, ins, dels = self._ctx("p <- static(a) * ins.out(a).")
+        goal = prog.resolve_goal(parse_goal("static(zz) * ins.out(a)"))
+        assert dead_config(goal, Database(), ins, dels)
+
+    def test_test_on_insertable_pred_not_dead(self):
+        prog, ins, dels = self._ctx("p <- ins.out(a).")
+        goal = prog.resolve_goal(parse_goal("out(a)"))
+        assert not dead_config(goal, Database(), ins, dels)
+
+    def test_neg_on_never_deleted_pred_is_dead(self):
+        prog, ins, dels = self._ctx("p <- ins.flag.")
+        goal = prog.resolve_goal(parse_goal("not flag"))
+        assert dead_config(goal, parse_database("flag."), ins, dels)
+
+    def test_failing_builtin_is_dead(self):
+        prog, ins, dels = self._ctx("p <- ins.x.")
+        goal = prog.resolve_goal(parse_goal("2 > 3"))
+        assert dead_config(goal, Database(), ins, dels)
+
+    def test_one_dead_branch_kills_conc(self):
+        prog, ins, dels = self._ctx("p <- static(a).")
+        goal = prog.resolve_goal(parse_goal("static(zz) | ins.whatever"))
+        assert dead_config(goal, Database(), ins, dels)
+
+    def test_call_frontier_never_dead(self):
+        prog, ins, dels = self._ctx("p <- static(a).")
+        goal = prog.resolve_goal(parse_goal("p"))
+        assert not dead_config(goal, Database(), ins, dels)
+
+
+class TestFrontierBlocked:
+    def test_failing_test_blocks(self):
+        prog = parse_program("p <- ins.flag.")
+        goal = prog.resolve_goal(parse_goal("flag * ins.done"))
+        assert frontier_blocked(goal, Database())
+        assert not frontier_blocked(goal, parse_database("flag."))
+
+    def test_conc_blocked_only_if_all_blocked(self):
+        prog = parse_program("p <- ins.flag.")
+        goal = prog.resolve_goal(parse_goal("flag | ins.other"))
+        assert not frontier_blocked(goal, Database())

@@ -1,0 +1,120 @@
+"""Unit tests for substitutions and unification."""
+
+import pytest
+
+from repro.core.terms import Atom, Constant, Variable, atom
+from repro.core.unify import (
+    apply_atom,
+    compose,
+    match_atom,
+    rename_atom,
+    restrict,
+    unify_atoms,
+    unify_terms,
+    walk,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestWalk:
+    def test_constant_unchanged(self):
+        assert walk(a, {X: b}) == a
+
+    def test_unbound_variable_unchanged(self):
+        assert walk(X, {}) == X
+
+    def test_bound_variable_resolves(self):
+        assert walk(X, {X: a}) == a
+
+    def test_chain_resolves(self):
+        assert walk(X, {X: Y, Y: a}) == a
+
+
+class TestUnifyTerms:
+    def test_constants_equal(self):
+        assert unify_terms(a, a) == {}
+
+    def test_constants_unequal(self):
+        assert unify_terms(a, b) is None
+
+    def test_var_binds_constant(self):
+        assert unify_terms(X, a) == {X: a}
+        assert unify_terms(a, X) == {X: a}
+
+    def test_var_var(self):
+        out = unify_terms(X, Y)
+        assert out is not None
+        assert walk(X, out) == walk(Y, out)
+
+    def test_respects_existing_bindings(self):
+        assert unify_terms(X, b, {X: a}) is None
+        assert unify_terms(X, a, {X: a}) == {X: a}
+
+
+class TestUnifyAtoms:
+    def test_same_atom(self):
+        assert unify_atoms(atom("p", "a"), atom("p", "a")) == {}
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(atom("p", "a"), atom("q", "a")) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(atom("p", "a"), atom("p", "a", "b")) is None
+
+    def test_bidirectional_binding(self):
+        out = unify_atoms(Atom("p", (X, a)), Atom("p", (b, Y)))
+        assert out is not None
+        assert walk(X, out) == b
+        assert walk(Y, out) == a
+
+    def test_shared_variable_conflict(self):
+        assert unify_atoms(Atom("p", (X, X)), Atom("p", (a, b))) is None
+
+    def test_shared_variable_consistent(self):
+        out = unify_atoms(Atom("p", (X, X)), Atom("p", (a, a)))
+        assert out is not None and walk(X, out) == a
+
+
+class TestMatchAtom:
+    def test_one_way_only(self):
+        # match binds pattern variables against a ground fact
+        out = match_atom(Atom("p", (X,)), atom("p", "a"))
+        assert out == {X: a}
+
+    def test_constant_mismatch(self):
+        assert match_atom(atom("p", "a"), atom("p", "b")) is None
+
+    def test_repeated_variable(self):
+        assert match_atom(Atom("p", (X, X)), atom("p", "a", "b")) is None
+        out = match_atom(Atom("p", (X, X)), atom("p", "a", "a"))
+        assert out == {X: a}
+
+    def test_under_existing_substitution(self):
+        assert match_atom(Atom("p", (X,)), atom("p", "b"), {X: a}) is None
+        out = match_atom(Atom("p", (X,)), atom("p", "a"), {X: a})
+        assert out is not None
+
+
+class TestApplyAndCompose:
+    def test_apply_atom(self):
+        assert apply_atom(Atom("p", (X, Y)), {X: a}) == Atom("p", (a, Y))
+
+    def test_apply_atom_no_change_returns_same(self):
+        at = atom("p", "a")
+        assert apply_atom(at, {X: a}) is at
+
+    def test_compose_order(self):
+        # compose(first, second): apply first, then second.
+        s = compose({X: Y}, {Y: a})
+        assert walk(X, s) == a
+
+    def test_restrict(self):
+        s = {X: a, Y: b}
+        assert restrict(s, [X]) == {X: a}
+
+    def test_rename_atom(self):
+        renamed, renaming = rename_atom(Atom("p", (X, Y, X)), "_1")
+        assert renamed == Atom("p", (Variable("X_1"), Variable("Y_1"), Variable("X_1")))
+        assert renaming == {X: Variable("X_1"), Y: Variable("Y_1")}

@@ -1,0 +1,71 @@
+"""Tests for Datalog rules, safety, and stratification."""
+
+import pytest
+
+from repro.core.terms import Atom, Variable, atom
+from repro.datalog import DatalogProgram, DatalogRule, Literal, StratificationError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def rule(head, *body):
+    return DatalogRule(head, tuple(body))
+
+
+class TestSafety:
+    def test_safe_rule_accepted(self):
+        DatalogProgram([rule(Atom("p", (X,)), Literal(Atom("e", (X, Y))))])
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            DatalogProgram([rule(Atom("p", (X, Z)), Literal(Atom("e", (X, Y))))])
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ValueError):
+            DatalogProgram(
+                [rule(Atom("p", (X,)), Literal(Atom("e", (X,))),
+                      Literal(Atom("q", (Z,)), positive=False))]
+            )
+
+    def test_ground_fact_rule(self):
+        DatalogProgram([rule(atom("p", "a"))])
+
+
+class TestStratification:
+    def test_single_stratum_positive(self):
+        prog = DatalogProgram([
+            rule(Atom("t", (X, Y)), Literal(Atom("e", (X, Y)))),
+            rule(Atom("t", (X, Y)), Literal(Atom("e", (X, Z))), Literal(Atom("t", (Z, Y)))),
+        ])
+        assert len(prog.strata) == 1
+
+    def test_negation_forces_two_strata(self):
+        prog = DatalogProgram([
+            rule(Atom("reach", (X,)), Literal(Atom("src", (X,)))),
+            rule(Atom("reach", (Y,)), Literal(Atom("reach", (X,))), Literal(Atom("e", (X, Y)))),
+            rule(Atom("unreach", (X,)), Literal(Atom("node", (X,))),
+                 Literal(Atom("reach", (X,)), positive=False)),
+        ])
+        assert len(prog.strata) == 2
+        assert ("reach", 1) in prog.strata[0]
+        assert ("unreach", 1) in prog.strata[1]
+
+    def test_negation_through_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            DatalogProgram([
+                rule(Atom("p", (X,)), Literal(Atom("n", (X,))),
+                     Literal(Atom("q", (X,)), positive=False)),
+                rule(Atom("q", (X,)), Literal(Atom("n", (X,))),
+                     Literal(Atom("p", (X,)), positive=False)),
+            ])
+
+    def test_idb_edb_partition(self):
+        prog = DatalogProgram([rule(Atom("p", (X,)), Literal(Atom("e", (X,))))])
+        assert prog.idb == {("p", 1)}
+
+    def test_str(self):
+        prog = DatalogProgram([
+            rule(Atom("p", (X,)), Literal(Atom("e", (X,))),
+                 Literal(Atom("b", (X,)), positive=False)),
+        ])
+        assert str(prog) == "p(X) :- e(X), not b(X)."

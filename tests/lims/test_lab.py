@@ -1,0 +1,97 @@
+"""Tests for the genome-laboratory workload generator."""
+
+import pytest
+
+from repro import Sublanguage, analyze
+from repro.lims import (
+    build_lab_simulator,
+    gel_pipeline,
+    lab_agents,
+    sample_batch,
+    synthetic_history,
+)
+from repro.lims.lab import PIPELINE_TASKS
+from repro.workflow import agent_workload, completed_items, task_counts
+from repro.workflow.compiler import compile_workflows
+
+
+class TestGenerators:
+    def test_sample_batch_ids(self):
+        assert sample_batch(3) == ["dna0000", "dna0001", "dna0002"]
+        assert sample_batch(2, prefix="rna") == ["rna0000", "rna0001"]
+
+    def test_lab_agents_roles(self):
+        agents = lab_agents(n_clerks=1, n_techs=3, n_rigs=1, n_readers=1)
+        roles = {a.name: a.qualifications for a in agents}
+        assert roles["clerk0"] == ("clerk",)
+        assert roles["rig0"] == ("gel_rig",)
+        # techs beyond the rig count double as readers
+        assert "reader" in roles["tech2"]
+        assert roles["tech0"] == ("tech",)
+
+    def test_pipeline_spec_valid(self):
+        spec = gel_pipeline(iterate=True)
+        spec.validate()
+        assert {t.name for t in spec.tasks} == {t.name for t in PIPELINE_TASKS}
+
+    def test_pipeline_iterate_fully_bounded(self):
+        prog = compile_workflows([gel_pipeline(iterate=True)])
+        assert analyze(prog).fully_bounded
+
+
+class TestSimulation:
+    def test_batch_flows_through(self):
+        sim = build_lab_simulator()
+        res = sim.run(sample_batch(4))
+        assert res.completed("analyze") == sample_batch(4)
+        counts = task_counts(res.history)
+        assert counts["receive"] == 4
+        assert counts["read_gel"] == 4
+
+    def test_iterated_pipeline_completes(self):
+        sim = build_lab_simulator(iterate=True)
+        res = sim.run(sample_batch(2))
+        assert res.completed("analyze") == sample_batch(2)
+
+    def test_agents_do_only_their_roles(self):
+        sim = build_lab_simulator()
+        res = sim.run(sample_batch(3))
+        for fact in res.history.facts("done"):
+            task, _item, agent = (str(t) for t in fact.args)
+            if task == "run_gel":
+                assert agent.startswith("rig")
+            if task == "receive":
+                assert agent.startswith("clerk")
+            if task == "analyze":
+                assert agent == "auto"
+
+
+class TestSyntheticHistory:
+    def test_history_shape(self):
+        db = synthetic_history(10, seed=1)
+        assert len(db.facts("done")) == 10 * len(PIPELINE_TASKS)
+        assert len(db.facts("started")) == 10 * len(PIPELINE_TASKS)
+
+    def test_history_matches_simulation_schema(self):
+        # queries written against simulated histories work on synthetic
+        # ones: same predicates, same roles
+        db = synthetic_history(5, seed=2)
+        assert completed_items(db, "analyze") == sample_batch(5)
+        workload = agent_workload(db)
+        assert workload["auto"] == 5
+
+    def test_qualifications_respected(self):
+        db = synthetic_history(20, seed=3)
+        qualified = {}
+        for f in db.facts("qualified"):
+            qualified.setdefault(str(f.args[0]), set()).add(str(f.args[1]))
+        role_of = {t.name: t.role for t in PIPELINE_TASKS}
+        for f in db.facts("done"):
+            task, _item, agent = (str(t) for t in f.args)
+            role = role_of[task]
+            if role is not None:
+                assert role in qualified[agent]
+
+    def test_deterministic_by_seed(self):
+        assert synthetic_history(8, seed=7) == synthetic_history(8, seed=7)
+        assert synthetic_history(8, seed=7) != synthetic_history(8, seed=8)

@@ -1,0 +1,79 @@
+"""Tests for the two-line genome production network.
+
+The paper: each genome project is "organized into a network of
+factory-like production lines"; the mapping line feeds the sequencing
+line per sample, communicating through the database.
+"""
+
+import pytest
+
+from repro import Sublanguage, analyze, classify
+from repro.lims import (
+    build_network_simulator,
+    mapping_then_sequencing,
+    network_agents,
+    sample_batch,
+    sequencing_pipeline,
+)
+from repro.workflow import agent_workload, task_counts
+from repro.workflow.compiler import compile_workflows
+from repro.workflow.constraints import Before, MustFollow, Requires, check_trace
+from repro.workflow.staffing import analyze_staffing
+
+
+class TestSpecs:
+    def test_specs_validate(self):
+        network, mapping, sequencing = mapping_then_sequencing()
+        names = [network.name, mapping.name, sequencing.name]
+        for spec in (network, mapping, sequencing):
+            spec.validate(known_workflows=names)
+
+    def test_network_compiles_and_is_bounded(self):
+        program = compile_workflows(list(mapping_then_sequencing()))
+        assert analyze(program).fully_bounded
+
+    def test_staffing_adequate(self):
+        report = analyze_staffing(
+            list(mapping_then_sequencing()), network_agents()
+        )
+        assert report.adequate, report.summary()
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sim = build_network_simulator()
+        return sim.run(sample_batch(3))
+
+    def test_every_sample_fully_processed(self, result):
+        assert result.completed("seq_qc") == sample_batch(3)
+        counts = task_counts(result.history)
+        assert counts["read_gel"] == 3 and counts["sequence_run"] == 3
+
+    def test_sequencing_waits_for_mapping(self, result):
+        violations = check_trace(result, [Before("read_gel", "pick_clones")])
+        assert violations == []
+        # stronger: pick_clones requires the map emission, per item
+        events = list(result.events)
+        for sample in sample_batch(3):
+            mapped_at = events.index("ins.mapped(%s)" % sample)
+            picked_at = events.index("ins.started(pick_clones, %s)" % sample)
+            assert mapped_at < picked_at
+
+    def test_constraints_hold_across_lines(self, result):
+        constraints = [
+            Requires("sequence_run", "pick_clones"),
+            MustFollow("receive", "seq_qc"),
+            Before("prep_dna", "base_call"),
+        ]
+        assert check_trace(result, constraints) == []
+
+    def test_sequencer_machine_attributed(self, result):
+        workload = agent_workload(result.history)
+        assert workload.get("seqmachine0") == 3
+
+    def test_seeded_network_reproducible(self):
+        sim = build_network_simulator()
+        r1 = sim.run(sample_batch(2), seed=3)
+        r2 = sim.run(sample_batch(2), seed=3)
+        assert r1.execution.events == r2.execution.events

@@ -1,0 +1,52 @@
+"""Tests for Minsky counter machines."""
+
+import pytest
+
+from repro.machines import CounterMachine, CounterProgramError, Dec, Halt, Inc
+from repro.machines.counter import (
+    double_program,
+    parity_program,
+    transfer_program,
+)
+
+
+class TestValidation:
+    def test_bad_counter_index(self):
+        with pytest.raises(CounterProgramError):
+            CounterMachine((Inc(2, 0),))
+
+    def test_bad_jump_target(self):
+        with pytest.raises(CounterProgramError):
+            CounterMachine((Inc(0, 5), Halt()))
+
+    def test_dec_targets_checked(self):
+        with pytest.raises(CounterProgramError):
+            CounterMachine((Dec(0, 0, 9), Halt()))
+
+
+class TestExecution:
+    def test_transfer(self):
+        accepted, c0, c1, _steps = transfer_program().run(c0=5, c1=2)
+        assert accepted and c0 == 0 and c1 == 7
+
+    def test_double(self):
+        accepted, c0, c1, _steps = double_program().run(c0=4)
+        assert accepted and c1 == 8
+
+    @pytest.mark.parametrize("n,expected", [(0, True), (1, False), (2, True),
+                                            (5, False), (8, True)])
+    def test_parity(self, n, expected):
+        assert parity_program().accepts(c0=n) == expected
+
+    def test_rejecting_halt(self):
+        assert not parity_program().accepts(c0=3)
+
+    def test_step_count_grows_with_input(self):
+        _, _, _, s1 = transfer_program().run(c0=5)
+        _, _, _, s2 = transfer_program().run(c0=50)
+        assert s2 > s1
+
+    def test_timeout(self):
+        spin = CounterMachine((Inc(0, 0),))
+        with pytest.raises(TimeoutError):
+            spin.run(max_steps=100)

@@ -1,0 +1,122 @@
+"""Tests for the TD encodings of machines -- the constructions behind the
+paper's RE-completeness results.
+
+These are the repository's deepest integration tests: a machine's native
+run and its TD encoding (three concurrent processes, counters/stacks in
+recursion depth) must agree on acceptance, and the database must stay
+constant-size while the computation grows.
+"""
+
+import pytest
+
+from repro import Interpreter, Sublanguage, classify
+from repro.machines import (
+    CounterMachine,
+    Dec,
+    Halt,
+    Inc,
+    counter_to_td,
+    tm_to_two_stack,
+    two_stack_to_td,
+)
+from repro.machines.counter import parity_program, transfer_program
+from repro.machines.turing import BLANK, TuringMachine
+
+
+class TestCounterEncoding:
+    @pytest.mark.parametrize("n,expected", [(0, True), (1, False), (2, True), (3, False)])
+    def test_parity_agreement(self, n, expected):
+        machine = parity_program()
+        program, goal, db = counter_to_td(machine, c0=n)
+        interp = Interpreter(program, max_configs=2_000_000)
+        assert interp.succeeds(goal, db) == expected
+        assert machine.accepts(c0=n) == expected
+
+    def test_transfer_accepts(self):
+        program, goal, db = counter_to_td(transfer_program(), c0=3)
+        assert Interpreter(program, max_configs=2_000_000).succeeds(goal, db)
+
+    def test_rejecting_halt_fails(self):
+        always_reject = CounterMachine((Halt(accept=False),))
+        program, goal, db = counter_to_td(always_reject)
+        assert not Interpreter(program, max_configs=100_000).succeeds(goal, db)
+
+    def test_classified_as_full_td(self):
+        program, goal, _db = counter_to_td(parity_program(), c0=1)
+        assert classify(program, goal) is Sublanguage.FULL
+
+    def test_database_stays_small(self):
+        # The crux of the fixed-schema RE argument: the database holds
+        # only seeds + a bounded set of flags, never the counter values.
+        machine = transfer_program()
+        program, goal, db = counter_to_td(machine, c0=4)
+        interp = Interpreter(program, max_configs=2_000_000)
+        exe = interp.simulate(goal, db)
+        assert exe is not None
+        # trace length grows with the computation...
+        assert len(exe.trace) > 40
+        # ...but no intermediate insert ever targets a counter-valued
+        # relation: final db is a constant-size residue.
+        assert len(exe.database) <= len(db) + 3
+
+    def test_step_count_scales_with_input(self):
+        machine = transfer_program()
+        lengths = []
+        for n in (1, 3, 5):
+            program, goal, db = counter_to_td(machine, c0=n)
+            exe = Interpreter(program, max_configs=2_000_000).simulate(goal, db)
+            lengths.append(len(exe.trace))
+        assert lengths[0] < lengths[1] < lengths[2]
+
+
+class TestTwoStackEncoding:
+    def _scan_machine(self):
+        tm = TuringMachine(
+            states=frozenset({"q0", "qa"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", BLANK}),
+            transitions={
+                ("q0", "a"): [("q0", "a", "R")],
+                ("q0", BLANK): [("qa", BLANK, "R")],
+            },
+            start="q0",
+            accepting=frozenset({"qa"}),
+        )
+        return tm, tm_to_two_stack(tm)
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tm_twostack_td_triple_agreement(self, n):
+        word = ["a"] * n
+        tm, tsm = self._scan_machine()
+        program, goal, db = two_stack_to_td(tsm, word)
+        interp = Interpreter(program, max_configs=4_000_000)
+        td_accepts = interp.succeeds(goal, db)
+        assert tm.accepts(word) == tsm.accepts(word) == td_accepts is True
+
+    def test_three_concurrent_processes(self):
+        # Corollary 4.6's shape: the goal is exactly stack1|stack2|boot.
+        from repro.core.formulas import Conc
+
+        _tm, tsm = self._scan_machine()
+        _program, goal, _db = two_stack_to_td(tsm, ["a"])
+        assert isinstance(goal, Conc)
+        assert len(goal.parts) == 3
+
+    def test_parity_machine_reject(self):
+        tm = TuringMachine(
+            states=frozenset({"even", "odd", "acc"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", BLANK}),
+            transitions={
+                ("even", "a"): [("odd", "a", "R")],
+                ("odd", "a"): [("even", "a", "R")],
+                ("even", BLANK): [("acc", BLANK, "R")],
+            },
+            start="even",
+            accepting=frozenset({"acc"}),
+        )
+        tsm = tm_to_two_stack(tm)
+        program, goal, db = two_stack_to_td(tsm, ["a"])
+        assert not Interpreter(program, max_configs=1_000_000).succeeds(goal, db)
+        program, goal, db = two_stack_to_td(tsm, ["a", "a"])
+        assert Interpreter(program, max_configs=4_000_000).succeeds(goal, db)

@@ -1,0 +1,101 @@
+"""Tests for safe Petri nets and their TD embedding."""
+
+import pytest
+
+from repro import select_engine
+from repro.machines import PetriNet, petri_to_td
+
+
+def producer_consumer_net():
+    """Classic safe net: producer fills a slot, consumer empties it."""
+    return PetriNet(
+        places=frozenset({"ready_p", "ready_c", "full", "empty"}),
+        transitions={
+            "produce": (frozenset({"ready_p", "empty"}), frozenset({"ready_p", "full"})),
+            "consume": (frozenset({"ready_c", "full"}), frozenset({"ready_c", "empty"})),
+        },
+        initial=frozenset({"ready_p", "ready_c", "empty"}),
+    )
+
+
+def line_net():
+    return PetriNet(
+        places=frozenset({"p", "q", "r"}),
+        transitions={
+            "t1": (frozenset({"p"}), frozenset({"q"})),
+            "t2": (frozenset({"q"}), frozenset({"r"})),
+        },
+        initial=frozenset({"p"}),
+    )
+
+
+class TestNativeSemantics:
+    def test_enabled(self):
+        net = line_net()
+        assert net.enabled(frozenset({"p"})) == ["t1"]
+        assert net.enabled(frozenset({"q"})) == ["t2"]
+        assert net.enabled(frozenset()) == []
+
+    def test_fire(self):
+        net = line_net()
+        assert net.fire(frozenset({"p"}), "t1") == frozenset({"q"})
+
+    def test_fire_disabled_raises(self):
+        with pytest.raises(ValueError):
+            line_net().fire(frozenset({"q"}), "t1")
+
+    def test_unsafe_firing_detected(self):
+        net = PetriNet(
+            places=frozenset({"a", "b"}),
+            transitions={"t": (frozenset({"a"}), frozenset({"b"}))},
+            initial=frozenset({"a", "b"}),
+        )
+        with pytest.raises(ValueError):
+            net.fire(frozenset({"a", "b"}), "t")
+
+    def test_reachable(self):
+        net = producer_consumer_net()
+        reachable = net.reachable()
+        assert frozenset({"ready_p", "ready_c", "full"}) in reachable
+        assert len(reachable) == 2
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(ValueError):
+            PetriNet(
+                places=frozenset({"a"}),
+                transitions={"t": (frozenset({"a"}), frozenset({"zz"}))},
+                initial=frozenset({"a"}),
+            )
+
+
+class TestTDEmbedding:
+    def test_reachability_agreement_line(self):
+        net = line_net()
+        for target in (frozenset({"q"}), frozenset({"r"}), frozenset({"p", "q"})):
+            program, goal, db = petri_to_td(net, target)
+            engine = select_engine(program, goal)
+            assert engine.succeeds(goal, db) == net.can_reach(target)
+
+    def test_reachability_agreement_producer_consumer(self):
+        net = producer_consumer_net()
+        reachable_target = frozenset({"ready_p", "ready_c", "full"})
+        unreachable_target = frozenset({"full", "empty"})
+        for target in (reachable_target, unreachable_target):
+            program, goal, db = petri_to_td(net, target)
+            engine = select_engine(program, goal)
+            assert engine.succeeds(goal, db) == net.can_reach(target)
+
+    def test_embedding_is_decidable_fragment(self):
+        # firing rules are nonrecursive; `run` is tail recursion over
+        # them: the classifier must place the embedding in a decidable
+        # sublanguage, mirroring decidability of safe-net reachability.
+        net = line_net()
+        program, goal, _db = petri_to_td(net, frozenset({"r"}))
+        engine = select_engine(program, goal)
+        assert engine.decidable
+
+    def test_initial_marking_as_database(self):
+        net = line_net()
+        _program, _goal, db = petri_to_td(net, frozenset({"r"}))
+        assert len(db) == 1
+        assert next(iter(db)).pred == "m"

@@ -1,0 +1,107 @@
+"""Tests for QBF evaluation and its sequential-TD encoding."""
+
+import pytest
+
+from repro import Sublanguage, classify, select_engine
+from repro.machines.qbf import QBF, evaluate_qbf, qbf_to_td
+
+
+def q(*prefix):
+    return tuple(prefix)
+
+
+class TestNativeEvaluator:
+    def test_simple_exists(self):
+        # exists x. (x)
+        f = QBF((("exists", "x"),), ((("x", True),),))
+        assert evaluate_qbf(f)
+
+    def test_unsatisfiable(self):
+        # exists x. (x) and (not x)
+        f = QBF((("exists", "x"),), ((("x", True),), (("x", False),)))
+        assert not evaluate_qbf(f)
+
+    def test_forall_tautology(self):
+        # forall x. (x or not x)
+        f = QBF((("forall", "x"),), ((("x", True), ("x", False)),))
+        assert evaluate_qbf(f)
+
+    def test_forall_contingent(self):
+        # forall x. (x) -- false
+        f = QBF((("forall", "x"),), ((("x", True),),))
+        assert not evaluate_qbf(f)
+
+    def test_alternation(self):
+        # forall x exists y. (x or y) and (not x or not y) -- y = not x
+        f = QBF(
+            (("forall", "x"), ("exists", "y")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        )
+        assert evaluate_qbf(f)
+
+    def test_alternation_false(self):
+        # exists y forall x. (x or y) and (not x or not y) -- no single y
+        f = QBF(
+            (("exists", "y"), ("forall", "x")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        )
+        assert not evaluate_qbf(f)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QBF((("exists", "x"),), ((("z", True),),))
+        with pytest.raises(ValueError):
+            QBF((("some", "x"),), ())
+        with pytest.raises(ValueError):
+            QBF((("exists", "x"), ("forall", "x")), ())
+
+
+class TestTDEncoding:
+    CASES = [
+        QBF((("exists", "x"),), ((("x", True),),)),
+        QBF((("exists", "x"),), ((("x", True),), (("x", False),))),
+        QBF((("forall", "x"),), ((("x", True), ("x", False)),)),
+        QBF((("forall", "x"),), ((("x", True),),)),
+        QBF(
+            (("forall", "x"), ("exists", "y")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        ),
+        QBF(
+            (("exists", "y"), ("forall", "x")),
+            ((("x", True), ("y", True)), (("x", False), ("y", False))),
+        ),
+        QBF(
+            (("forall", "x"), ("forall", "y"), ("exists", "z")),
+            (
+                (("x", True), ("y", True), ("z", True)),
+                (("z", False), ("x", True), ("y", False)),
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "qbf",
+        CASES,
+        ids=lambda f: "-".join("%s_%s" % (q[0], q[1]) for q in f.prefix),
+    )
+    def test_td_agrees_with_native(self, qbf):
+        program, goal, db = qbf_to_td(qbf)
+        engine = select_engine(program, goal)
+        assert engine.succeeds(goal, db) == evaluate_qbf(qbf)
+
+    def test_encoding_is_sequential(self):
+        program, goal, _db = qbf_to_td(self.CASES[4])
+        # non-tail recursion through the quantifier levels: sequential TD
+        assert classify(program, goal) in (
+            Sublanguage.SEQUENTIAL,
+            Sublanguage.FULLY_BOUNDED,
+            Sublanguage.NONRECURSIVE,
+        )
+
+    def test_matrix_is_data(self):
+        f1 = QBF((("exists", "x"),), ((("x", True),),))
+        f2 = QBF((("exists", "x"),), ((("x", False),),))
+        p1, _g1, d1 = qbf_to_td(f1)
+        p2, _g2, d2 = qbf_to_td(f2)
+        assert str(p1) == str(p2)  # same rules, different database
+        assert d1 != d2

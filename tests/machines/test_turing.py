@@ -1,0 +1,146 @@
+"""Tests for the Turing machine simulator and TM -> 2-stack compilation."""
+
+import pytest
+
+from repro.machines import TuringMachine, tm_to_two_stack
+from repro.machines.turing import BLANK, TMConfig
+
+
+def scan_right_machine():
+    """Scans a's rightward; accepts at the first blank."""
+    return TuringMachine(
+        states=frozenset({"q0", "qa"}),
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", BLANK}),
+        transitions={
+            ("q0", "a"): [("q0", "a", "R")],
+            ("q0", BLANK): [("qa", BLANK, "R")],
+        },
+        start="q0",
+        accepting=frozenset({"qa"}),
+    )
+
+
+def even_a_machine():
+    """Accepts words with an even number of a's."""
+    return TuringMachine(
+        states=frozenset({"even", "odd", "acc"}),
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", BLANK}),
+        transitions={
+            ("even", "a"): [("odd", "a", "R")],
+            ("odd", "a"): [("even", "a", "R")],
+            ("even", BLANK): [("acc", BLANK, "R")],
+        },
+        start="even",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def flip_flop_machine():
+    """Writes b over a, moves left and right -- exercises both directions
+    and tape extension on the left edge."""
+    return TuringMachine(
+        states=frozenset({"s", "back", "acc"}),
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", "b", BLANK}),
+        transitions={
+            ("s", "a"): [("back", "b", "R")],
+            ("back", "a"): [("s", "a", "L")],
+            ("back", "b"): [("s", "b", "L")],
+            ("back", BLANK): [("acc", BLANK, "R")],
+            ("s", "b"): [("s", "b", "R")],
+            ("s", BLANK): [("acc", BLANK, "R")],
+        },
+        start="s",
+        accepting=frozenset({"acc"}),
+    )
+
+
+class TestSimulator:
+    def test_accepts(self):
+        tm = scan_right_machine()
+        assert tm.accepts([])
+        assert tm.accepts(["a", "a", "a"])
+
+    def test_parity(self):
+        tm = even_a_machine()
+        assert tm.accepts([])
+        assert not tm.accepts(["a"])
+        assert tm.accepts(["a", "a"])
+        assert not tm.accepts(["a", "a", "a"])
+
+    def test_rejects_by_halting(self):
+        tm = even_a_machine()
+        assert not tm.accepts(["a"])  # halts in `odd` with no transition
+
+    def test_left_edge_extends_tape(self):
+        tm = flip_flop_machine()
+        assert tm.accepts(["a", "a"])
+
+    def test_run_trace_records_configs(self):
+        tm = scan_right_machine()
+        trace = tm.run_trace(["a", "a"])
+        assert trace[0].state == "q0"
+        assert trace[-1].state == "qa"
+        assert len(trace) >= 3
+
+    def test_timeout_on_divergence(self):
+        tm = TuringMachine(
+            states=frozenset({"s"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", BLANK}),
+            transitions={("s", BLANK): [("s", "a", "R")]},
+            start="s",
+            accepting=frozenset(),
+        )
+        with pytest.raises(TimeoutError):
+            tm.accepts([], max_steps=100)
+
+    def test_validation_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states=frozenset({"s"}),
+                input_alphabet=frozenset({"a"}),
+                tape_alphabet=frozenset({"a", BLANK}),
+                transitions={("s", "a"): [("s", "a", "X")]},
+                start="s",
+                accepting=frozenset(),
+            )
+
+    def test_validation_requires_blank(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states=frozenset({"s"}),
+                input_alphabet=frozenset({"a"}),
+                tape_alphabet=frozenset({"a"}),
+                transitions={},
+                start="s",
+                accepting=frozenset(),
+            )
+
+    def test_config_render(self):
+        cfg = TMConfig("q0", ("a", "b"), 1)
+        assert cfg.render() == "a[q0]b"
+
+
+class TestCompilationToTwoStack:
+    WORDS = [[], ["a"], ["a", "a"], ["a", "a", "a"], ["a"] * 4]
+
+    @pytest.mark.parametrize("word", WORDS, ids=lambda w: "len%d" % len(w))
+    def test_parity_machine_equivalence(self, word):
+        tm = even_a_machine()
+        tsm = tm_to_two_stack(tm)
+        assert tm.accepts(word) == tsm.accepts(word)
+
+    @pytest.mark.parametrize("word", WORDS, ids=lambda w: "len%d" % len(w))
+    def test_scan_machine_equivalence(self, word):
+        tm = scan_right_machine()
+        tsm = tm_to_two_stack(tm)
+        assert tm.accepts(word) == tsm.accepts(word)
+
+    def test_left_moving_machine_equivalence(self):
+        tm = flip_flop_machine()
+        tsm = tm_to_two_stack(tm)
+        for word in ([], ["a"], ["a", "a"]):
+            assert tm.accepts(word) == tsm.accepts(word)

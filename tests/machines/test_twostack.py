@@ -1,0 +1,92 @@
+"""Tests for the two-stack machine model."""
+
+import pytest
+
+from repro.machines import TwoStackMachine
+from repro.machines.twostack import BOTTOM, TwoStackConfig
+
+
+def copy_machine():
+    """Pops a's off stack 2 and pushes them on stack 1; accepts when
+    stack 2 is empty."""
+    return TwoStackMachine(
+        states=frozenset({"mv", "acc"}),
+        alphabet=frozenset({"a"}),
+        transitions={
+            ("mv", BOTTOM, "a"): [("mv", ("a",), ())],
+            ("mv", "a", "a"): [("mv", ("a", "a"), ())],
+            ("mv", BOTTOM, BOTTOM): [("acc", (), ())],
+            ("mv", "a", BOTTOM): [("acc", ("a",), ())],
+        },
+        start="mv",
+        accepting=frozenset({"acc"}),
+    )
+
+
+class TestModel:
+    def test_bottom_reserved(self):
+        with pytest.raises(ValueError):
+            TwoStackMachine(
+                states=frozenset({"s"}),
+                alphabet=frozenset({BOTTOM}),
+                transitions={},
+                start="s",
+                accepting=frozenset(),
+            )
+
+    def test_unknown_push_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            TwoStackMachine(
+                states=frozenset({"s"}),
+                alphabet=frozenset({"a"}),
+                transitions={("s", "a", "a"): [("s", ("z",), ())]},
+                start="s",
+                accepting=frozenset(),
+            )
+
+    def test_initial_config_loads_input_reversed(self):
+        m = copy_machine()
+        cfg = m.initial_config(["a", "a"])
+        # first input symbol must be on top (stacks are top-last tuples)
+        assert cfg.stack2 == ("a", "a")
+        assert cfg.stack1 == ()
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_copy_machine_accepts(self, n):
+        assert copy_machine().accepts(["a"] * n)
+
+    def test_trace_moves_symbols(self):
+        trace = copy_machine().run_trace(["a", "a"])
+        final = trace[-1]
+        assert final.state == "acc"
+        assert len(final.stack1) == 2
+        assert final.stack2 == ()
+
+    def test_stuck_machine_rejects(self):
+        m = TwoStackMachine(
+            states=frozenset({"s", "acc"}),
+            alphabet=frozenset({"a"}),
+            transitions={},
+            start="s",
+            accepting=frozenset({"acc"}),
+        )
+        assert not m.accepts(["a"])
+
+    def test_gamma_push_order(self):
+        # gamma ("x", "y") must leave "x" on top
+        m = TwoStackMachine(
+            states=frozenset({"s", "acc"}),
+            alphabet=frozenset({"a", "x", "y"}),
+            transitions={
+                ("s", BOTTOM, "a"): [("s", ("x", "y"), ())],
+                ("s", "x", BOTTOM): [("acc", (), ())],
+            },
+            start="s",
+            accepting=frozenset({"acc"}),
+        )
+        cfg = m.initial_config(["a"])
+        (cfg2,) = m.step(cfg)
+        assert cfg2.stack1 == ("y", "x")  # top-last: x on top
+        assert m.accepts(["a"])

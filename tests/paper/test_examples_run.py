@@ -1,0 +1,58 @@
+"""End-to-end checks: every example script runs cleanly.
+
+The examples are the repository's quickstart surface; breaking one is a
+release blocker, so they run (with captured output) as part of the test
+suite.  Each assertion pins a line the walkthrough's narrative depends
+on.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "final state:" in out
+        assert "after transfer:" in out
+        assert "overdraft attempt commits: False" in out
+
+    def test_banking(self, capsys):
+        out = run_example("banking.py", capsys)
+        assert "balance(alice, 70)" in out
+        assert "commits: False" in out
+        assert "isolated transfers always give 110" in out
+
+    def test_genome_lab(self, capsys):
+        out = run_example("genome_lab.py", capsys)
+        assert "completed: dna0000" in out
+        assert "task counts:" in out
+        assert "conclusive results:" in out
+
+    def test_cooperating_workflows(self, capsys):
+        out = run_example("cooperating_workflows.py", capsys)
+        assert "mapdata published at event" in out
+        assert "assembly alone commits: False" in out
+
+    def test_complexity_tour(self, capsys):
+        out = run_example("complexity_tour.py", capsys)
+        assert "query-only (Datalog)" in out
+        assert "budget 5000" in out
+        assert "native=True  TD=True" in out
+        assert "drain with tokens commits:    True" in out
+
+    def test_insurance_claims(self, capsys):
+        out = run_example("insurance_claims.py", capsys)
+        assert "paid out: claim000" in out
+        assert "completable:         yes" in out
+        assert "completable:         no" in out  # the skeleton-staff case

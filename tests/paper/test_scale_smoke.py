@@ -1,0 +1,59 @@
+"""Scale smoke tests: the engines at sizes an adopter would actually use.
+
+Unit tests pin behaviour at toy sizes; these pin that nothing falls off
+a cliff at realistic ones (each case is budgeted to run in seconds).
+"""
+
+import pytest
+
+from repro import Interpreter, parse_goal, parse_program, select_engine
+from repro.complexity import chain_edges, nonrecursive_path_program
+from repro.datalog import evaluate, from_td
+from repro.lims import build_lab_simulator, lab_agents, sample_batch, synthetic_history
+from repro.workflow import task_counts
+
+
+class TestWorkflowScale:
+    def test_hundred_sample_batch(self):
+        sim = build_lab_simulator(
+            agents=lab_agents(n_clerks=2, n_techs=4, n_rigs=2, n_readers=2)
+        )
+        result = sim.run(sample_batch(100))
+        assert len(result.completed("analyze")) == 100
+        # trace stays linear-ish: ~40 actions per sample
+        assert len(result.execution.trace) < 100 * 80
+
+    def test_large_history_queries(self):
+        history = synthetic_history(2000, seed=1)
+        counts = task_counts(history)
+        assert counts["analyze"] == 2000
+        assert len(history) > 20_000
+
+
+class TestEngineScale:
+    def test_nonrecursive_large_graph(self):
+        program = nonrecursive_path_program()
+        engine = select_engine(program)
+        db = chain_edges(1000, extra_random=500, seed=9)
+        assert engine.succeeds("witness", db)
+
+    def test_datalog_closure_large_chain(self):
+        datalog = from_td(
+            parse_program(
+                "path(X, Y) <- e(X, Y).\npath(X, Y) <- e(X, Z) * path(Z, Y)."
+            )
+        )
+        facts = evaluate(datalog, chain_edges(120))
+        assert len(facts.facts("path")) == 120 * 121 // 2
+
+    def test_interpreter_long_sequential_run(self):
+        program = parse_program(
+            "drain <- item(X) * del.item(X) * drain.\ndrain <- not item(_)."
+        )
+        from repro import parse_database
+
+        db = parse_database(" ".join("item(i%03d)." % i for i in range(300)))
+        exe = Interpreter(program, max_configs=5_000_000).simulate(
+            parse_goal("drain"), db
+        )
+        assert exe is not None and exe.database == parse_database("")

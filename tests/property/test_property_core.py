@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the core data structures and
+semantic invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Database, Interpreter, parse_goal, parse_program
+from repro.core.formulas import apply_subst, conc, seq
+from repro.core.parser import parse_goal as pg
+from repro.core.terms import Atom, Constant, Variable, atom
+from repro.core.transitions import canonical_key
+from repro.core.unify import apply_atom, match_atom, unify_atoms
+
+# -- strategies -------------------------------------------------------------
+
+constants = st.sampled_from([Constant(c) for c in "abcde"]) | st.integers(
+    min_value=0, max_value=9
+).map(Constant)
+variables = st.sampled_from([Variable(v) for v in ("X", "Y", "Z")])
+terms = constants | variables
+preds = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def atoms(draw, ground=False):
+    pred = draw(preds)
+    arity = draw(st.integers(min_value=0, max_value=3))
+    pool = constants if ground else terms
+    args = tuple(draw(pool) for _ in range(arity))
+    return Atom(pred, args)
+
+
+@st.composite
+def databases(draw):
+    facts = draw(st.lists(atoms(ground=True), max_size=12))
+    return Database(facts)
+
+
+# -- database laws ------------------------------------------------------------
+
+
+class TestDatabaseLaws:
+    @given(databases(), atoms(ground=True))
+    def test_insert_then_contains(self, db, fact):
+        assert fact in db.insert(fact)
+
+    @given(databases(), atoms(ground=True))
+    def test_delete_then_absent(self, db, fact):
+        assert fact not in db.delete(fact)
+
+    @given(databases(), atoms(ground=True))
+    def test_insert_idempotent(self, db, fact):
+        once = db.insert(fact)
+        assert once.insert(fact) == once
+
+    @given(databases(), atoms(ground=True))
+    def test_delete_inverts_insert_on_fresh_fact(self, db, fact):
+        if fact not in db:
+            assert db.insert(fact).delete(fact) == db
+
+    @given(databases(), atoms(ground=True), atoms(ground=True))
+    def test_independent_updates_commute(self, db, f1, f2):
+        if f1 != f2:
+            assert db.insert(f1).insert(f2) == db.insert(f2).insert(f1)
+            assert db.delete(f1).delete(f2) == db.delete(f2).delete(f1)
+
+    @given(databases())
+    def test_iteration_reconstructs(self, db):
+        assert Database(list(db)) == db
+
+    @given(databases(), databases())
+    def test_equality_is_content(self, d1, d2):
+        assert (d1 == d2) == (set(d1) == set(d2))
+
+
+# -- unification laws -----------------------------------------------------------
+
+
+class TestUnificationLaws:
+    @given(atoms(), atoms())
+    def test_unifier_actually_unifies(self, a1, a2):
+        theta = unify_atoms(a1, a2)
+        if theta is not None:
+            assert apply_atom(a1, theta) == apply_atom(a2, theta)
+
+    @given(atoms(), atoms(ground=True))
+    def test_match_instantiates_to_fact(self, pattern, fact):
+        theta = match_atom(pattern, fact)
+        if theta is not None:
+            assert apply_atom(pattern, theta) == fact
+
+    @given(atoms())
+    def test_self_unification_is_trivial(self, a):
+        theta = unify_atoms(a, a)
+        assert theta is not None
+        assert apply_atom(a, theta) == a
+
+
+# -- canonical key laws -----------------------------------------------------------
+
+
+class TestCanonicalKeyLaws:
+    @given(atoms(), atoms())
+    def test_conc_commutative_under_key(self, a1, a2):
+        from repro.core.formulas import Call
+
+        f1 = conc(Call(a1), Call(a2))
+        f2 = conc(Call(a2), Call(a1))
+        assert canonical_key(f1, sort_conc=True) == canonical_key(f2, sort_conc=True)
+
+    @given(atoms())
+    def test_key_stable(self, a):
+        from repro.core.formulas import Call
+
+        f = seq(Call(a), Call(a))
+        assert canonical_key(f) == canonical_key(f)
+
+
+# -- semantic invariants ------------------------------------------------------------
+
+
+def _finals(prog_text, goal_text, db):
+    interp = Interpreter(parse_program(prog_text), max_configs=100_000)
+    return interp.final_databases(parse_goal(goal_text), db)
+
+
+class TestSemanticInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(databases())
+    def test_query_preserves_database(self, db):
+        finals = _finals("x <- y.", "p(X)", db)
+        for final in finals:
+            assert final == db
+
+    @settings(max_examples=25, deadline=None)
+    @given(databases(), atoms(ground=True))
+    def test_ins_is_union(self, db, fact):
+        goal = "ins.%s" % fact
+        (final,) = _finals("x <- y.", goal, db)
+        assert final == db.insert(fact)
+
+    @settings(max_examples=20, deadline=None)
+    @given(databases())
+    def test_conc_of_inserts_order_independent(self, db):
+        finals = _finals("x <- y.", "ins.m1 | ins.m2", db)
+        assert finals == {db.insert(atom("m1")).insert(atom("m2"))}
+
+    @settings(max_examples=20, deadline=None)
+    @given(databases())
+    def test_iso_equals_body_when_alone(self, db):
+        # with no siblings, iso(a) and a have the same final states
+        with_iso = _finals("x <- y.", "iso(del.p(a) * ins.q(b))", db)
+        without = _finals("x <- y.", "del.p(a) * ins.q(b)", db)
+        assert with_iso == without
+
+    @settings(max_examples=15, deadline=None)
+    @given(databases())
+    def test_seq_associativity_semantics(self, db):
+        lhs = _finals("x <- y.", "(ins.a * del.b) * ins.c", db)
+        rhs = _finals("x <- y.", "ins.a * (del.b * ins.c)", db)
+        assert lhs == rhs
+
+    @settings(max_examples=15, deadline=None)
+    @given(databases())
+    def test_conc_commutativity_semantics(self, db):
+        lhs = _finals("x <- y.", "(ins.a * del.c) | del.b", db)
+        rhs = _finals("x <- y.", "del.b | (ins.a * del.c)", db)
+        assert lhs == rhs

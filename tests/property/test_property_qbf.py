@@ -1,0 +1,54 @@
+"""Property-based cross-validation of the QBF encoding.
+
+Random small prenex-CNF formulas: the sequential-TD encoding must agree
+with the native recursive evaluator on truth -- the strongest automated
+evidence that the alternation mechanism (rule choice = ∃, sequential
+both-branches = ∀) is implemented faithfully.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Interpreter
+from repro.machines import QBF, evaluate_qbf, qbf_to_td
+
+
+@st.composite
+def qbfs(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=3))
+    variables = ["v%d" % i for i in range(n_vars)]
+    prefix = tuple(
+        (draw(st.sampled_from(["exists", "forall"])), v) for v in variables
+    )
+    n_clauses = draw(st.integers(min_value=1, max_value=4))
+    matrix = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(min_value=1, max_value=2))
+        clause = tuple(
+            (draw(st.sampled_from(variables)), draw(st.booleans()))
+            for _ in range(width)
+        )
+        matrix.append(clause)
+    return QBF(prefix, tuple(matrix))
+
+
+class TestQBFEncodingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(qbfs())
+    def test_td_agrees_with_native(self, qbf):
+        program, goal, db = qbf_to_td(qbf)
+        interp = Interpreter(program, max_configs=2_000_000)
+        assert interp.succeeds(goal, db) == evaluate_qbf(qbf)
+
+    @settings(max_examples=20, deadline=None)
+    @given(qbfs())
+    def test_negating_prefix_flips_sometimes_but_stays_consistent(self, qbf):
+        # Dualizing every quantifier and literal polarity must negate
+        # CNF-evaluated truth only in general for full De Morgan forms;
+        # here we simply check the encoding is *deterministic*: repeated
+        # evaluation gives the same verdict (no hidden state).
+        program, goal, db = qbf_to_td(qbf)
+        interp = Interpreter(program, max_configs=2_000_000)
+        first = interp.succeeds(goal, db)
+        second = interp.succeeds(goal, db)
+        assert first == second == evaluate_qbf(qbf)

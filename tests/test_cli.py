@@ -1,0 +1,143 @@
+"""Tests for the tdlog command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def bank_files(tmp_path):
+    program = tmp_path / "bank.td"
+    program.write_text(
+        """
+        transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+        withdraw(Acct, Amt) <-
+            balance(Acct, Bal) * Bal >= Amt *
+            del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+        deposit(Acct, Amt) <-
+            balance(Acct, Bal) *
+            del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+    )
+    db = tmp_path / "bank.facts"
+    db.write_text("balance(a, 100). balance(b, 10).")
+    return str(program), str(db)
+
+
+class TestClassify:
+    def test_report_printed(self, bank_files, capsys):
+        program, _db = bank_files
+        assert main(["classify", program]) == 0
+        out = capsys.readouterr().out
+        assert "sublanguage:" in out
+
+    def test_goal_flag(self, bank_files, capsys):
+        program, _db = bank_files
+        assert main(["classify", program, "--goal", "transfer(a, b, 1)"]) == 0
+
+
+class TestSolve:
+    def test_success_prints_solution(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["solve", program, "--goal", "transfer(a, b, 30)", "--db", db])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "balance(a, 70)" in out
+        assert "balance(b, 40)" in out
+
+    def test_failure_exit_code(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["solve", program, "--goal", "transfer(b, a, 999)", "--db", db])
+        assert code == 1
+        assert "cannot commit" in capsys.readouterr().out
+
+    def test_bindings_printed(self, tmp_path, capsys):
+        program = tmp_path / "q.td"
+        program.write_text("pick(X) <- item(X).")
+        db = tmp_path / "q.facts"
+        db.write_text("item(a). item(b).")
+        assert main(["solve", str(program), "--goal", "pick(Y)", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Y = a" in out and "Y = b" in out
+
+    def test_limit_flag(self, tmp_path, capsys):
+        program = tmp_path / "q.td"
+        program.write_text("pick(X) <- item(X).")
+        db = tmp_path / "q.facts"
+        db.write_text("item(a). item(b). item(c).")
+        main([
+            "solve", str(program), "--goal", "pick(Y)", "--db", str(db),
+            "--limit", "1",
+        ])
+        out = capsys.readouterr().out
+        assert out.count("solution") == 1
+
+
+class TestRun:
+    def test_trace_and_final_db(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["run", program, "--goal", "transfer(a, b, 30)", "--db", db])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "iso:" in out
+        assert "final database:" in out
+
+    def test_no_execution(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["run", program, "--goal", "transfer(a, b, 9999)", "--db", db])
+        assert code == 1
+
+    def test_seed_flag(self, bank_files):
+        program, db = bank_files
+        assert main([
+            "run", program, "--goal", "transfer(a, b, 1)", "--db", db,
+            "--seed", "3",
+        ]) == 0
+
+    def test_without_db_file(self, tmp_path):
+        program = tmp_path / "p.td"
+        program.write_text("go <- ins.done.")
+        assert main(["run", str(program), "--goal", "go"]) == 0
+
+
+class TestGraph:
+    def test_stats_printed(self, tmp_path, capsys):
+        program = tmp_path / "p.td"
+        program.write_text("go <- ins.a.\ngo <- never(x).")
+        code = main(["graph", str(program), "--goal", "go"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "states:" in out and "stuck:      1" in out
+
+    def test_dot_export(self, tmp_path, capsys):
+        program = tmp_path / "p.td"
+        program.write_text("go <- ins.a * ins.b.")
+        dot = tmp_path / "g.dot"
+        assert main(["graph", str(program), "--goal", "go", "--dot", str(dot)]) == 0
+        text = dot.read_text()
+        assert text.startswith("digraph")
+        assert "doublecircle" in text  # the final state
+
+    def test_show_stuck_trace(self, tmp_path, capsys):
+        program = tmp_path / "p.td"
+        program.write_text("go <- blocked(x) * ins.a.")
+        assert main(["graph", str(program), "--goal", "go", "--show-stuck"]) == 0
+        out = capsys.readouterr().out
+        assert "first stuck state" in out
+
+
+class TestDiagnose:
+    def test_commit_case_exit_zero(self, tmp_path, capsys):
+        program = tmp_path / "p.td"
+        program.write_text("go <- ins.a.")
+        assert main(["diagnose", str(program), "--goal", "go"]) == 0
+        assert "can commit" in capsys.readouterr().out
+
+    def test_failure_case_explains(self, tmp_path, capsys):
+        program = tmp_path / "p.td"
+        program.write_text("go <- permit(W) * ins.a.")
+        assert main(["diagnose", str(program), "--goal", "go"]) == 1
+        out = capsys.readouterr().out
+        assert "cannot commit" in out
+        assert "permit" in out

@@ -1,0 +1,135 @@
+"""Tests for the interactive TD session."""
+
+import io
+
+import pytest
+
+from repro.repl import Repl
+
+
+def run_session(*lines):
+    out = io.StringIO()
+    repl = Repl(out=out)
+    for line in lines:
+        alive = repl.handle(line)
+        if not alive:
+            break
+    return repl, out.getvalue()
+
+
+class TestCommands:
+    def test_rule_and_fact(self):
+        repl, out = run_session(
+            "rule p(X) <- q(X).",
+            "fact q(a).",
+            "program",
+            "db",
+        )
+        assert "added 1 rule(s)." in out
+        assert "p(X) <- q(X)." in out
+        assert "q(a)." in out
+
+    def test_query_shows_bindings_and_delta(self):
+        _repl, out = run_session(
+            "rule take(X) <- item(X) * del.item(X) * ins.got(X).",
+            "fact item(a). item(b).",
+            "?- take(X).",
+        )
+        assert "X = a" in out and "X = b" in out
+        assert "+{got(a)}" in out
+        assert "-{item(a)}" in out
+
+    def test_query_failure_prints_no(self):
+        _repl, out = run_session("rule p <- q(zz).", "?- p.")
+        assert "no." in out
+
+    def test_query_does_not_change_db(self):
+        repl, _out = run_session(
+            "rule take(X) <- item(X) * del.item(X).",
+            "fact item(a).",
+            "?- take(X).",
+        )
+        assert len(repl.db) == 1
+
+    def test_run_shows_trace(self):
+        _repl, out = run_session(
+            "rule go <- ins.p(a) * iso(del.p(a)).",
+            "run go.",
+        )
+        assert "ins.p(a)" in out
+        assert "iso:" in out
+
+    def test_commit_applies_final_state(self):
+        repl, out = run_session(
+            "rule go <- ins.flag.",
+            "commit go.",
+            "db",
+        )
+        assert "committed." in out
+        assert "flag." in out
+        assert len(repl.db) == 1
+
+    def test_commit_failure_leaves_db(self):
+        repl, out = run_session(
+            "rule go <- missing(x) * ins.flag.",
+            "commit go.",
+        )
+        assert "cannot commit." in out
+        assert len(repl.db) == 0
+
+    def test_classify_and_reset(self):
+        repl, out = run_session(
+            "rule p <- ins.a * p.",
+            "classify",
+            "reset",
+            "program",
+        )
+        assert "fully bounded" in out
+        assert "session cleared." in out
+        assert "(no rules)" in out
+
+    def test_parse_errors_are_recoverable(self):
+        repl, out = run_session("rule p <- ((.", "fact q(a).")
+        assert "error:" in out
+        assert len(repl.db) == 1
+
+    def test_quit_ends_session(self):
+        repl = Repl(out=io.StringIO())
+        assert repl.handle("quit") is False
+
+    def test_unknown_command(self):
+        _repl, out = run_session("frobnicate")
+        assert "unknown command" in out
+
+    def test_load_files(self, tmp_path):
+        rules = tmp_path / "r.td"
+        rules.write_text("p(X) <- q(X).")
+        facts = tmp_path / "f.facts"
+        facts.write_text("q(a).")
+        _repl, out = run_session(
+            "load %s" % rules,
+            "loaddb %s" % facts,
+            "?- p(X).",
+        )
+        assert "loaded 1 rule(s)." in out
+        assert "X = a" in out
+
+    def test_loop_reads_stream(self):
+        out = io.StringIO()
+        Repl(out=out).loop(io.StringIO("fact a.\nquit\n"), banner=False)
+        assert "inserted 1 fact(s)." in out.getvalue()
+        assert "bye." in out.getvalue()
+
+
+class TestWhy:
+    def test_why_explains_failure(self):
+        _repl, out = run_session(
+            "rule go <- permit(W) * ins.ok.",
+            "why go.",
+        )
+        assert "cannot commit" in out
+        assert "permit" in out
+
+    def test_why_on_committing_goal(self):
+        _repl, out = run_session("rule go <- ins.ok.", "why go.")
+        assert "can commit" in out

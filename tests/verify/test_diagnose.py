@@ -1,0 +1,95 @@
+"""Tests for failure diagnosis."""
+
+import pytest
+
+from repro import Database, parse_database, parse_program
+from repro.verify import diagnose
+
+
+class TestDiagnose:
+    def test_committing_goal(self):
+        prog = parse_program("go <- ins.done.")
+        d = diagnose(prog, "go", Database())
+        assert d.committed
+        assert "can commit" in d.summary()
+
+    def test_missing_fact_identified(self):
+        prog = parse_program("go <- license(W) * ins.approved(W).")
+        d = diagnose(prog, "go", Database())
+        assert not d.committed
+        assert any("license" in reason for reason, _n in d.blockers)
+
+    def test_staffing_hole_reads_clearly(self):
+        prog = parse_program(
+            """
+            task(W) <- available(A) * qualified(A, sequencer) *
+                       del.available(A) * ins.done(W, A) * ins.available(A).
+            """
+        )
+        db = parse_database("available(ana). qualified(ana, tech).")
+        d = diagnose(prog, "task(w1)", db)
+        assert not d.committed
+        (top_reason, _count) = d.blockers[0]
+        assert "qualified(ana, sequencer)" in top_reason
+        assert d.example_trace is not None
+
+    def test_guard_failure_identified(self):
+        prog = parse_program("go <- bal(B) * B >= 100 * ins.ok.")
+        d = diagnose(prog, "go", parse_database("bal(10)."))
+        assert not d.committed
+        assert any("guard fails" in r for r, _n in d.blockers)
+
+    def test_absence_blocker_identified(self):
+        prog = parse_program("go <- not lock(_) * ins.ok.")
+        d = diagnose(prog, "go", parse_database("lock(x)."))
+        assert not d.committed
+        assert any("absence" in r for r, _n in d.blockers)
+
+    def test_multiple_branches_aggregated(self):
+        prog = parse_program(
+            "go <- a(x) * ins.ok.\ngo <- b(x) * ins.ok.\ngo <- c(x) * ins.ok."
+        )
+        d = diagnose(prog, "go", Database())
+        assert not d.committed
+        reasons = {r for r, _n in d.blockers}
+        assert {"waiting for fact a(x)", "waiting for fact b(x)",
+                "waiting for fact c(x)"} <= reasons
+
+    def test_iso_blockers_labelled(self):
+        prog = parse_program("go <- iso(token(t) * del.token(t)).")
+        d = diagnose(prog, "go", Database())
+        assert not d.committed
+        # the iso contributes no step at all, so the stuck frontier IS
+        # the iso: its inner reason is surfaced with a marker
+        assert any("inside iso" in r for r, _n in d.blockers)
+
+    def test_top_limits_report(self):
+        rules = "\n".join("go <- p%d(x) * ins.ok." % i for i in range(10))
+        prog = parse_program(rules)
+        d = diagnose(prog, "go", Database(), top=3)
+        assert len(d.blockers) == 3
+
+
+class TestNestedIsoDiagnosis:
+    def test_blocker_inside_iso_with_updates(self):
+        # the failure point is mid-way through an isolated body (an
+        # overdraft guard) -- the nested analysis must surface it
+        prog = parse_program(
+            """
+            transfer(F, T, Amt) <- iso(
+                balance(F, Bal) * Bal >= Amt *
+                del.balance(F, Bal) * B2 is Bal - Amt * ins.balance(F, B2)
+            ).
+            """
+        )
+        db = parse_database("balance(a, 100).")
+        d = diagnose(prog, "transfer(a, b, 500)", db)
+        assert not d.committed
+        assert any(
+            "inside iso" in r and "100 >= 500" in r for r, _n in d.blockers
+        )
+
+    def test_missing_fact_inside_iso(self):
+        prog = parse_program("t <- iso(permit(x) * ins.ok * del.ok).")
+        d = diagnose(prog, "t", parse_database(""))
+        assert any("inside iso" in r and "permit" in r for r, _n in d.blockers)

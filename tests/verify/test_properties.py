@@ -1,0 +1,85 @@
+"""Tests for temporal properties over configuration graphs."""
+
+import pytest
+
+from repro import Database, atom, parse_database, parse_program
+from repro.verify import (
+    can_reach,
+    deadlocks,
+    explore,
+    inevitably,
+    invariant_holds,
+    may_diverge,
+)
+
+
+def graph_of(prog_text, goal, db_text=""):
+    return explore(parse_program(prog_text), goal, parse_database(db_text))
+
+
+class TestDeadlocks:
+    def test_no_deadlock_in_complete_program(self):
+        g = graph_of("go <- ins.a.", "go")
+        assert deadlocks(g) == []
+
+    def test_stuck_test_is_deadlock(self):
+        g = graph_of("go <- never(x) * ins.a.", "go")
+        stuck = deadlocks(g)
+        assert len(stuck) == 1
+
+    def test_choice_partial_deadlock(self):
+        g = graph_of("go <- never(x).\ngo <- ins.b.", "go")
+        assert len(deadlocks(g)) == 1
+        assert len(g.final_ids) == 1
+
+
+class TestInvariant:
+    def test_holds_everywhere(self):
+        g = graph_of("go <- ins.a * ins.b.", "go")
+        ok, cex = invariant_holds(g, lambda db: len(db) <= 2)
+        assert ok and cex is None
+
+    def test_violation_with_counterexample(self):
+        g = graph_of("go <- ins.a * ins.b * del.a.", "go")
+        ok, cex = invariant_holds(g, lambda db: atom("b") not in db)
+        assert not ok
+        assert cex[-1] == "ins.b"  # the violating step ends the trace
+
+
+class TestReachability:
+    def test_can_reach(self):
+        g = graph_of("go <- ins.a.\ngo <- ins.b.", "go")
+        assert can_reach(g, lambda db: atom("a") in db)
+        assert can_reach(g, lambda db: atom("b") in db)
+        assert not can_reach(g, lambda db: atom("c") in db)
+
+    def test_inevitably_true_on_linear(self):
+        g = graph_of("go <- ins.a * ins.b.", "go")
+        assert inevitably(g, lambda db: atom("a") in db)
+
+    def test_inevitably_false_on_branch(self):
+        g = graph_of("go <- ins.a.\ngo <- ins.b.", "go")
+        assert not inevitably(g, lambda db: atom("a") in db)
+        assert inevitably(g, lambda db: len(db) == 1)
+
+    def test_inevitably_false_with_deadlock(self):
+        g = graph_of("go <- ins.a.\ngo <- never(x) * ins.a.", "go")
+        # one branch deadlocks before inserting a
+        assert not inevitably(g, lambda db: atom("a") in db)
+
+
+class TestDivergence:
+    def test_acyclic_graph(self):
+        g = graph_of("go <- ins.a.", "go")
+        assert not may_diverge(g)
+
+    def test_cycle_detected(self):
+        g = graph_of("spin <- ins.s * del.s * spin.", "spin")
+        assert may_diverge(g)
+
+    def test_intentional_iteration_cycles(self):
+        g = graph_of(
+            "loop <- flag.\nloop <- not flag * work * loop.\nwork <- ins.t * del.t.",
+            "loop",
+        )
+        assert may_diverge(g)  # the not-flag branch can repeat forever

@@ -1,0 +1,61 @@
+"""Tests for configuration-graph construction."""
+
+import pytest
+
+from repro import Database, SearchBudgetExceeded, parse_database, parse_program
+from repro.verify import explore
+
+
+class TestExplore:
+    def test_linear_program_graph(self):
+        prog = parse_program("go <- ins.a * ins.b.")
+        g = explore(prog, "go", Database())
+        # call, ins.a, ins.b -> 4 states in a line
+        assert len(g) == 4
+        assert len(g.final_ids) == 1
+        assert g.path_to(g.final_ids[0]) == ["call go", "ins.a", "ins.b"]
+
+    def test_choice_creates_branches(self):
+        prog = parse_program("pick <- ins.a.\npick <- ins.b.")
+        g = explore(prog, "pick", Database())
+        assert len(g.final_ids) == 2
+
+    def test_confluent_paths_share_states(self):
+        # two interleavings reach the same configuration: one node
+        prog = parse_program("x <- y.")
+        g = explore(prog, "ins.a | ins.b", Database())
+        # initial, after-a, after-b, after-both = 4 states
+        assert len(g) == 4
+
+    def test_stuck_states_present(self):
+        # unlike the engines, the explorer keeps failed branches
+        prog = parse_program("t <- missing(x) * ins.done.")
+        g = explore(prog, "t", Database())
+        assert len(g.final_ids) == 0
+        assert any(not n.final and not g.edges[n.node_id] for n in g.nodes)
+
+    def test_budget_on_unbounded_program(self):
+        prog = parse_program("grow <- grow * ins.x.")
+        with pytest.raises(SearchBudgetExceeded):
+            explore(prog, "grow", Database(), max_states=100)
+
+    def test_iso_is_one_edge(self):
+        prog = parse_program("t <- iso(ins.a * ins.b).")
+        g = explore(prog, "t", Database())
+        # call, then one atomic iso edge
+        assert len(g) == 3
+
+    def test_string_or_formula_goal(self):
+        from repro import parse_goal
+
+        prog = parse_program("t <- ins.a.")
+        g1 = explore(prog, "t", Database())
+        g2 = explore(prog, parse_goal("t"), Database())
+        assert len(g1) == len(g2)
+
+    def test_cycle_folds_back(self):
+        prog = parse_program("spin <- ins.s * del.s * spin.")
+        g = explore(prog, "spin", parse_database(""))
+        # finite graph despite infinite executions
+        assert len(g) <= 8
+        assert not g.final_ids

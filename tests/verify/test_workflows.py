@@ -1,0 +1,77 @@
+"""Tests for the packaged workflow verifier."""
+
+import pytest
+
+from repro.verify import verify_workflow
+from repro.workflow import (
+    Agent,
+    NonVital,
+    SeqFlow,
+    Step,
+    Task,
+    WorkflowSimulator,
+    WorkflowSpec,
+)
+
+
+def make_sim(tasks, agents):
+    spec = WorkflowSpec(
+        "flow", SeqFlow(*(Step(t.name) for t in tasks)), tuple(tasks)
+    )
+    return WorkflowSimulator([spec], agents=agents)
+
+
+class TestHealthyWorkflow:
+    def test_completable_and_agent_safe(self):
+        sim = make_sim(
+            [Task("a", role="tech"), Task("b", role="tech")],
+            [Agent("t1", ("tech",))],
+        )
+        report = verify_workflow(sim, ["w1"], final_task="b")
+        assert report.completable
+        assert report.agent_safe
+        assert not report.has_cycles
+
+    def test_multi_item_state_space_grows(self):
+        sim = make_sim([Task("a", role="tech")], [Agent("t1", ("tech",))])
+        r1 = verify_workflow(sim, ["w1"], final_task="a")
+        r2 = verify_workflow(sim, ["w1", "w2"], final_task="a")
+        assert r2.states > r1.states
+        assert r1.completable and r2.completable
+
+
+class TestBrokenWorkflow:
+    def test_uncovered_role_not_completable(self):
+        sim = make_sim(
+            [Task("a", role="tech"), Task("b", role="ghost")],
+            [Agent("t1", ("tech",))],
+        )
+        report = verify_workflow(sim, ["w1"], final_task="b")
+        assert not report.completable
+        assert report.doomed_states == report.states  # everything doomed
+        assert not report.commit_safe
+
+    def test_nonvital_rescues_completability(self):
+        spec = WorkflowSpec(
+            "flow",
+            SeqFlow(Step("a"), NonVital(Step("b")), Step("c")),
+            (Task("a", role="tech"), Task("b", role="ghost"),
+             Task("c", role="tech")),
+        )
+        sim = WorkflowSimulator([spec], agents=[Agent("t1", ("tech",))])
+        report = verify_workflow(sim, ["w1"], final_task="c")
+        assert report.completable
+
+
+class TestReportRendering:
+    def test_summary_text(self):
+        sim = make_sim([Task("a", role="tech")], [Agent("t1", ("tech",))])
+        report = verify_workflow(sim, ["w1"], final_task="a")
+        text = report.summary()
+        assert "explored states" in text
+        assert "completable:         yes" in text
+
+    def test_doomed_trace_shown_when_incomplete(self):
+        sim = make_sim([Task("a", role="ghost")], [Agent("t1", ("tech",))])
+        report = verify_workflow(sim, ["w1"], final_task="a")
+        assert "doomed trace" in report.summary() or report.doomed_example is not None

@@ -1,0 +1,124 @@
+"""Tests for the workflow -> TD compiler."""
+
+import pytest
+
+from repro import Sublanguage, analyze
+from repro.core.formulas import Call, Conc, Neg, Seq, Test, walk_formulas
+from repro.workflow import (
+    Agent,
+    Choice,
+    Consume,
+    Emit,
+    Iterate,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    Task,
+    WorkflowSpec,
+    compile_workflows,
+)
+from repro.workflow.compiler import agent_facts, task_predicate, workflow_predicate
+
+
+def compile_one(body, tasks=()):
+    return compile_workflows([WorkflowSpec("wf", body, tuple(tasks))])
+
+
+class TestStructure:
+    def test_workflow_predicate_generated(self):
+        prog = compile_one(Step("a"), [Task("a")])
+        assert prog.is_derived((workflow_predicate("wf"), 1))
+        assert prog.is_derived((task_predicate("a"), 1))
+
+    def test_seq_compiles_to_seq(self):
+        prog = compile_one(SeqFlow(Step("a"), Step("b")), [Task("a"), Task("b")])
+        rule = prog.rules_for(("wf_wf", 1))[0]
+        assert isinstance(rule.body, Seq)
+
+    def test_par_compiles_to_conc(self):
+        prog = compile_one(ParFlow(Step("a"), Step("b")), [Task("a"), Task("b")])
+        rule = prog.rules_for(("wf_wf", 1))[0]
+        assert isinstance(rule.body, Conc)
+
+    def test_choice_generates_one_rule_per_branch(self):
+        prog = compile_one(Choice(Step("a"), Step("b")), [Task("a"), Task("b")])
+        choice_sigs = [s for s in prog.derived_signatures() if "choice" in s[0]]
+        assert len(choice_sigs) == 1
+        assert len(prog.rules_for(choice_sigs[0])) == 2
+
+    def test_iterate_generates_guarded_loop(self):
+        prog = compile_one(Iterate(Step("a"), until="ok"), [Task("a")])
+        iter_sigs = [s for s in prog.derived_signatures() if "iter" in s[0]]
+        (sig,) = iter_sigs
+        rules = prog.rules_for(sig)
+        assert len(rules) == 2
+        # one stop rule testing the flag, one guarded body rule
+        bodies = [r.body for r in rules]
+        assert any(isinstance(b, Test) for b in bodies)
+        assert any(
+            any(isinstance(f, Neg) for f in walk_formulas(b)) for b in bodies
+        )
+
+    def test_subflow_compiles_to_call(self):
+        sub = WorkflowSpec("sub", Step("a"), (Task("a"),))
+        main = WorkflowSpec("main", Subflow("sub"), ())
+        prog = compile_workflows([main, sub])
+        rule = prog.rules_for(("wf_main", 1))[0]
+        assert rule.body == Call(rule.body.atom)
+        assert rule.body.atom.pred == "wf_sub"
+
+
+class TestTaskRules:
+    def test_role_task_acquires_and_releases_agent(self):
+        prog = compile_one(Step("a"), [Task("a", role="tech")])
+        (rule,) = prog.rules_for(("task_a", 1))
+        text = str(rule.body)
+        assert text.index("available(A)") < text.index("del.available(A)")
+        assert text.index("del.available(A)") < text.index("ins.done(a, W, A)")
+        assert text.index("ins.done") < text.index("ins.available(A)")
+        assert "qualified(A, tech)" in text
+
+    def test_automated_task_attributed_to_auto(self):
+        prog = compile_one(Step("a"), [Task("a")])
+        (rule,) = prog.rules_for(("task_a", 1))
+        assert "done(a, W, auto)" in str(rule.body)
+
+    def test_conflicting_task_declarations_rejected(self):
+        s1 = WorkflowSpec("w1", Step("a"), (Task("a", role="x"),))
+        s2 = WorkflowSpec("w2", Step("a"), (Task("a", role="y"),))
+        with pytest.raises(ValueError):
+            compile_workflows([s1, s2])
+
+    def test_duplicate_workflow_names_rejected(self):
+        s = WorkflowSpec("w", Step("a"), (Task("a"),))
+        with pytest.raises(ValueError):
+            compile_workflows([s, s])
+
+
+class TestClassification:
+    def test_straightline_workflow_is_nonrecursive(self):
+        prog = compile_one(
+            SeqFlow(Step("a"), ParFlow(Step("b"), Step("c"))),
+            [Task(n) for n in "abc"],
+        )
+        a = analyze(prog)
+        assert not a.recursive
+
+    def test_iterate_is_fully_bounded(self):
+        prog = compile_one(
+            SeqFlow(Step("a"), Iterate(SeqFlow(Step("b"), Emit("ok")), until="ok")),
+            [Task("a"), Task("b")],
+        )
+        assert analyze(prog).fully_bounded
+
+
+class TestAgentFacts:
+    def test_agent_facts(self):
+        facts = agent_facts([Agent("alice", ("tech", "reader")), Agent("rig")])
+        strs = {str(f) for f in facts}
+        assert "available(alice)" in strs
+        assert "qualified(alice, tech)" in strs
+        assert "qualified(alice, reader)" in strs
+        assert "available(rig)" in strs
+        assert len([s for s in strs if s.startswith("qualified(rig")]) == 0

@@ -1,0 +1,91 @@
+"""Tests for intertask dependency constraints."""
+
+import pytest
+
+from repro.workflow import (
+    Agent,
+    Choice,
+    SeqFlow,
+    Step,
+    Task,
+    WorkflowSimulator,
+    WorkflowSpec,
+)
+from repro.workflow.constraints import (
+    Before,
+    Exclusive,
+    MustFollow,
+    Requires,
+    check_history,
+    check_trace,
+)
+
+
+@pytest.fixture
+def pipeline_result():
+    spec = WorkflowSpec(
+        "flow",
+        SeqFlow(Step("prep"), Step("scan"), Step("report")),
+        (Task("prep", role="t"), Task("scan", role="t"), Task("report", role="t")),
+    )
+    sim = WorkflowSimulator([spec], agents=[Agent("a1", ("t",))])
+    return sim.run(["w1", "w2"])
+
+
+@pytest.fixture
+def choice_result():
+    spec = WorkflowSpec(
+        "flow",
+        SeqFlow(Step("triage"), Choice(Step("fast"), Step("slow"))),
+        (Task("triage", role="t"), Task("fast", role="t"), Task("slow", role="t")),
+    )
+    sim = WorkflowSimulator([spec], agents=[Agent("a1", ("t",))])
+    return sim.run(["w1"])
+
+
+class TestSatisfiedConstraints:
+    def test_before_holds_on_sequential_pipeline(self, pipeline_result):
+        assert check_trace(pipeline_result, [Before("prep", "scan")]) == []
+        assert check_trace(pipeline_result, [Before("scan", "report")]) == []
+
+    def test_requires_holds(self, pipeline_result):
+        assert check_trace(pipeline_result, [Requires("report", "prep")]) == []
+
+    def test_exclusive_holds_for_choice(self, choice_result):
+        assert check_trace(choice_result, [Exclusive("fast", "slow")]) == []
+        assert check_history(choice_result.history, [Exclusive("fast", "slow")]) == []
+
+    def test_mustfollow_holds(self, pipeline_result):
+        assert check_trace(pipeline_result, [MustFollow("prep", "report")]) == []
+
+
+class TestViolations:
+    def test_before_violated(self, pipeline_result):
+        violations = check_trace(pipeline_result, [Before("report", "prep")])
+        assert len(violations) == 2  # both items
+        assert "w1" in {v.item for v in violations}
+
+    def test_requires_violated_when_prerequisite_absent(self, pipeline_result):
+        violations = check_trace(pipeline_result, [Requires("prep", "audit")])
+        assert violations and all(v.constraint.prerequisite == "audit" for v in violations)
+
+    def test_mustfollow_violated(self, choice_result):
+        # whichever branch ran, the other's response is missing
+        ran = {str(f.args[0]) for f in choice_result.history.facts("done")}
+        branch = "fast" if "fast" in ran else "slow"
+        violations = check_trace(choice_result, [MustFollow(branch, "audit")])
+        assert len(violations) == 1
+
+    def test_history_checker_matches_trace_checker(self, choice_result):
+        for c in (Exclusive("fast", "slow"), MustFollow("triage", "fast")):
+            trace_v = {str(v) for v in check_trace(choice_result, [c])}
+            hist_v = {str(v) for v in check_history(choice_result.history, [c])}
+            assert trace_v == hist_v
+
+    def test_history_checker_rejects_ordering_constraints(self, choice_result):
+        with pytest.raises(ValueError):
+            check_history(choice_result.history, [Before("a", "b")])
+
+    def test_violation_rendering(self, pipeline_result):
+        (v, *_rest) = check_trace(pipeline_result, [Before("report", "prep")])
+        assert "Before" in str(v)

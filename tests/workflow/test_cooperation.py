@@ -1,0 +1,114 @@
+"""Tests for cooperating workflows (the paper's Example 3.4).
+
+Two workflows on related work items synchronize and communicate through
+the database: one produces information the other must wait for.
+"""
+
+import pytest
+
+from repro import Database, Interpreter, atom
+from repro.core.formulas import Call, conc
+from repro.core.terms import Atom, Constant
+from repro.workflow import (
+    Agent,
+    Consume,
+    Emit,
+    SeqFlow,
+    Step,
+    Task,
+    WaitFor,
+    WorkflowSimulator,
+    WorkflowSpec,
+    compile_workflows,
+)
+from repro.workflow.compiler import agent_facts
+
+
+def producer_spec():
+    return WorkflowSpec(
+        "producer",
+        SeqFlow(Step("measure"), Emit("mapdata")),
+        (Task("measure", role="tech"),),
+    )
+
+
+def consumer_spec():
+    return WorkflowSpec(
+        "consumer",
+        SeqFlow(WaitFor("mapdata"), Step("assemble")),
+        (Task("assemble", role="tech"),),
+    )
+
+
+def run_pair(item="s1"):
+    prog = compile_workflows([consumer_spec(), producer_spec()])
+    interp = Interpreter(prog)
+    c = Constant(item)
+    goal = conc(Call(Atom("wf_consumer", (c,))), Call(Atom("wf_producer", (c,))))
+    db = Database(agent_facts([Agent("t1", ("tech",))]))
+    return interp.simulate(goal, db)
+
+
+class TestProducerConsumer:
+    def test_both_complete(self):
+        exe = run_pair()
+        assert exe is not None
+        done = {str(f.args[0]) for f in exe.database.facts("done")}
+        assert done == {"measure", "assemble"}
+
+    def test_consumer_waits_for_producer(self):
+        exe = run_pair()
+        events = [str(a) for a in exe.trace]
+        emit_idx = events.index("ins.mapdata(s1)")
+        assemble_idx = next(
+            i for i, ev in enumerate(events) if ev.startswith("ins.started(assemble")
+        )
+        assert emit_idx < assemble_idx
+
+    def test_consumer_alone_deadlocks(self):
+        prog = compile_workflows([consumer_spec(), producer_spec()])
+        interp = Interpreter(prog)
+        goal = Call(Atom("wf_consumer", (Constant("s1"),)))
+        db = Database(agent_facts([Agent("t1", ("tech",))]))
+        assert interp.simulate(goal, db) is None
+
+
+class TestConsumeHandsOffExactlyOnce:
+    def test_token_consumed(self):
+        spec_p = WorkflowSpec("p", Emit("token"), ())
+        spec_c = WorkflowSpec("c", Consume("token"), ())
+        prog = compile_workflows([spec_c, spec_p])
+        interp = Interpreter(prog)
+        c = Constant("i")
+        goal = conc(Call(Atom("wf_c", (c,))), Call(Atom("wf_p", (c,))))
+        exe = interp.simulate(goal, Database())
+        assert exe is not None
+        assert atom("token", "i") not in exe.database
+
+    def test_two_consumers_one_token_deadlock(self):
+        spec_p = WorkflowSpec("p", Emit("token"), ())
+        spec_c = WorkflowSpec("c", Consume("token"), ())
+        prog = compile_workflows([spec_c, spec_p])
+        interp = Interpreter(prog)
+        c = Constant("i")
+        goal = conc(
+            Call(Atom("wf_c", (c,))),
+            Call(Atom("wf_c", (c,))),
+            Call(Atom("wf_p", (c,))),
+        )
+        # only one consumer can take the token; the other blocks forever
+        assert interp.simulate(goal, Database()) is None
+
+
+class TestCooperationViaSimulator:
+    def test_extra_goal_runs_sibling_workflow(self):
+        # consumer instances flow through the driver; a single producer
+        # runs alongside via extra_goal, supplying the shared map data.
+        sim = WorkflowSimulator(
+            [consumer_spec(), producer_spec()],
+            agents=[Agent("t1", ("tech",))],
+        )
+        producer_goal = Call(Atom("wf_producer", (Constant("s1"),)))
+        res = sim.run(["s1"], extra_goal=producer_goal)
+        assert res.completed("assemble") == ["s1"]
+        assert res.completed("measure") == ["s1"]

@@ -1,0 +1,117 @@
+"""Tests for constraint enforcement (compiling dependencies into TD)."""
+
+import pytest
+
+from repro import Database, Interpreter, parse_goal
+from repro.core.formulas import Call, conc
+from repro.core.terms import Atom, Constant
+from repro.workflow import (
+    Agent,
+    Choice,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Task,
+    WorkflowSpec,
+    compile_workflows,
+)
+from repro.workflow.compiler import agent_facts
+from repro.workflow.constraints import (
+    Before,
+    Exclusive,
+    MustFollow,
+    Requires,
+    check_trace,
+)
+from repro.workflow.enforce import enforce
+from repro.workflow.scheduler import SimulationResult
+
+
+def parallel_spec():
+    """Two tasks the flow runs in parallel -- unconstrained, either order."""
+    return WorkflowSpec(
+        "flow",
+        ParFlow(Step("build"), Step("ship")),
+        (Task("build", role="t"), Task("ship", role="t")),
+    )
+
+
+def run_goal(program, item="w1", seed=None):
+    interp = Interpreter(program)
+    db = Database(agent_facts([Agent("a1", ("t",))]))
+    goal = Call(Atom("wf_flow", (Constant(item),)))
+    exe = interp.simulate(goal, db, seed=seed)
+    return exe
+
+
+class TestRequires:
+    def test_orders_parallel_tasks(self):
+        program = enforce(
+            compile_workflows([parallel_spec()]), [Requires("ship", "build")]
+        )
+        # under every seed, ship now starts after build completes
+        for seed in (None, 1, 2, 3, 4):
+            exe = run_goal(program, seed=seed)
+            assert exe is not None
+            result = SimulationResult(exe)
+            assert check_trace(result, [Requires("ship", "build")]) == []
+
+    def test_unconstrained_can_violate(self):
+        program = compile_workflows([parallel_spec()])
+        violated = False
+        for seed in range(12):
+            exe = run_goal(program, seed=seed)
+            result = SimulationResult(exe)
+            if check_trace(result, [Requires("ship", "build")]):
+                violated = True
+                break
+        assert violated  # some schedule ships before building
+
+    def test_impossible_requirement_blocks(self):
+        # prerequisite that never runs: the guarded task deadlocks
+        program = enforce(
+            compile_workflows([parallel_spec()]), [Requires("ship", "audit")]
+        )
+        assert run_goal(program) is None
+
+
+class TestExclusive:
+    def test_choice_untouched(self):
+        spec = WorkflowSpec(
+            "flow",
+            Choice(Step("fast"), Step("slow")),
+            (Task("fast", role="t"), Task("slow", role="t")),
+        )
+        program = enforce(
+            compile_workflows([spec]), [Exclusive("fast", "slow")]
+        )
+        exe = run_goal(program)
+        assert exe is not None
+        ran = {str(f.args[0]) for f in exe.database.facts("done")}
+        assert len(ran & {"fast", "slow"}) == 1
+
+    def test_parallel_both_becomes_unsatisfiable(self):
+        # the flow demands both tasks; exclusivity makes that impossible
+        program = enforce(
+            compile_workflows([parallel_spec()]), [Exclusive("build", "ship")]
+        )
+        assert run_goal(program) is None
+
+
+class TestValidation:
+    def test_global_constraints_rejected(self):
+        program = compile_workflows([parallel_spec()])
+        with pytest.raises(ValueError):
+            enforce(program, [Before("build", "ship")])
+        with pytest.raises(ValueError):
+            enforce(program, [MustFollow("build", "ship")])
+
+    def test_unknown_task_rejected(self):
+        program = compile_workflows([parallel_spec()])
+        with pytest.raises(ValueError):
+            enforce(program, [Requires("ghost", "build")])
+
+    def test_enforcement_preserves_unconstrained_behaviour(self):
+        base = compile_workflows([parallel_spec()])
+        same = enforce(base, [])
+        assert str(same) == str(base)

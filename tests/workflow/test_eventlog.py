@@ -1,0 +1,75 @@
+"""Tests for structured event logs."""
+
+import json
+
+import pytest
+
+from repro.workflow import (
+    Agent,
+    Emit,
+    SeqFlow,
+    Step,
+    Task,
+    WorkflowSimulator,
+    WorkflowSpec,
+)
+from repro.workflow.eventlog import event_log, timeline, to_json
+
+
+@pytest.fixture
+def result():
+    spec = WorkflowSpec(
+        "flow",
+        SeqFlow(Step("prep"), Step("scan"), Emit("finished")),
+        (Task("prep", role="t"), Task("scan", None)),
+    )
+    sim = WorkflowSimulator([spec], agents=[Agent("ada", ("t",))])
+    return sim.run(["w1", "w2"])
+
+
+class TestEventLog:
+    def test_records_in_order_with_sequence(self, result):
+        records = event_log(result)
+        assert [r.seq for r in records] == list(range(len(records)))
+
+    def test_task_lifecycle_captured(self, result):
+        records = event_log(result)
+        kinds = [(r.kind, r.task, r.item) for r in records]
+        assert ("task_started", "prep", "w1") in kinds
+        assert ("task_done", "prep", "w1") in kinds
+        # started always precedes done per (task, item)
+        for task in ("prep", "scan"):
+            for item in ("w1", "w2"):
+                start = next(
+                    r.seq for r in records
+                    if r.kind == "task_started" and r.task == task and r.item == item
+                )
+                done = next(
+                    r.seq for r in records
+                    if r.kind == "task_done" and r.task == task and r.item == item
+                )
+                assert start < done
+
+    def test_agent_attribution(self, result):
+        dones = [r for r in event_log(result) if r.kind == "task_done"]
+        assert {r.agent for r in dones if r.task == "prep"} == {"ada"}
+        assert {r.agent for r in dones if r.task == "scan"} == {"auto"}
+
+    def test_dispatch_and_emission_events(self, result):
+        records = event_log(result)
+        assert any(r.kind == "item_dispatched" and r.item == "w1" for r in records)
+        assert any(
+            r.kind == "fact_emitted" and r.fact == "finished(w1)" for r in records
+        )
+
+
+class TestSerialization:
+    def test_json_round_trip(self, result):
+        payload = json.loads(to_json(result))
+        assert isinstance(payload, list) and payload
+        assert {"seq", "kind", "item", "task", "agent", "fact"} == set(payload[0])
+
+    def test_timeline_renders_per_item(self, result):
+        text = timeline(result)
+        assert "w1:" in text and "w2:" in text
+        assert "task_done" in text and "(by ada)" in text

@@ -1,0 +1,84 @@
+"""Tests for workflow specifications and validation."""
+
+import pytest
+
+from repro.workflow import (
+    Agent,
+    Choice,
+    Consume,
+    Emit,
+    Iterate,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    Task,
+    WaitFor,
+    WorkflowSpec,
+)
+
+
+def spec(body, tasks=()):
+    return WorkflowSpec(name="wf", body=body, tasks=tuple(tasks))
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        s = spec(SeqFlow(Step("a"), Step("b")), [Task("a"), Task("b")])
+        s.validate()
+
+    def test_undeclared_task(self):
+        s = spec(Step("ghost"), [Task("a")])
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_empty_combinator(self):
+        s = spec(SeqFlow(), [])
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_unknown_subflow(self):
+        s = spec(Subflow("other"), [])
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_known_subflow_accepted(self):
+        s = spec(Subflow("other"), [])
+        s.validate(known_workflows=["other"])
+
+    def test_self_subflow_allowed(self):
+        s = spec(Subflow("wf"), [])
+        s.validate()
+
+    def test_sync_nodes_always_valid(self):
+        s = spec(SeqFlow(WaitFor("go"), Emit("done"), Consume("token")), [])
+        s.validate()
+
+    def test_nested_structures(self):
+        s = spec(
+            SeqFlow(
+                Step("a"),
+                ParFlow(Step("b"), Choice(Step("c"), Step("d"))),
+                Iterate(Step("e"), until="ok"),
+            ),
+            [Task(n) for n in "abcde"],
+        )
+        s.validate()
+
+
+class TestDataModel:
+    def test_task_map(self):
+        s = spec(Step("a"), [Task("a", role="tech"), Task("b")])
+        assert s.task_map()["a"].role == "tech"
+        assert s.task_map()["b"].role is None
+
+    def test_agent_frozen(self):
+        agent = Agent("alice", ("tech",))
+        with pytest.raises(Exception):
+            agent.name = "bob"
+
+    def test_combinators_varargs(self):
+        s = SeqFlow(Step("a"), Step("b"), Step("c"))
+        assert len(s.children) == 3
+        p = ParFlow(Step("a"))
+        assert len(p.children) == 1

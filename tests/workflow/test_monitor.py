@@ -1,0 +1,63 @@
+"""Tests for history monitoring queries."""
+
+import pytest
+
+from repro import Database, atom
+from repro.datalog import evaluate
+from repro.workflow import (
+    agent_workload,
+    completed_items,
+    history_program,
+    task_counts,
+)
+from repro.workflow.monitor import in_progress, status_report
+
+
+@pytest.fixture
+def history():
+    return Database([
+        atom("started", "prep", "w1"),
+        atom("done", "prep", "w1", "alice"),
+        atom("started", "prep", "w2"),
+        atom("done", "prep", "w2", "bob"),
+        atom("started", "scan", "w1"),
+        atom("done", "scan", "w1", "auto"),
+        atom("started", "scan", "w2"),  # w2's scan still running
+        atom("available", "alice"),
+        atom("available", "bob"),
+        atom("available", "carol"),
+    ])
+
+
+class TestQueries:
+    def test_completed_items(self, history):
+        assert completed_items(history, "prep") == ["w1", "w2"]
+        assert completed_items(history, "scan") == ["w1"]
+
+    def test_task_counts(self, history):
+        assert task_counts(history) == {"prep": 2, "scan": 1}
+
+    def test_agent_workload(self, history):
+        assert agent_workload(history) == {"alice": 1, "bob": 1, "auto": 1}
+
+    def test_in_progress(self, history):
+        assert in_progress(history) == [("scan", "w2")]
+
+    def test_status_report_renders(self, history):
+        report = status_report(history)
+        assert "prep" in report and "alice" in report
+        assert "scan/w2" in report
+
+
+class TestHistoryProgram:
+    def test_touched_and_idle(self, history):
+        facts = evaluate(history_program(), history)
+        assert atom("touched", "w1") in facts
+        assert atom("touched", "w2") in facts
+        assert atom("idle", "carol") in facts
+        assert atom("idle", "alice") not in facts
+
+    def test_worked_with(self, history):
+        facts = evaluate(history_program(), history)
+        assert atom("worked_with", "alice", "auto") in facts  # both on w1
+        assert atom("worked_with", "alice", "bob") not in facts

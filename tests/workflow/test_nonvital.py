@@ -1,0 +1,72 @@
+"""Tests for non-vital subtransactions (advanced transaction models)."""
+
+import pytest
+
+from repro.workflow import (
+    Agent,
+    NonVital,
+    SeqFlow,
+    Step,
+    Task,
+    WorkflowSimulator,
+    WorkflowSpec,
+)
+
+
+def spec_with_optional_qc():
+    """Pipeline whose quality-control step is non-vital: if no qualified
+    agent exists, the item still flows through."""
+    return WorkflowSpec(
+        "flow",
+        SeqFlow(Step("main"), NonVital(Step("qc")), Step("finish")),
+        (Task("main", role="tech"), Task("qc", role="inspector"),
+         Task("finish", role="tech")),
+    )
+
+
+class TestNonVital:
+    def test_body_runs_when_possible(self):
+        sim = WorkflowSimulator(
+            [spec_with_optional_qc()],
+            agents=[Agent("t", ("tech",)), Agent("q", ("inspector",))],
+        )
+        res = sim.run(["w1"])
+        assert res.completed("qc") == ["w1"]
+        assert res.completed("finish") == ["w1"]
+
+    def test_parent_survives_body_failure(self):
+        # no inspector: a vital qc step would deadlock the workflow;
+        # the non-vital one is skipped.
+        sim = WorkflowSimulator(
+            [spec_with_optional_qc()],
+            agents=[Agent("t", ("tech",))],
+        )
+        res = sim.run(["w1"])
+        assert res.completed("qc") == []
+        assert res.completed("finish") == ["w1"]
+
+    def test_vital_version_deadlocks(self):
+        vital = WorkflowSpec(
+            "flow",
+            SeqFlow(Step("main"), Step("qc"), Step("finish")),
+            (Task("main", role="tech"), Task("qc", role="inspector"),
+             Task("finish", role="tech")),
+        )
+        sim = WorkflowSimulator([vital], agents=[Agent("t", ("tech",))])
+        with pytest.raises(RuntimeError):
+            sim.run(["w1"])
+
+    def test_nested_nonvital(self):
+        spec = WorkflowSpec(
+            "flow",
+            NonVital(NonVital(Step("a"))),
+            (Task("a", role="ghost_role"),),
+        )
+        sim = WorkflowSimulator([spec], agents=[])
+        res = sim.run(["w1"])
+        assert res.completed("a") == []
+
+    def test_validation_reaches_body(self):
+        spec = WorkflowSpec("flow", NonVital(Step("missing")), ())
+        with pytest.raises(ValueError):
+            spec.validate()

@@ -1,0 +1,120 @@
+"""Tests for static staffing analysis."""
+
+import pytest
+
+from repro.workflow import (
+    Agent,
+    Choice,
+    Iterate,
+    NonVital,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    Task,
+    WorkflowSpec,
+)
+from repro.workflow.staffing import analyze_staffing, peak_role_demand
+
+
+TASKS = (
+    Task("a", role="tech"),
+    Task("b", role="tech"),
+    Task("c", role="reader"),
+    Task("d", None),
+)
+
+
+def spec(body, name="wf", tasks=TASKS):
+    return WorkflowSpec(name, body, tasks)
+
+
+class TestPeakDemand:
+    def test_sequence_takes_max(self):
+        s = spec(SeqFlow(Step("a"), Step("b")))
+        assert peak_role_demand(s) == {"tech": 1}
+
+    def test_parallel_sums(self):
+        s = spec(ParFlow(Step("a"), Step("b")))
+        assert peak_role_demand(s) == {"tech": 2}
+
+    def test_choice_takes_max_branch(self):
+        s = spec(Choice(ParFlow(Step("a"), Step("b")), Step("c")))
+        assert peak_role_demand(s) == {"tech": 2, "reader": 1}
+
+    def test_mixed_nesting(self):
+        s = spec(SeqFlow(ParFlow(Step("a"), Step("c")), Step("b")))
+        assert peak_role_demand(s) == {"tech": 1, "reader": 1}
+
+    def test_automated_tasks_demand_nothing(self):
+        s = spec(ParFlow(Step("d"), Step("d")))
+        assert peak_role_demand(s) == {}
+
+    def test_iterate_and_nonvital_transparent(self):
+        s = spec(Iterate(NonVital(Step("a")), until="ok"))
+        assert peak_role_demand(s) == {"tech": 1}
+
+    def test_subflow_resolved(self):
+        sub = spec(ParFlow(Step("a"), Step("b")), name="sub")
+        main = spec(SeqFlow(Step("c"), Subflow("sub")), name="main")
+        assert peak_role_demand(main, [main, sub]) == {"tech": 2, "reader": 1}
+
+    def test_recursive_subflow_cut_off(self):
+        looping = spec(SeqFlow(Step("a"), Subflow("wf")))
+        assert peak_role_demand(looping) == {"tech": 1}
+
+
+class TestStaffingReport:
+    def test_adequate_pool(self):
+        report = analyze_staffing(
+            [spec(ParFlow(Step("a"), Step("b")))],
+            [Agent("t1", ("tech",)), Agent("t2", ("tech",))],
+        )
+        assert report.adequate
+        assert report.peak_demand == {"tech": 2}
+        assert not report.uncovered_roles
+
+    def test_uncovered_role(self):
+        report = analyze_staffing(
+            [spec(Step("c"))], [Agent("t1", ("tech",))]
+        )
+        assert report.uncovered_roles == ("reader",)
+        assert not report.adequate
+
+    def test_bottleneck_detected(self):
+        report = analyze_staffing(
+            [spec(ParFlow(Step("a"), Step("b")))],
+            [Agent("t1", ("tech",))],
+        )
+        assert report.bottleneck_roles == ("tech",)
+        assert not report.adequate
+
+    def test_irreplaceable_agents(self):
+        report = analyze_staffing(
+            [spec(SeqFlow(Step("a"), Step("c")))],
+            [Agent("t1", ("tech",)), Agent("t2", ("tech", "reader"))],
+        )
+        assert report.irreplaceable_agents == {"t2": ("reader",)}
+
+    def test_summary_renders(self):
+        report = analyze_staffing(
+            [spec(ParFlow(Step("a"), Step("b")))],
+            [Agent("t1", ("tech",))],
+        )
+        text = report.summary()
+        assert "bottleneck" in text
+        assert "staffing adequate:   no" in text
+
+    def test_matches_dynamic_verification(self):
+        """Static 'not adequate' for uncovered roles implies dynamic
+        'not completable' -- cross-check with the model checker."""
+        from repro.verify import verify_workflow
+        from repro.workflow import WorkflowSimulator
+
+        s = spec(SeqFlow(Step("a"), Step("c")))
+        pool = [Agent("t1", ("tech",))]
+        static = analyze_staffing([s], pool)
+        assert "reader" in static.uncovered_roles
+        sim = WorkflowSimulator([s], agents=pool)
+        dynamic = verify_workflow(sim, ["w1"], final_task="c")
+        assert not dynamic.completable

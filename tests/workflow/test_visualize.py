@@ -1,0 +1,95 @@
+"""Tests for workflow visualization."""
+
+import pytest
+
+from repro.lims import gel_pipeline, mapping_then_sequencing
+from repro.workflow import (
+    Choice,
+    Emit,
+    Iterate,
+    NonVital,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    Task,
+    WaitFor,
+    WorkflowSpec,
+)
+from repro.workflow.visualize import ascii_tree, to_dot
+
+
+@pytest.fixture
+def spec():
+    return WorkflowSpec(
+        "demo",
+        SeqFlow(
+            Step("a"),
+            ParFlow(Step("b"), Choice(Step("c"), NonVital(Step("d")))),
+            Iterate(SeqFlow(Step("e"), Emit("ok")), until="ok"),
+            WaitFor("ready"),
+        ),
+        (Task("a", role="r1"), Task("b", role="r1"), Task("c", None),
+         Task("d", role="r2"), Task("e", role="r1")),
+    )
+
+
+class TestAsciiTree:
+    def test_structure_rendered(self, spec):
+        text = ascii_tree(spec)
+        assert text.startswith("workflow demo")
+        assert "sequence" in text
+        assert "parallel" in text
+        assert "choice" in text
+        assert "iterate until ok" in text
+        assert "non-vital" in text
+        assert "wait for ready" in text
+
+    def test_roles_annotated(self, spec):
+        text = ascii_tree(spec)
+        assert "step a [r1]" in text
+        assert "step c [auto]" in text
+
+    def test_indentation_nests(self, spec):
+        lines = ascii_tree(spec).splitlines()
+        seq_depth = next(l for l in lines if "sequence" in l).index("|--") if any(
+            "|--" in l and "sequence" in l for l in lines
+        ) else 0
+        step_line = next(l for l in lines if "step b" in l)
+        assert len(step_line) - len(step_line.lstrip("| `-")) >= seq_depth
+
+    def test_real_pipeline_renders(self):
+        text = ascii_tree(gel_pipeline(iterate=True))
+        assert "iterate until conclusive" in text
+        assert "step run_gel [gel_rig]" in text
+
+
+class TestDot:
+    def test_valid_digraph_shape(self, spec):
+        dot = to_dot(spec)
+        assert dot.startswith("digraph workflow {")
+        assert dot.rstrip().endswith("}")
+        assert "start" in dot and "end" in dot
+
+    def test_tasks_are_boxes_with_roles(self, spec):
+        dot = to_dot(spec)
+        assert 'shape=box label="a\\n(r1)"' in dot
+        assert 'label="c\\n(auto)"' in dot
+
+    def test_parallel_fork_join(self, spec):
+        dot = to_dot(spec)
+        assert "fork" in dot and "join" in dot
+
+    def test_choice_diamond(self, spec):
+        dot = to_dot(spec)
+        assert "shape=diamond" in dot
+
+    def test_iterate_back_edge(self, spec):
+        dot = to_dot(spec)
+        assert 'label="until ok"' in dot
+
+    def test_subflow_box3d(self):
+        network, mapping, sequencing = mapping_then_sequencing()
+        dot = to_dot(network, [network, mapping, sequencing])
+        assert "box3d" in dot
+        assert "mapping" in dot and "sequencing" in dot
