@@ -16,13 +16,51 @@ stdout whatever capture mode pytest runs under.
 import pytest
 
 from repro.complexity.runner import recorded_series
+from repro.obs import Instrumentation, instrumented
+
+#: (test id, deterministic metrics snapshot) per benchmark, in run
+#: order.  BENCH_*.json writers read this to attach the explanatory
+#: counters (configurations expanded, table hits, budget spent, ...)
+#: alongside each timing entry.
+_METRIC_SNAPSHOTS = []
+
+
+def recorded_metrics():
+    """Metrics snapshots collected so far (most recent last)."""
+    return list(_METRIC_SNAPSHOTS)
+
+
+@pytest.fixture(autouse=True)
+def bench_instrumentation(request):
+    """Run every benchmark under engine instrumentation.
+
+    The deterministic snapshot (counters/gauges, no wall clock) is
+    attached to the test report via ``user_properties`` -- so any
+    result consumer, including future BENCH_*.json emitters, can
+    explain *why* a configuration was fast or slow -- and kept in
+    :func:`recorded_metrics` for the terminal summary.
+    """
+    inst = Instrumentation.create()
+    with instrumented(inst):
+        yield inst
+    snapshot = inst.metrics.snapshot(include_timers=False)
+    if snapshot["counters"] or snapshot["gauges"]:
+        _METRIC_SNAPSHOTS.append((request.node.nodeid, snapshot))
+        request.node.user_properties.append(("metrics", snapshot))
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     tables = recorded_series()
-    if not tables:
-        return
-    terminalreporter.section("experiment series (paper artifacts)")
-    for table in tables:
-        for line in table.splitlines():
-            terminalreporter.write_line(line)
+    if tables:
+        terminalreporter.section("experiment series (paper artifacts)")
+        for table in tables:
+            for line in table.splitlines():
+                terminalreporter.write_line(line)
+    if _METRIC_SNAPSHOTS:
+        terminalreporter.section("engine metrics (per benchmark)")
+        for nodeid, snapshot in _METRIC_SNAPSHOTS:
+            counters = snapshot["counters"]
+            digest = ", ".join(
+                "%s=%d" % (name, counters[name]) for name in sorted(counters)
+            )
+            terminalreporter.write_line("%s: %s" % (nodeid, digest or "(no counters)"))

@@ -128,6 +128,18 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Profiling flags shared by every subcommand (see docs/OBSERVABILITY.md)."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print an engine metrics summary after the command",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the span trace as JSON lines to FILE",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tdlog",
@@ -183,12 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl = sub.add_parser("repl", help="interactive TD session")
     p_repl.set_defaults(fn=_cmd_repl)
 
+    for command in (p_classify, p_solve, p_run, p_graph, p_diag, p_repl):
+        _add_obs_flags(command)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if not (getattr(args, "profile", False) or getattr(args, "trace_out", None)):
+        return args.fn(args)
+
+    from .obs import Instrumentation, instrumented, render_report
+
+    inst = Instrumentation.create()
+    trace_failed = False
+    try:
+        with instrumented(inst):
+            status = args.fn(args)
+    finally:
+        # Report even when the command errors out (e.g. budget exceeded):
+        # that is exactly when the counters explain what happened.
+        if args.trace_out:
+            try:
+                inst.tracer.write_jsonl(args.trace_out)
+                print("trace written to %s" % args.trace_out, file=sys.stderr)
+            except OSError as exc:
+                trace_failed = True
+                print(
+                    "error: cannot write trace to %s: %s" % (args.trace_out, exc),
+                    file=sys.stderr,
+                )
+        if args.profile:
+            print(render_report(inst))
+    return 1 if trace_failed else status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via entry point

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Set, Union
 
+from ..obs.context import Instrumentation, active
 from .analysis import Analysis, Sublanguage, analyze
 from .database import Database
 from .formulas import Formula
@@ -65,17 +66,60 @@ class Engine:
             goal = parse_goal(goal)
         return goal
 
+    def _describe(self) -> Instrumentation:
+        """Stamp the active instrumentation (if any) with what runs here:
+        backend class, sublanguage, decidability.  Returns the bundle so
+        callers can hang timers off it."""
+        obs = active()
+        if obs.enabled:
+            obs.metrics.set_info("engine.backend", type(self.backend).__name__)
+            obs.metrics.set_info("engine.sublanguage", self.sublanguage.value)
+            obs.metrics.set_info("engine.decidable", str(self.decidable).lower())
+        return obs
+
+    def _timer_name(self) -> str:
+        return "time.%s" % self.sublanguage.name.lower()
+
     def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
         """Does some execution of *goal* from *db* commit?"""
-        return self.backend.succeeds(self._goal(goal), db)
+        obs = self._describe()
+        if not obs.enabled:
+            return self.backend.succeeds(self._goal(goal), db)
+        with obs.metrics.timer(self._timer_name()):
+            return self.backend.succeeds(self._goal(goal), db)
 
     def solve(self, goal: Union[str, Formula], db: Database) -> Iterator[Solution]:
         """Enumerate (answer bindings, final state) pairs."""
-        return self.backend.solve(self._goal(goal), db)
+        obs = self._describe()
+        if not obs.enabled:
+            return self.backend.solve(self._goal(goal), db)
+        return self._timed_solve(goal, db, obs)
+
+    def _timed_solve(
+        self, goal: Union[str, Formula], db: Database, obs: Instrumentation
+    ) -> Iterator[Solution]:
+        """Enumerate solutions, accruing wall time per sublanguage.
+
+        The timer covers time spent *inside* the backend iterator, not
+        whatever the consumer does between answers.
+        """
+        name = self._timer_name()
+        inner = self.backend.solve(self._goal(goal), db)
+        while True:
+            with obs.metrics.timer(name):
+                try:
+                    solution = next(inner)
+                except StopIteration:
+                    return
+            yield solution
 
     def final_databases(self, goal: Union[str, Formula], db: Database) -> Set[Database]:
         """All states the transaction can leave the database in."""
-        return self.backend.final_databases(self._goal(goal), db)
+        obs = self._describe()
+        if not obs.enabled:
+            return self.backend.final_databases(self._goal(goal), db)
+        with obs.metrics.timer(self._timer_name()):
+            return self.backend.final_databases(self._goal(goal), db)
 
     def simulate(
         self,
@@ -94,7 +138,11 @@ class Engine:
             if isinstance(self.backend, Interpreter)
             else Interpreter(self.program)
         )
-        return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
+        obs = self._describe()
+        if not obs.enabled:
+            return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
+        with obs.metrics.timer(self._timer_name()):
+            return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
 
 
 def select_engine(

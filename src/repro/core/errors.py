@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "TDError",
     "SafetyError",
@@ -28,15 +30,21 @@ class SearchBudgetExceeded(TDError):
     Full TD is RE-complete, so the interpreter is a *semi*-decision
     procedure: when the budget runs out the query's status is unknown,
     which is reported as this exception rather than as failure.
+
+    ``spent`` is how much of the budget was actually consumed when the
+    search gave up (equal to ``explored`` unless the raiser counts
+    something coarser, e.g. the state-space explorer counting interned
+    states while nested isolation searches spend the same budget).
     """
 
-    def __init__(self, explored: int, budget: int):
-        super().__init__(
-            "search explored %d configurations (budget %d) without "
-            "resolving the goal" % (explored, budget)
-        )
+    def __init__(self, explored: int, budget: int, spent: Optional[int] = None):
         self.explored = explored
         self.budget = budget
+        self.spent = explored if spent is None else spent
+        super().__init__(
+            "search explored %d configurations (budget %d, spent %d) "
+            "without resolving the goal" % (explored, budget, self.spent)
+        )
 
 
 class UnsupportedProgramError(TDError):

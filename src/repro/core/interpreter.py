@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs.context import Instrumentation, NOOP, active
 from .database import Database
 from .errors import SearchBudgetExceeded
 from .formulas import Formula, apply_subst, formula_variables
@@ -73,18 +74,32 @@ class Execution:
 
 
 class _Budget:
-    """A mutable step budget shared by a search and its nested searches."""
+    """A mutable step budget shared by a search and its nested searches.
 
-    __slots__ = ("limit", "used")
+    When instrumentation is active the budget reports each spend as the
+    ``search.steps`` counter and, on exhaustion, records the final
+    figure in both the raised exception and the ``budget.spent`` gauge.
+    The extra work is guarded by a single ``None`` check so the
+    uninstrumented path stays two instructions.
+    """
 
-    def __init__(self, limit: int):
+    __slots__ = ("limit", "used", "obs")
+
+    def __init__(self, limit: int, obs: Optional[Instrumentation] = None):
         self.limit = limit
         self.used = 0
+        self.obs = obs if (obs is not None and obs.enabled) else None
 
     def spend(self) -> None:
         self.used += 1
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.inc("search.steps")
         if self.used > self.limit:
-            raise SearchBudgetExceeded(self.used, self.limit)
+            if obs is not None:
+                obs.metrics.inc("budget.exceeded")
+                obs.metrics.gauge_max("budget.spent", self.used)
+            raise SearchBudgetExceeded(self.used, self.limit, spent=self.used)
 
 
 class Interpreter:
@@ -113,10 +128,10 @@ class Interpreter:
         self.max_configs = max_configs
         self.sort_concurrent = sort_concurrent
 
-    def _make_budget(self) -> "_Budget":
+    def _make_budget(self, obs: Optional[Instrumentation] = None) -> "_Budget":
         """A fresh step budget (used by the verifier, which drives the
         transition relation directly but reuses the isolation runner)."""
-        return _Budget(self.max_configs)
+        return _Budget(self.max_configs, obs)
 
     # -- public API -------------------------------------------------------------
 
@@ -128,10 +143,17 @@ class Interpreter:
         otherwise enumeration is fair and the budget eventually fires.
         """
         goal = self.program.resolve_goal(goal)
-        budget = _Budget(self.max_configs)
+        obs = active()
+        budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
-        for answers, final_db, _ in self._bfs(goal, db, goal_vars, budget, want_trace=False):
-            yield Solution(dict(zip(goal_vars, answers)), final_db)
+        with obs.span("solve", engine="interpreter", goal=str(goal)):
+            try:
+                for answers, final_db, _ in self._bfs(
+                    goal, db, goal_vars, budget, want_trace=False, obs=obs
+                ):
+                    yield Solution(dict(zip(goal_vars, answers)), final_db)
+            finally:
+                _note_budget(obs, budget)
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
         """True iff some execution of *goal* from *db* commits."""
@@ -146,12 +168,17 @@ class Interpreter:
     def run(self, goal: Formula, db: Database) -> Iterator[Execution]:
         """Like :meth:`solve` but with execution traces attached."""
         goal = self.program.resolve_goal(goal)
-        budget = _Budget(self.max_configs)
+        obs = active()
+        budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
-        for answers, final_db, trace in self._bfs(
-            goal, db, goal_vars, budget, want_trace=True
-        ):
-            yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
+        with obs.span("solve", engine="interpreter", mode="run", goal=str(goal)):
+            try:
+                for answers, final_db, trace in self._bfs(
+                    goal, db, goal_vars, budget, want_trace=True, obs=obs
+                ):
+                    yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
+            finally:
+                _note_budget(obs, budget)
 
     def simulate(
         self,
@@ -168,10 +195,15 @@ class Interpreter:
         within the explored space.
         """
         goal = self.program.resolve_goal(goal)
-        budget = _Budget(self.max_configs)
+        obs = active()
+        budget = _Budget(self.max_configs, obs)
         rng = random.Random(seed) if seed is not None else None
         goal_vars = _ordered_vars(goal)
-        result = self._dfs(goal, db, goal_vars, budget, rng, max_depth)
+        with obs.span("simulate", engine="interpreter", goal=str(goal)):
+            try:
+                result = self._dfs(goal, db, goal_vars, budget, rng, max_depth, obs=obs)
+            finally:
+                _note_budget(obs, budget)
         if result is None:
             return None
         answers, final_db, trace = result
@@ -186,6 +218,7 @@ class Interpreter:
         goal_vars: Sequence[Variable],
         budget: _Budget,
         want_trace: bool,
+        obs: Instrumentation = NOOP,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
         start = Configuration(goal, db, tuple(goal_vars))
@@ -194,6 +227,7 @@ class Interpreter:
         seen = {start_key}
         traces: Dict[object, Tuple[Action, ...]] = {start_key: ()}
         emitted = set()
+        enabled = obs.enabled
 
         while frontier:
             config = frontier.popleft()
@@ -202,10 +236,17 @@ class Interpreter:
                 result = (config.answers, config.database)
                 if result not in emitted:
                     emitted.add(result)
+                    if enabled:
+                        obs.metrics.inc("search.solutions")
                     yield config.answers, config.database, traces.get(config_key, ())
                 continue
+            if enabled:
+                obs.metrics.inc("search.configs_expanded")
             for step in enabled_steps(
-                self.program, config.process, config.database, self._isol_runner(budget)
+                self.program,
+                config.process,
+                config.database,
+                self._isol_runner(budget, obs),
             ):
                 budget.spend()
                 new_proc = apply_subst(step.residual, step.subst)
@@ -220,6 +261,8 @@ class Interpreter:
                 if want_trace:
                     traces[key] = traces.get(config_key, ()) + (step.action,)
                 frontier.append(succ)
+                if enabled:
+                    obs.metrics.gauge_max("search.frontier_peak", len(frontier))
 
     def _key(self, config: Configuration):
         return (
@@ -240,6 +283,7 @@ class Interpreter:
         budget: _Budget,
         rng: Optional[random.Random],
         max_depth: int,
+        obs: Instrumentation = NOOP,
     ) -> Optional[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
         failed: Set[object] = set()
@@ -251,10 +295,12 @@ class Interpreter:
             configurations and ordered so that children whose frontier is
             immediately enabled come before blocked ones (see
             :func:`frontier_blocked`)."""
+            if obs.enabled:
+                obs.metrics.inc("search.configs_expanded")
             ready = []
             deferred = []
             for step in enabled_steps(
-                self.program, proc, state, self._isol_runner(budget)
+                self.program, proc, state, self._isol_runner(budget, obs)
             ):
                 budget.spend()
                 new_proc = apply_subst(step.residual, step.subst)
@@ -310,11 +356,11 @@ class Interpreter:
 
     # -- isolation ----------------------------------------------------------------
 
-    def _isol_runner(self, budget: _Budget):
-        def run_isolated(body: Formula, db: Database):
+    def _isol_runner(self, budget: _Budget, obs: Instrumentation = NOOP):
+        def executions(body: Formula, db: Database):
             body_vars = _ordered_vars(body)
             for answers, final_db, trace in self._bfs(
-                body, db, body_vars, budget, want_trace=True
+                body, db, body_vars, budget, want_trace=True, obs=obs
             ):
                 theta = {
                     v: t
@@ -323,7 +369,25 @@ class Interpreter:
                 }
                 yield theta, final_db, trace
 
+        def run_isolated(body: Formula, db: Database):
+            if not obs.enabled:
+                yield from executions(body, db)
+                return
+            obs.enter_iso()
+            try:
+                with obs.span("iso-subsearch", body=str(body)):
+                    yield from executions(body, db)
+            finally:
+                obs.exit_iso()
+
         return run_isolated
+
+
+def _note_budget(obs: Instrumentation, budget: _Budget) -> None:
+    """Record the final budget spend of a finished (or abandoned) search."""
+    if obs.enabled:
+        obs.metrics.gauge_max("budget.spent", budget.used)
+        obs.metrics.set_gauge("budget.limit", budget.limit)
 
 
 def _ordered_vars(goal: Formula) -> List[Variable]:

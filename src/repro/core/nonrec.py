@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
+from ..obs.context import Instrumentation, NOOP, active
 from .database import Database
 from .errors import SafetyError, UnsupportedProgramError
 from .formulas import (
@@ -64,6 +65,8 @@ class NonrecursiveEngine:
         self._fallback = Interpreter(program) if self._has_conc else None
         # Memo: (canonical call atom, db) -> list of (values, db_out).
         self._memo: Dict[Tuple[Atom, Database], List] = {}
+        # Instrumentation for the current solve (NOOP when inactive).
+        self._obs: Instrumentation = NOOP
 
     def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
         goal = self.program.resolve_goal(goal)
@@ -73,13 +76,22 @@ class NonrecursiveEngine:
             yield from fallback.solve(goal, db)
             return
         goal_vars = _ordered_vars(goal)
-        emitted = set()
-        for theta, final_db in self._eval(goal, db, {}):
-            bindings = {v: walk(v, theta) for v in goal_vars}
-            key = (tuple(sorted(bindings.items())), final_db)
-            if key not in emitted:
-                emitted.add(key)
-                yield Solution(bindings, final_db)
+        obs = self._obs = active()
+        with obs.span("solve", engine="nonrec", goal=str(goal)):
+            emitted = set()
+            for theta, final_db in self._eval(goal, db, {}):
+                bindings = {v: walk(v, theta) for v in goal_vars}
+                key = (tuple(sorted(bindings.items())), final_db)
+                if key not in emitted:
+                    emitted.add(key)
+                    if obs.enabled:
+                        obs.metrics.inc("search.solutions")
+                    yield Solution(bindings, final_db)
+            if obs.enabled:
+                obs.metrics.set_gauge("table.keys", len(self._memo))
+                obs.metrics.set_gauge(
+                    "table.answers", sum(len(v) for v in self._memo.values())
+                )
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
         for _ in self.solve(goal, db):
@@ -150,6 +162,9 @@ class NonrecursiveEngine:
         canon_atom, originals = _canonical_call(instantiated)
         key = (canon_atom, db)
         answers = self._memo.get(key)
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.inc("table.misses" if answers is None else "table.hits")
         if answers is None:
             answers = []
             seen = set()

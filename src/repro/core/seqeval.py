@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..obs.context import Instrumentation, NOOP, active
 from .database import Database
 from .errors import SafetyError, UnsupportedProgramError
 from .formulas import (
@@ -107,6 +108,8 @@ class SequentialEngine:
         # Per-evaluation scratch: keys consulted / newly registered.
         self._consulted: Set[_Key] = set()
         self._new_keys: List[_Key] = []
+        # Instrumentation for the current solve (NOOP when inactive).
+        self._obs: Instrumentation = NOOP
 
     def _check_sequential(self) -> None:
         for rule in self.program.rules:
@@ -132,14 +135,23 @@ class SequentialEngine:
                     "goal uses concurrent composition; use the full interpreter"
                 )
         goal_vars = _ordered_vars(goal)
-        self._run_fixpoint(goal, db)
-        emitted = set()
-        for theta, final_db in self._eval(goal, db, {}):
-            bindings = {v: walk(v, theta) for v in goal_vars}
-            key = (tuple(sorted(bindings.items())), final_db)
-            if key not in emitted:
-                emitted.add(key)
-                yield Solution(bindings, final_db)
+        obs = self._obs = active()
+        with obs.span("solve", engine="seqeval", goal=str(goal)):
+            with obs.span("table-fixpoint"):
+                self._run_fixpoint(goal, db)
+            if obs.enabled:
+                keys, answers = self.table_size
+                obs.metrics.set_gauge("table.keys", keys)
+                obs.metrics.set_gauge("table.answers", answers)
+            emitted = set()
+            for theta, final_db in self._eval(goal, db, {}):
+                bindings = {v: walk(v, theta) for v in goal_vars}
+                key = (tuple(sorted(bindings.items())), final_db)
+                if key not in emitted:
+                    emitted.add(key)
+                    if obs.enabled:
+                        obs.metrics.inc("search.solutions")
+                    yield Solution(bindings, final_db)
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
         for _ in self.solve(goal, db):
@@ -215,6 +227,8 @@ class SequentialEngine:
         raise SearchExhausted_impossible()  # pragma: no cover - loop bound
 
     def _recompute(self, key: _Key) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.inc("table.recomputes")
         canon_atom, db_in = key
         answers = self._table[key]
         canon_vars = [t for t in canon_atom.args if isinstance(t, Variable)]
@@ -311,11 +325,16 @@ class SequentialEngine:
         key = (canon_atom, db)
         self._consulted.add(key)
         answers = self._table.get(key)
+        obs = self._obs
         if answers is None:
             # Register the key; the worklist driver will compute it.
+            if obs.enabled:
+                obs.metrics.inc("table.misses")
             self._table[key] = set()
             self._new_keys.append(key)
             return
+        if obs.enabled:
+            obs.metrics.inc("table.hits")
         for values, db_out in sorted(answers, key=_answer_order):
             out = dict(theta)
             consistent = True

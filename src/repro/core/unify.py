@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from ..obs import context as _obs
 from .terms import Atom, Constant, Term, Variable
 
 __all__ = [
@@ -101,6 +102,11 @@ def unify_atoms(
     a1: Atom, a2: Atom, subst: Substitution = EMPTY_SUBST
 ) -> Optional[Substitution]:
     """Unify two atoms; they must agree on predicate and arity."""
+    # Hot path: the instrumentation guard is one module-attribute load
+    # plus a None check (see repro.obs.context).
+    inst = _obs._ACTIVE
+    if inst is not None:
+        inst.metrics.inc("unify.attempts")
     if a1.pred != a2.pred or len(a1.args) != len(a2.args):
         return None
     out: Dict[Variable, Term] = dict(subst)

@@ -1,0 +1,47 @@
+"""Engine-wide instrumentation: metrics, tracing, profiling hooks.
+
+Observability for the Transaction Datalog engines.  Three pieces:
+
+* :class:`~repro.obs.metrics.Metrics` -- a registry of counters, gauges
+  (high-water marks), histograms, and wall-clock timers.  Counters are
+  deterministic (configurations expanded, table hits, unification
+  attempts); timers are kept separate so tests can assert on counters
+  without depending on wall time.
+* :class:`~repro.obs.tracer.Tracer` -- lightweight span-based tracing.
+  Engines open spans for ``solve`` / ``simulate`` / ``iso-subsearch`` /
+  ``table-fixpoint``; finished spans serialize as JSON lines with parent
+  ids so external tools can rebuild the search tree.
+* :func:`~repro.obs.context.instrumented` -- the activation context.
+  Instrumentation is **off by default**: the engines consult a single
+  module-level slot, and every hot-path increment is guarded by one
+  ``enabled`` check, so the uninstrumented paths stay at full speed.
+
+Typical use::
+
+    from repro.obs import Instrumentation, instrumented, render_report
+
+    inst = Instrumentation.create()
+    with instrumented(inst):
+        list(engine.solve(goal, db))
+    print(render_report(inst))
+
+The CLI exposes the same machinery as ``--profile`` (print the report)
+and ``--trace-out FILE`` (dump the span log as JSON lines).
+"""
+
+from .context import Instrumentation, NOOP, active, instrumented
+from .metrics import Metrics
+from .report import render_report
+from .tracer import Span, Tracer, read_jsonl
+
+__all__ = [
+    "Instrumentation",
+    "Metrics",
+    "NOOP",
+    "Span",
+    "Tracer",
+    "active",
+    "instrumented",
+    "read_jsonl",
+    "render_report",
+]

@@ -1,0 +1,100 @@
+"""Activation context: which instrumentation (if any) is live.
+
+The engines do not take an instrumentation argument through every call;
+they consult a single module-level slot at operation entry and hold the
+reference for the duration of the search.  Hot loops then guard each
+increment behind one ``enabled`` attribute check, so with
+instrumentation off (the default) the cost is one ``is``-comparison per
+entry point and nothing in the inner loops.
+
+::
+
+    inst = Instrumentation.create()
+    with instrumented(inst):
+        engine.solve(goal, db)
+    inst.metrics.counter("search.configs_expanded")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import Metrics
+from .tracer import Span, Tracer
+
+__all__ = ["Instrumentation", "NOOP", "active", "instrumented"]
+
+
+class Instrumentation:
+    """A metrics registry plus a tracer, with one ``enabled`` switch.
+
+    ``iso_depth`` tracks the *current* isolation nesting depth of the
+    running search (``iso.depth_peak`` gauges its high-water mark); it
+    lives here rather than in :class:`Metrics` because it is transient
+    search state, not a reported value.
+    """
+
+    __slots__ = ("metrics", "tracer", "enabled", "iso_depth")
+
+    def __init__(self, metrics: Metrics, tracer: Tracer, enabled: bool = True):
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = enabled
+        self.iso_depth = 0
+
+    @classmethod
+    def create(cls) -> "Instrumentation":
+        """A fresh, enabled instrumentation bundle."""
+        return cls(Metrics(), Tracer())
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Optional[Span]]:
+        """Open a tracer span, or do nothing when disabled."""
+        if not self.enabled:
+            yield None
+            return
+        with self.tracer.span(name, **attrs) as span:
+            yield span
+
+    def enter_iso(self) -> None:
+        """Record entry into a nested isolation search."""
+        self.iso_depth += 1
+        self.metrics.inc("iso.searches")
+        self.metrics.gauge_max("iso.depth_peak", self.iso_depth)
+
+    def exit_iso(self) -> None:
+        self.iso_depth -= 1
+
+
+#: The disabled singleton.  Engines hold either this or a live bundle;
+#: either way the hot-path guard is the same ``.enabled`` check.
+NOOP = Instrumentation(Metrics(), Tracer(), enabled=False)
+
+#: The live instrumentation, or None when off.  Read directly (as
+#: ``context._ACTIVE``) only by the hottest call sites; everyone else
+#: goes through :func:`active`.
+_ACTIVE: Optional[Instrumentation] = None
+
+
+def active() -> Instrumentation:
+    """The live instrumentation, or :data:`NOOP` when none is active."""
+    return _ACTIVE if _ACTIVE is not None else NOOP
+
+
+@contextmanager
+def instrumented(
+    instrumentation: Optional[Instrumentation] = None,
+) -> Iterator[Instrumentation]:
+    """Activate *instrumentation* (a fresh bundle if none) for a block.
+
+    Nests: the previous activation is restored on exit.
+    """
+    global _ACTIVE
+    inst = instrumentation if instrumentation is not None else Instrumentation.create()
+    previous = _ACTIVE
+    _ACTIVE = inst
+    try:
+        yield inst
+    finally:
+        _ACTIVE = previous

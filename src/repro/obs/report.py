@@ -1,0 +1,103 @@
+"""Human-readable profiling reports over a metrics/trace bundle.
+
+This is what ``--profile`` prints: one aligned text table covering the
+engine chosen, the sublanguage, every counter/gauge/histogram, wall
+times, and a digest of the span tree.  The format is stable-ish but
+meant for eyes; machine consumers should use
+:meth:`repro.obs.metrics.Metrics.snapshot` or the JSON-lines trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from .context import Instrumentation
+from .metrics import Metrics
+
+__all__ = ["render_report", "render_metrics"]
+
+#: Counters every profile report shows even when zero -- the headline
+#: numbers a reader expects to find regardless of which engine ran.
+_ALWAYS_SHOW_COUNTERS = (
+    "search.configs_expanded",
+    "search.steps",
+    "unify.attempts",
+    "table.hits",
+    "table.misses",
+)
+_ALWAYS_SHOW_GAUGES = (
+    "budget.spent",
+    "budget.limit",
+)
+
+
+def _rows(title: str, pairs) -> List[str]:
+    lines = [title + ":"]
+    width = max((len(name) for name, _ in pairs), default=0)
+    for name, value in pairs:
+        lines.append("  %-*s  %s" % (width, name, value))
+    return lines
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.3f s" % seconds
+    return "%.3f ms" % (seconds * 1e3)
+
+
+def render_metrics(metrics: Metrics) -> str:
+    """The metrics registry alone, as an aligned text table."""
+    lines: List[str] = []
+    if metrics.info:
+        lines.extend(_rows("run", sorted(metrics.info.items())))
+    counters = dict(metrics.counters)
+    for name in _ALWAYS_SHOW_COUNTERS:
+        counters.setdefault(name, 0)
+    lines.extend(_rows("counters", sorted(counters.items())))
+    gauges = dict(metrics.gauges)
+    for name in _ALWAYS_SHOW_GAUGES:
+        gauges.setdefault(name, 0)
+    lines.extend(
+        _rows("gauges", [(k, "%g" % v) for k, v in sorted(gauges.items())])
+    )
+    if metrics.histograms:
+        lines.extend(
+            _rows(
+                "histograms",
+                [
+                    (
+                        name,
+                        "count=%d mean=%.2f min=%g max=%g"
+                        % (h.count, h.mean, h.min or 0, h.max or 0),
+                    )
+                    for name, h in sorted(metrics.histograms.items())
+                ],
+            )
+        )
+    if metrics.timers:
+        lines.extend(
+            _rows(
+                "wall time",
+                [
+                    (name, _format_seconds(seconds))
+                    for name, seconds in sorted(metrics.timers.items())
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_report(inst: Instrumentation) -> str:
+    """Full profile report: metrics table plus a span-tree digest."""
+    lines = ["== profile " + "=" * 49, render_metrics(inst.metrics)]
+    spans = inst.tracer.spans
+    if spans:
+        by_name = Counter(span.name for span in spans)
+        pairs = [
+            (name, "%d span%s" % (n, "" if n == 1 else "s"))
+            for name, n in sorted(by_name.items())
+        ]
+        pairs.append(("tree depth", str(inst.tracer.max_depth)))
+        lines.extend(_rows("spans", pairs))
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.database import Database
 from ..core.errors import SearchBudgetExceeded
+from ..obs.context import active
 from ..core.formulas import Formula, apply_subst
 from ..core.interpreter import Interpreter
 from ..core.parser import parse_goal
@@ -128,13 +129,15 @@ def explore(
 
     # Isolation needs an executor for iso bodies; reuse the interpreter's
     # nested-search machinery with its own budget.
+    obs = active()
     interp = Interpreter(program, max_configs=max_states * 10)
-    budget = interp._make_budget()
+    budget = interp._make_budget(obs)
 
     nodes: List[StateNode] = []
     edges: Dict[int, List[Tuple[str, int]]] = {}
     parents: Dict[int, Tuple[int, str]] = {}
     ids: Dict[object, int] = {}
+    edge_count = 0
 
     def intern(proc: Formula, state: Database) -> Tuple[int, bool]:
         key = (canonical_key(proc), state)
@@ -143,28 +146,35 @@ def explore(
             return existing, False
         node_id = len(nodes)
         if node_id >= max_states:
-            raise SearchBudgetExceeded(node_id + 1, max_states)
+            raise SearchBudgetExceeded(node_id + 1, max_states, spent=budget.used)
         ids[key] = node_id
         nodes.append(StateNode(node_id, proc, state, is_final(proc)))
         edges[node_id] = []
         return node_id, True
 
-    start, _ = intern(goal, db)
-    frontier = deque([start])
-    while frontier:
-        node_id = frontier.popleft()
-        node = nodes[node_id]
-        if node.final:
-            continue
-        for step in enabled_steps(
-            program, node.process, node.database, interp._isol_runner(budget)
-        ):
-            new_proc = apply_subst(step.residual, step.subst)
-            succ_id, fresh = intern(new_proc, step.database)
-            label = str(step.action)
-            edges[node_id].append((label, succ_id))
-            if fresh:
-                parents[succ_id] = (node_id, label)
-                frontier.append(succ_id)
+    with obs.span("statespace.explore", goal=str(goal)):
+        start, _ = intern(goal, db)
+        frontier = deque([start])
+        while frontier:
+            node_id = frontier.popleft()
+            node = nodes[node_id]
+            if node.final:
+                continue
+            if obs.enabled:
+                obs.metrics.inc("statespace.expanded")
+            for step in enabled_steps(
+                program, node.process, node.database, interp._isol_runner(budget, obs)
+            ):
+                new_proc = apply_subst(step.residual, step.subst)
+                succ_id, fresh = intern(new_proc, step.database)
+                label = str(step.action)
+                edges[node_id].append((label, succ_id))
+                edge_count += 1
+                if fresh:
+                    parents[succ_id] = (node_id, label)
+                    frontier.append(succ_id)
+        if obs.enabled:
+            obs.metrics.set_gauge("statespace.states", len(nodes))
+            obs.metrics.set_gauge("statespace.edges", edge_count)
 
     return StateGraph(nodes=nodes, edges=edges, parents=parents, initial=start)

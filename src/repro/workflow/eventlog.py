@@ -11,7 +11,7 @@ tools expect.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Sequence
 
 from .scheduler import SimulationResult
@@ -26,6 +26,9 @@ class EventRecord:
     ``kind`` is ``task_started`` / ``task_done`` / ``item_dispatched`` /
     ``fact_emitted`` / ``fact_consumed``.  ``agent`` is set only for
     ``task_done`` (the history records the performer at completion).
+    ``span_id``, when present, is the engine-trace span the simulation
+    ran under (see :mod:`repro.obs`), so process-mining output can be
+    joined against profiling traces.
     """
 
     seq: int
@@ -34,6 +37,7 @@ class EventRecord:
     task: Optional[str] = None
     agent: Optional[str] = None
     fact: Optional[str] = None
+    span_id: Optional[str] = None
 
 
 def _parse_args(event: str) -> List[str]:
@@ -41,8 +45,17 @@ def _parse_args(event: str) -> List[str]:
     return [a.strip() for a in inner.split(",")]
 
 
-def event_log(result: SimulationResult) -> List[EventRecord]:
-    """The structured event log of one simulation run."""
+def event_log(
+    result: SimulationResult, span_id: Optional[str] = None
+) -> List[EventRecord]:
+    """The structured event log of one simulation run.
+
+    ``span_id`` overrides the correlation id stamped on every record;
+    by default it is taken from the result itself (set when the
+    simulation ran under instrumentation, ``None`` otherwise).
+    """
+    if span_id is None:
+        span_id = getattr(result, "span_id", None)
     records: List[EventRecord] = []
     seq = 0
     for event in result.events:
@@ -73,14 +86,27 @@ def event_log(result: SimulationResult) -> List[EventRecord]:
                     fact=event[len("del."):],
                 )
         if record is not None:
+            if span_id is not None:
+                record = replace(record, span_id=span_id)
             records.append(record)
             seq += 1
     return records
 
 
 def to_json(result: SimulationResult, indent: int = 2) -> str:
-    """The event log as JSON (for process-mining / dashboard export)."""
-    return json.dumps([asdict(r) for r in event_log(result)], indent=indent)
+    """The event log as JSON (for process-mining / dashboard export).
+
+    ``span_id`` appears only when set (instrumented runs), so the
+    uninstrumented output shape is exactly what it was before tracing
+    existed.
+    """
+    payload = []
+    for record in event_log(result):
+        fields = asdict(record)
+        if fields.get("span_id") is None:
+            del fields["span_id"]
+        payload.append(fields)
+    return json.dumps(payload, indent=indent)
 
 
 def timeline(result: SimulationResult) -> str:

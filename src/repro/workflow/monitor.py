@@ -15,7 +15,7 @@ directly and a reusable :func:`history_program` for richer analysis with
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.database import Database
 from ..core.terms import Atom, Variable
@@ -95,9 +95,17 @@ def history_program() -> DatalogProgram:
     ])
 
 
-def status_report(db: Database) -> str:
-    """A human-readable status summary of a history database."""
-    lines = ["task counts:"]
+def status_report(db: Database, span_id: Optional[str] = None) -> str:
+    """A human-readable status summary of a history database.
+
+    ``span_id`` (e.g. ``SimulationResult.span_id``) is echoed in the
+    header so a monitoring report can be tied back to the engine trace
+    that produced the history.
+    """
+    lines = []
+    if span_id is not None:
+        lines.append("engine trace span: %s" % span_id)
+    lines.append("task counts:")
     for task, n in sorted(task_counts(db).items()):
         lines.append("  %-20s %d" % (task, n))
     lines.append("agent workload:")

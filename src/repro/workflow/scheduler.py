@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.database import Database
 from ..core.formulas import Call, Conc, Del, Formula, Ins, Isol, Neg, Test, conc, seq
+from ..obs.context import active
 from ..core.interpreter import Execution, Interpreter
 from ..core.program import Program, Rule
 from ..core.terms import Atom, Variable, atom
@@ -96,9 +97,16 @@ def environment_rules() -> List[Rule]:
 
 @dataclass
 class SimulationResult:
-    """Outcome of a workflow simulation run."""
+    """Outcome of a workflow simulation run.
+
+    ``span_id`` correlates this run with the engine trace: when the
+    simulation ran under :func:`repro.obs.instrumented`, it is the id of
+    the ``workflow.simulate`` span enclosing the engine's search spans,
+    and event-log records carry it (see :mod:`repro.workflow.eventlog`).
+    """
 
     execution: Execution
+    span_id: Optional[str] = None
 
     @property
     def history(self) -> Database:
@@ -203,12 +211,16 @@ class WorkflowSimulator:
             goal = conc(goal, Call(atom("env")))
         if extra_goal is not None:
             goal = conc(goal, extra_goal)
-        execution = self.interpreter.simulate(
-            goal, db, seed=seed, max_depth=max_depth
-        )
+        obs = active()
+        with obs.span("workflow.simulate", main=self.specs[0].name) as span:
+            execution = self.interpreter.simulate(
+                goal, db, seed=seed, max_depth=max_depth
+            )
         if execution is None:
             raise RuntimeError(
                 "workflow simulation cannot commit (deadlock or "
                 "unsatisfiable resource requirements)"
             )
-        return SimulationResult(execution)
+        return SimulationResult(
+            execution, span_id=span.span_id if span is not None else None
+        )

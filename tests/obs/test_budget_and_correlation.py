@@ -1,0 +1,101 @@
+"""Budget-spend reporting and workflow/engine span correlation."""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    SearchBudgetExceeded,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+from repro.obs import Instrumentation, instrumented
+from repro.workflow import Agent, Step, Task, WorkflowSpec
+from repro.workflow.eventlog import event_log, to_json
+from repro.workflow.monitor import status_report
+from repro.workflow.scheduler import WorkflowSimulator
+
+
+@pytest.fixture
+def divergent_program():
+    """Non-tail recursion: the continuation grows forever, so the
+    configuration space is infinite and the budget must fire."""
+    return parse_program("grow <- grow * ins.x.")
+
+
+class TestBudgetSpend:
+    def test_exception_carries_spend_figure(self, divergent_program):
+        interp = Interpreter(divergent_program, max_configs=50)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            list(interp.solve(parse_goal("grow"), Database()))
+        err = excinfo.value
+        assert err.spent == err.explored == 51
+        assert err.budget == 50
+        assert "budget 50" in str(err)
+        assert "spent 51" in str(err)
+
+    def test_metrics_record_exhaustion(self, divergent_program):
+        interp = Interpreter(divergent_program, max_configs=50)
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            with pytest.raises(SearchBudgetExceeded):
+                list(interp.solve(parse_goal("grow"), Database()))
+        assert inst.metrics.counter("budget.exceeded") == 1
+        assert inst.metrics.gauge("budget.spent") == 51
+        assert inst.metrics.counter("search.steps") == 51
+
+    def test_spend_defaults_keep_old_constructor_shape(self):
+        err = SearchBudgetExceeded(10, 5)
+        assert err.spent == 10
+        assert err.explored == 10
+        assert err.budget == 5
+
+
+@pytest.fixture
+def tiny_workflow():
+    spec = WorkflowSpec(
+        name="job", body=Step("prep"), tasks=(Task("prep", role="tech"),)
+    )
+    agents = [Agent("ada", ("tech",))]
+    return WorkflowSimulator([spec], agents)
+
+
+class TestWorkflowCorrelation:
+    def test_uninstrumented_run_has_no_span_id(self, tiny_workflow):
+        result = tiny_workflow.run(["w1"])
+        assert result.span_id is None
+        assert all(r.span_id is None for r in event_log(result))
+        assert "span_id" not in to_json(result)
+
+    def test_instrumented_run_stamps_span_id(self, tiny_workflow):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            result = tiny_workflow.run(["w1"])
+        assert result.span_id is not None
+        spans = {s.span_id: s for s in inst.tracer.spans}
+        assert result.span_id in spans
+        assert spans[result.span_id].name == "workflow.simulate"
+        records = event_log(result)
+        assert records and all(r.span_id == result.span_id for r in records)
+        assert '"span_id"' in to_json(result)
+
+    def test_explicit_span_id_override(self, tiny_workflow):
+        result = tiny_workflow.run(["w1"])
+        records = event_log(result, span_id="s99")
+        assert records and all(r.span_id == "s99" for r in records)
+
+    def test_status_report_echoes_span(self, tiny_workflow):
+        result = tiny_workflow.run(["w1"])
+        text = status_report(result.history, span_id="s42")
+        assert "engine trace span: s42" in text
+        assert "task counts:" in text
+        # Without a span the header is unchanged from the pre-obs shape.
+        assert status_report(result.history).startswith("task counts:")
+
+    def test_engine_spans_nest_under_workflow_span(self, tiny_workflow):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            result = tiny_workflow.run(["w1"])
+        simulate = next(s for s in inst.tracer.spans if s.name == "simulate")
+        assert simulate.parent_id == result.span_id

@@ -1,0 +1,103 @@
+"""CLI profiling flags: --profile summary and --trace-out JSON lines."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_jsonl
+
+
+@pytest.fixture
+def bank_files(tmp_path):
+    program = tmp_path / "bank.td"
+    program.write_text(
+        """
+        transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+        withdraw(Acct, Amt) <-
+            balance(Acct, Bal) * Bal >= Amt *
+            del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+        deposit(Acct, Amt) <-
+            balance(Acct, Bal) *
+            del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+    )
+    db = tmp_path / "bank.facts"
+    db.write_text("balance(a, 100). balance(b, 10).")
+    return str(program), str(db)
+
+
+class TestProfileFlag:
+    def test_solve_profile_prints_summary(self, bank_files, capsys):
+        program, db = bank_files
+        rc = main(
+            ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db, "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== profile" in out
+        assert "engine.sublanguage" in out
+        assert "nonrecursive TD" in out
+        assert "search.configs_expanded" in out
+        assert "budget.spent" in out
+        assert "table.misses" in out
+
+    def test_run_profile_prints_summary(self, bank_files, capsys):
+        program, db = bank_files
+        rc = main(
+            ["run", program, "--goal", "transfer(a, b, 30)", "--db", db, "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== profile" in out
+        assert "search.configs_expanded" in out
+
+    def test_graph_profile_prints_summary(self, bank_files, capsys):
+        program, db = bank_files
+        rc = main(
+            ["graph", program, "--goal", "transfer(a, b, 30)", "--db", db, "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "statespace.expanded" in out
+
+    def test_no_flags_no_report(self, bank_files, capsys):
+        program, db = bank_files
+        rc = main(["solve", program, "--goal", "transfer(a, b, 30)", "--db", db])
+        assert rc == 0
+        assert "== profile" not in capsys.readouterr().out
+
+
+class TestTraceOutFlag:
+    def test_solve_trace_out_writes_jsonl(self, bank_files, tmp_path, capsys):
+        program, db = bank_files
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "solve", program,
+                "--goal", "transfer(a, b, 30)",
+                "--db", db,
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        rows = read_jsonl(trace.read_text())
+        assert rows, "expected at least one span"
+        names = {r["name"] for r in rows}
+        assert "solve" in names
+        for row in rows:
+            assert set(row) >= {"span_id", "parent_id", "name", "start", "end"}
+
+    def test_run_trace_contains_iso_subsearch(self, bank_files, tmp_path, capsys):
+        program, db = bank_files
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "run", program,
+                "--goal", "transfer(a, b, 30)",
+                "--db", db,
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        names = [r["name"] for r in read_jsonl(trace.read_text())]
+        assert "simulate" in names
+        assert "iso-subsearch" in names

@@ -1,0 +1,91 @@
+"""Instrumentation off must mean *no behavior change* anywhere.
+
+The smoke test here is the contract the hot paths rely on: identical
+solve/simulate results with instrumentation on and off, and no metrics
+leakage when nothing is active.
+"""
+
+from repro import Database, Interpreter, parse_goal, parse_program, select_engine
+from repro.obs import Instrumentation, NOOP, active, instrumented
+from repro.obs.context import _ACTIVE  # noqa: F401 - imported for the guard test
+
+
+def normalize(solutions):
+    return sorted(
+        (tuple(sorted((str(v), str(t)) for v, t in s.bindings.items())), s.database)
+        for s in solutions
+    )
+
+
+class TestNoopPath:
+    def test_default_active_is_disabled_noop(self):
+        inst = active()
+        assert inst is NOOP
+        assert not inst.enabled
+
+    def test_context_nests_and_restores(self):
+        outer = Instrumentation.create()
+        inner = Instrumentation.create()
+        with instrumented(outer):
+            assert active() is outer
+            with instrumented(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is NOOP
+
+    def test_noop_records_nothing(self, bank_program, bank_db):
+        engine = select_engine(bank_program, "transfer(a, b, 30)")
+        list(engine.solve("transfer(a, b, 30)", bank_db))
+        assert NOOP.metrics.counters == {}
+        assert NOOP.tracer.spans == []
+
+
+class TestOnOffEquivalence:
+    def test_solve_results_identical(self, bank_program, bank_db):
+        goal = "transfer(a, b, 30)"
+        plain = normalize(select_engine(bank_program, goal).solve(goal, bank_db))
+        with instrumented(Instrumentation.create()) as inst:
+            traced = normalize(select_engine(bank_program, goal).solve(goal, bank_db))
+        assert plain == traced
+        assert inst.metrics.counters  # instrumentation did observe the run
+
+    def test_full_td_solve_results_identical(self, simulate_program):
+        from repro import parse_database
+
+        db = parse_database("workitem(w1). workitem(w2).")
+        interp = Interpreter(simulate_program)
+        plain = normalize(interp.solve(parse_goal("simulate"), db))
+        with instrumented():
+            traced = normalize(interp.solve(parse_goal("simulate"), db))
+        assert plain == traced
+
+    def test_simulate_trace_identical(self, bank_db):
+        # Parse the program fresh per run: the rule-freshening counter
+        # advances across simulations and leaks `#n` suffixes into trace
+        # strings, which would mask (or fake) an instrumentation diff.
+        bank_text = """
+            transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+            withdraw(Acct, Amt) <-
+                balance(Acct, Bal) * Bal >= Amt *
+                del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+            deposit(Acct, Amt) <-
+                balance(Acct, Bal) *
+                del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+        goal = parse_goal("transfer(a, b, 30)")
+        plain = Interpreter(parse_program(bank_text)).simulate(goal, bank_db, seed=11)
+        with instrumented():
+            traced = Interpreter(parse_program(bank_text)).simulate(
+                goal, bank_db, seed=11
+            )
+        assert plain is not None and traced is not None
+        assert plain.events == traced.events
+        assert plain.database == traced.database
+
+    def test_failing_goal_identical(self, bank_program, bank_db):
+        goal = "transfer(b, a, 999)"  # insufficient funds: cannot commit
+        engine = select_engine(bank_program, goal)
+        assert list(engine.solve(goal, bank_db)) == []
+        with instrumented():
+            engine2 = select_engine(bank_program, goal)
+            assert list(engine2.solve(goal, bank_db)) == []
