@@ -13,6 +13,8 @@ The series tables are replayed in the terminal summary so they reach
 stdout whatever capture mode pytest runs under.
 """
 
+import json
+
 import pytest
 
 from repro.complexity.runner import recorded_series
@@ -47,6 +49,30 @@ def bench_instrumentation(request):
     if snapshot["counters"] or snapshot["gauges"]:
         _METRIC_SNAPSHOTS.append((request.node.nodeid, snapshot))
         request.node.user_properties.append(("metrics", snapshot))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-json",
+        default=None,
+        metavar="FILE",
+        help="write every benchmark's deterministic metrics snapshot "
+             "to FILE as JSON (consumed by perf tooling alongside "
+             "BENCH_*.json timings)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--metrics-json", default=None)
+    if not path:
+        return
+    payload = [
+        {"nodeid": nodeid, "metrics": snapshot}
+        for nodeid, snapshot in _METRIC_SNAPSHOTS
+    ]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

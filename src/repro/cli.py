@@ -1,19 +1,28 @@
-"""Command-line interface: run, solve, and classify TD programs.
+"""Command-line interface: run, solve, classify, and profile TD programs.
 
 Usage examples::
 
     tdlog classify workflow.td
     tdlog solve workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog run workflow.td --goal 'simulate' --db lab.facts --seed 7
+    tdlog analyze --demo-lab 4
+    tdlog profile baseline
+    tdlog profile diff
+    tdlog profile export-otlp workflow.td --goal 'simulate' --out otlp.json
 
 ``run`` finds one successful execution (the simulator) and prints its
 trace and final database; ``solve`` enumerates all solutions (bindings +
-final state); ``classify`` prints the sublanguage analysis.
+final state); ``classify`` prints the sublanguage analysis.  ``analyze``
+computes workflow analytics (per-task latency, agent utilization, queue
+wait, critical path) from an event log or a demo simulation; ``profile``
+manages counter baselines (``baseline``/``diff``, the CI regression
+gate) and exports traces/metrics as OTLP JSON (``export-otlp``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -128,6 +137,112 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Workflow analytics from an event-log JSON file or a demo run."""
+    from .workflow.analytics import render_analytics
+    from .workflow.eventlog import EventRecord
+
+    if args.eventlog:
+        with open(args.eventlog) as handle:
+            payload = json.load(handle)
+        records = [
+            EventRecord(
+                seq=int(entry["seq"]),
+                kind=str(entry["kind"]),
+                item=str(entry.get("item", "")),
+                task=entry.get("task"),
+                agent=entry.get("agent"),
+                fact=entry.get("fact"),
+                span_id=entry.get("span_id"),
+            )
+            for entry in payload
+        ]
+        spans = []
+        if args.trace:
+            from .obs import read_jsonl
+
+            with open(args.trace) as handle:
+                spans = read_jsonl(handle.read())
+        print(render_analytics(records, spans=spans))
+        return 0
+
+    # Demo mode: simulate the paper's genome-lab pipeline (Examples
+    # 3.1-3.3) instrumented, so the report includes the span join.
+    from contextlib import nullcontext
+
+    from .lims import build_lab_simulator, gel_pipeline, sample_batch
+    from .obs import active, instrumented
+
+    obs = active()
+    context = nullcontext(obs) if obs.enabled else instrumented()
+    with context as inst:
+        simulator = build_lab_simulator()
+        result = simulator.run(sample_batch(args.demo_lab))
+    print("genome-lab demo: %d samples through the gel pipeline\n" % args.demo_lab)
+    print(
+        render_analytics(
+            result, spec=gel_pipeline(iterate=False), spans=inst.tracer.spans
+        )
+    )
+    return 0
+
+
+def _cmd_profile_baseline(args: argparse.Namespace) -> int:
+    from .obs.analyze import suite_config, write_baselines
+
+    configs = [suite_config(name) for name in args.only] if args.only else None
+    for path in write_baselines(args.out, configs):
+        print("wrote %s" % path)
+    return 0
+
+
+def _cmd_profile_diff(args: argparse.Namespace) -> int:
+    from .obs.analyze import (
+        diff_baselines,
+        parse_tolerance_overrides,
+        render_diff,
+        suite_config,
+    )
+
+    tolerances = parse_tolerance_overrides(args.counter or [])
+    configs = [suite_config(name) for name in args.only] if args.only else None
+    reports, problems = diff_baselines(
+        args.baseline_dir, tolerances, args.tolerance, configs
+    )
+    print(render_diff(reports, problems, verbose=args.verbose))
+    return 0 if all(r.ok for r in reports) and not problems else 1
+
+
+def _cmd_profile_export_otlp(args: argparse.Namespace) -> int:
+    from .obs import Instrumentation, instrumented, read_jsonl
+    from .obs.otlp import export_otlp, spans_to_otlp
+
+    if args.from_trace:
+        with open(args.from_trace) as handle:
+            payload = spans_to_otlp(read_jsonl(handle.read()))
+    else:
+        if not args.program or not args.goal:
+            print(
+                "error: export-otlp needs a PROGRAM and --goal "
+                "(or --from-trace FILE)",
+                file=sys.stderr,
+            )
+            return 2
+        program = _load_program(args.program)
+        db = _load_db(args.db)
+        engine = select_engine(program, args.goal, max_configs=args.max_configs)
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            for _ in engine.solve(args.goal, db):
+                pass
+        payload = export_otlp(inst)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("OTLP JSON written to %s" % args.out)
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Profiling flags shared by every subcommand (see docs/OBSERVABILITY.md)."""
     parser.add_argument(
@@ -136,7 +251,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--trace-out", metavar="FILE",
-        help="write the span trace as JSON lines to FILE",
+        help="write the span trace as JSON lines to FILE (overwrites)",
+    )
+    parser.add_argument(
+        "--trace-append", action="store_true",
+        help="append to --trace-out instead of overwriting it",
     )
 
 
@@ -195,7 +314,89 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl = sub.add_parser("repl", help="interactive TD session")
     p_repl.set_defaults(fn=_cmd_repl)
 
-    for command in (p_classify, p_solve, p_run, p_graph, p_diag, p_repl):
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="workflow analytics: per-task latency, utilization, critical path",
+    )
+    p_analyze.add_argument(
+        "eventlog", nargs="?",
+        help="event-log JSON file (as written by repro.workflow.eventlog.to_json); "
+             "omit to run the genome-lab demo",
+    )
+    p_analyze.add_argument(
+        "--trace", metavar="FILE",
+        help="span trace (JSON lines) to join for wall-clock attribution",
+    )
+    p_analyze.add_argument(
+        "--demo-lab", type=int, default=3, metavar="N",
+        help="demo mode: samples to push through the gel pipeline (default 3)",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_profile = sub.add_parser(
+        "profile", help="counter baselines, regression diffs, OTLP export"
+    )
+    profile_sub = p_profile.add_subparsers(dest="profile_command", required=True)
+
+    p_baseline = profile_sub.add_parser(
+        "baseline", help="capture counter baselines for the profile suite"
+    )
+    p_baseline.add_argument(
+        "--out", default="benchmarks/baselines", metavar="DIR",
+        help="directory for <config>.json baselines (default benchmarks/baselines)",
+    )
+    p_baseline.add_argument(
+        "--only", action="append", metavar="CONFIG",
+        help="restrict to one suite config (repeatable)",
+    )
+    p_baseline.set_defaults(fn=_cmd_profile_baseline)
+
+    p_diff = profile_sub.add_parser(
+        "diff", help="re-run the suite and diff counters against baselines"
+    )
+    p_diff.add_argument(
+        "--baseline-dir", default="benchmarks/baselines", metavar="DIR",
+        help="directory holding committed baselines",
+    )
+    p_diff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRAC",
+        help="default relative tolerance per counter (default 0: exact)",
+    )
+    p_diff.add_argument(
+        "--counter", action="append", metavar="NAME=FRAC",
+        help="per-counter tolerance override (repeatable)",
+    )
+    p_diff.add_argument(
+        "--only", action="append", metavar="CONFIG",
+        help="restrict to one suite config (repeatable)",
+    )
+    p_diff.add_argument(
+        "--verbose", action="store_true",
+        help="show matching values too, not just drift",
+    )
+    p_diff.set_defaults(fn=_cmd_profile_diff)
+
+    p_export = profile_sub.add_parser(
+        "export-otlp", help="export a run's spans and metrics as OTLP JSON"
+    )
+    p_export.add_argument(
+        "program", nargs="?",
+        help="path to a .td program file (run instrumented, then export)",
+    )
+    p_export.add_argument("--goal", help="goal to execute")
+    p_export.add_argument("--db", help="path to an initial-database facts file")
+    p_export.add_argument("--max-configs", type=int, default=200_000)
+    p_export.add_argument(
+        "--from-trace", metavar="FILE",
+        help="convert an existing --trace-out JSON-lines file instead of running",
+    )
+    p_export.add_argument(
+        "--out", default="otlp.json", metavar="FILE",
+        help="output path (default otlp.json)",
+    )
+    p_export.set_defaults(fn=_cmd_profile_export_otlp)
+
+    for command in (p_classify, p_solve, p_run, p_graph, p_diag, p_repl, p_analyze):
         _add_obs_flags(command)
 
     return parser
@@ -218,7 +419,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # that is exactly when the counters explain what happened.
         if args.trace_out:
             try:
-                inst.tracer.write_jsonl(args.trace_out)
+                inst.tracer.write_jsonl(
+                    args.trace_out, append=getattr(args, "trace_append", False)
+                )
                 print("trace written to %s" % args.trace_out, file=sys.stderr)
             except OSError as exc:
                 trace_failed = True

@@ -33,6 +33,7 @@ from .context import Instrumentation, NOOP, active, instrumented
 from .metrics import Metrics
 from .report import render_report
 from .tracer import Span, Tracer, read_jsonl
+from .otlp import export_otlp, metrics_to_otlp, spans_to_otlp, write_otlp
 
 __all__ = [
     "Instrumentation",
@@ -41,7 +42,11 @@ __all__ = [
     "Span",
     "Tracer",
     "active",
+    "export_otlp",
     "instrumented",
+    "metrics_to_otlp",
     "read_jsonl",
     "render_report",
+    "spans_to_otlp",
+    "write_otlp",
 ]

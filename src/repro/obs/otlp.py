@@ -1,0 +1,320 @@
+"""OTLP/JSON export: spans and metrics in the OpenTelemetry wire format.
+
+The tracer's JSON-lines format is ours; the rest of the world speaks
+OTLP.  This module maps a finished :class:`~repro.obs.tracer.Tracer`
+(or a parsed span log) and a :class:`~repro.obs.metrics.Metrics`
+snapshot onto the OTLP/JSON shape -- ``resourceSpans`` → ``scopeSpans``
+→ spans with ``traceId``/``spanId``/``parentSpanId``, and
+``resourceMetrics`` → ``scopeMetrics`` → sums / gauges / histograms --
+so a ``--trace-out`` run loads directly into standard tooling (Jaeger,
+an OTLP collector's file receiver, `otel-desktop-viewer`, ...).
+
+Zero dependencies: the wire format is emitted directly, following the
+protobuf-JSON mapping the OTLP spec prescribes -- 64-bit integers as
+decimal strings, ``traceId``/``spanId`` as lowercase hex, enums as
+numbers.
+
+Determinism: span ids are derived from the tracer's sequential ``s<n>``
+ids (``spanId`` = ``n`` as 16 hex digits) and each root span starts its
+own trace (``traceId`` derived from the root's ``n``), so the export is
+reproducible for a fixed search.  Timestamps are the one exception:
+the tracer records ``perf_counter`` seconds, which :func:`to_unix_nanos`
+rebases onto the epoch via an *anchor*; pass ``epoch=0.0`` for fully
+deterministic output (tests do).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .context import Instrumentation
+from .metrics import Metrics
+from .tracer import Span, Tracer
+
+__all__ = [
+    "spans_to_otlp",
+    "metrics_to_otlp",
+    "export_otlp",
+    "write_otlp",
+]
+
+#: OTLP enum values (numeric per the protobuf-JSON mapping).
+SPAN_KIND_INTERNAL = 1
+AGGREGATION_TEMPORALITY_CUMULATIVE = 2
+
+_SCOPE = {"name": "repro.obs", "version": "1"}
+
+_SpanLike = Union[Span, Dict[str, object]]
+
+
+# -- small encoders -----------------------------------------------------------
+
+
+def _any_value(value: object) -> Dict[str, object]:
+    """A python value as an OTLP ``AnyValue`` (bool before int: bool is
+    an int subclass)."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(mapping: Dict[str, object]) -> List[Dict[str, object]]:
+    return [
+        {"key": key, "value": _any_value(mapping[key])} for key in sorted(mapping)
+    ]
+
+
+def _span_number(span_id: object) -> int:
+    """The sequential number behind a tracer span id (``"s12"`` → 12)."""
+    text = str(span_id)
+    if text.startswith("s") and text[1:].isdigit():
+        return int(text[1:])
+    # Foreign id (hand-edited log): fold to a stable nonzero number.
+    folded = 0
+    for ch in text:
+        folded = (folded * 131 + ord(ch)) % (2**63 - 1)
+    return folded + 1
+
+
+def _span_id_hex(span_id: object) -> str:
+    return "%016x" % _span_number(span_id)
+
+
+def _trace_id_hex(root_span_id: object) -> str:
+    return "%032x" % _span_number(root_span_id)
+
+
+def to_unix_nanos(perf_seconds: float, epoch: float) -> str:
+    """A ``perf_counter`` reading as epoch nanoseconds (decimal string,
+    per the protobuf-JSON mapping of ``fixed64``)."""
+    return str(int(round((epoch + perf_seconds) * 1e9)))
+
+
+def _as_span_dict(span: _SpanLike) -> Dict[str, object]:
+    return span.as_dict() if isinstance(span, Span) else dict(span)
+
+
+def _epoch_anchor(epoch: Optional[float]) -> float:
+    """Offset that rebases ``perf_counter`` seconds onto the unix epoch."""
+    if epoch is not None:
+        return epoch
+    return time.time() - time.perf_counter()
+
+
+def _default_resource(resource: Optional[Dict[str, object]]) -> Dict[str, object]:
+    merged: Dict[str, object] = {"service.name": "repro-tdlog"}
+    if resource:
+        merged.update(resource)
+    return merged
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def spans_to_otlp(
+    spans: Union[Tracer, Sequence[_SpanLike]],
+    resource: Optional[Dict[str, object]] = None,
+    epoch: Optional[float] = None,
+) -> Dict[str, object]:
+    """Finished spans as an OTLP/JSON ``resourceSpans`` payload.
+
+    *spans* is a :class:`Tracer` or a sequence of spans / span dicts
+    (the shape ``read_jsonl`` returns).  Each root span opens its own
+    trace; children inherit the root's ``traceId`` through the parent
+    chain, so parent links stay consistent with trace membership.
+    """
+    if isinstance(spans, Tracer):
+        spans = list(spans.spans)
+    records = [_as_span_dict(s) for s in spans]
+    anchor = _epoch_anchor(epoch)
+
+    # Resolve each span's root through the parent chain (spans arrive in
+    # completion order: children may precede parents, so resolve lazily).
+    parent_of = {str(r["span_id"]): r.get("parent_id") for r in records}
+    root_of: Dict[str, str] = {}
+
+    def resolve_root(span_id: str) -> str:
+        seen: List[str] = []
+        current = span_id
+        while True:
+            cached = root_of.get(current)
+            if cached is not None:
+                root = cached
+                break
+            parent = parent_of.get(current)
+            if parent is None or str(parent) not in parent_of:
+                root = current  # orphaned parents count as roots too
+                break
+            seen.append(current)
+            current = str(parent)
+        for visited in seen + [current]:
+            root_of[visited] = root
+        return root
+
+    otlp_spans: List[Dict[str, object]] = []
+    for record in records:
+        span_id = str(record["span_id"])
+        parent = record.get("parent_id")
+        start = float(record["start"])  # type: ignore[arg-type]
+        end = record.get("end")
+        end_s = float(end) if end is not None else start
+        otlp: Dict[str, object] = {
+            "traceId": _trace_id_hex(resolve_root(span_id)),
+            "spanId": _span_id_hex(span_id),
+            "name": str(record["name"]),
+            "kind": SPAN_KIND_INTERNAL,
+            "startTimeUnixNano": to_unix_nanos(start, anchor),
+            "endTimeUnixNano": to_unix_nanos(end_s, anchor),
+            "attributes": _attributes(dict(record.get("attrs") or {})),
+        }
+        if parent is not None and str(parent) in parent_of:
+            otlp["parentSpanId"] = _span_id_hex(str(parent))
+        otlp_spans.append(otlp)
+
+    return {
+        "resourceSpans": [
+            {
+                "resource": {"attributes": _attributes(_default_resource(resource))},
+                "scopeSpans": [{"scope": dict(_SCOPE), "spans": otlp_spans}],
+            }
+        ]
+    }
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def _number_point(value: float, anchor: float, now: float) -> Dict[str, object]:
+    point: Dict[str, object] = {"timeUnixNano": to_unix_nanos(now, anchor)}
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        point["asDouble"] = float(value)
+    elif isinstance(value, int):
+        point["asInt"] = str(value)
+    else:
+        point["asDouble"] = value
+    return point
+
+
+def metrics_to_otlp(
+    metrics: Union[Metrics, Dict[str, object]],
+    resource: Optional[Dict[str, object]] = None,
+    epoch: Optional[float] = None,
+) -> Dict[str, object]:
+    """A metrics registry (or its ``snapshot()``) as OTLP/JSON
+    ``resourceMetrics``.
+
+    Counters become monotonic cumulative sums, gauges become gauges,
+    histogram summaries become OTLP histogram data points (count / sum /
+    min / max, no buckets -- the registry keeps summaries, not
+    distributions), timers become non-monotonic sums in seconds.  The
+    ``info`` table rides along as resource attributes, where OTLP puts
+    run-level facts.
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, Metrics) else dict(metrics)
+    anchor = _epoch_anchor(epoch)
+    now = 0.0 if epoch is not None else time.perf_counter()
+    stamp = lambda v: _number_point(v, anchor, now)  # noqa: E731
+
+    out_metrics: List[Dict[str, object]] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        value = snapshot["counters"][name]  # type: ignore[index]
+        out_metrics.append(
+            {
+                "name": name,
+                "unit": "1",
+                "sum": {
+                    "dataPoints": [stamp(int(value))],
+                    "aggregationTemporality": AGGREGATION_TEMPORALITY_CUMULATIVE,
+                    "isMonotonic": True,
+                },
+            }
+        )
+    for name in sorted(snapshot.get("gauges") or {}):
+        value = snapshot["gauges"][name]  # type: ignore[index]
+        out_metrics.append(
+            {"name": name, "unit": "1", "gauge": {"dataPoints": [stamp(float(value))]}}
+        )
+    for name in sorted(snapshot.get("histograms") or {}):
+        summary = snapshot["histograms"][name]  # type: ignore[index]
+        out_metrics.append(
+            {
+                "name": name,
+                "unit": "1",
+                "histogram": {
+                    "dataPoints": [
+                        {
+                            "timeUnixNano": to_unix_nanos(now, anchor),
+                            "count": str(int(summary["count"])),
+                            "sum": float(summary["total"]),
+                            "min": float(summary["min"]),
+                            "max": float(summary["max"]),
+                        }
+                    ],
+                    "aggregationTemporality": AGGREGATION_TEMPORALITY_CUMULATIVE,
+                },
+            }
+        )
+    for name in sorted(snapshot.get("timers") or {}):
+        seconds = snapshot["timers"][name]  # type: ignore[index]
+        out_metrics.append(
+            {
+                "name": name,
+                "unit": "s",
+                "sum": {
+                    "dataPoints": [stamp(float(seconds))],
+                    "aggregationTemporality": AGGREGATION_TEMPORALITY_CUMULATIVE,
+                    "isMonotonic": True,
+                },
+            }
+        )
+
+    merged_resource = _default_resource(resource)
+    for key, value in sorted((snapshot.get("info") or {}).items()):  # type: ignore[union-attr]
+        merged_resource.setdefault("repro." + key, value)
+
+    return {
+        "resourceMetrics": [
+            {
+                "resource": {"attributes": _attributes(merged_resource)},
+                "scopeMetrics": [{"scope": dict(_SCOPE), "metrics": out_metrics}],
+            }
+        ]
+    }
+
+
+# -- combined -----------------------------------------------------------------
+
+
+def export_otlp(
+    inst: Instrumentation,
+    resource: Optional[Dict[str, object]] = None,
+    epoch: Optional[float] = None,
+) -> Dict[str, object]:
+    """One instrumentation bundle as a combined OTLP/JSON document.
+
+    The document carries both sections under one roof (the shape an
+    OTLP file receiver accepts per-signal; split on ``resourceSpans`` /
+    ``resourceMetrics`` to feed a strict endpoint).
+    """
+    anchor = _epoch_anchor(epoch)
+    payload = spans_to_otlp(inst.tracer, resource=resource, epoch=anchor)
+    payload.update(metrics_to_otlp(inst.metrics, resource=resource, epoch=anchor))
+    return payload
+
+
+def write_otlp(
+    path: str,
+    inst: Instrumentation,
+    resource: Optional[Dict[str, object]] = None,
+    epoch: Optional[float] = None,
+) -> None:
+    """Write :func:`export_otlp` output to *path* as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(export_otlp(inst, resource=resource, epoch=epoch), handle, indent=2)
+        handle.write("\n")

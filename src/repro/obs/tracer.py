@@ -138,10 +138,18 @@ class Tracer:
         """Finished spans as JSON lines (one object per line)."""
         return "\n".join(json.dumps(s.as_dict(), sort_keys=True) for s in self.spans)
 
-    def write_jsonl(self, path: str) -> None:
-        """Write the span log to *path* (trailing newline included)."""
+    def write_jsonl(self, path: str, append: bool = False) -> None:
+        """Write the span log to *path* (trailing newline included).
+
+        Default is overwrite -- one file per run, matching what trace
+        viewers expect.  ``append=True`` adds this run's spans to an
+        existing log (JSON lines concatenate cleanly); span ids restart
+        at ``s1`` per run, so appended logs are distinguishable only by
+        ordering -- callers wanting hard separation should write one
+        file per run.
+        """
         text = self.to_jsonl()
-        with open(path, "w") as handle:
+        with open(path, "a" if append else "w") as handle:
             handle.write(text + ("\n" if text else ""))
 
 

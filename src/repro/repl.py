@@ -204,6 +204,48 @@ class Repl:
                 return
 
 
-def main() -> int:  # pragma: no cover - thin wrapper
-    Repl().loop()
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.repl``.
+
+    Takes the same profiling flags as every other entry point
+    (``tdlog repl --profile`` routes through :mod:`repro.cli` and gets
+    them there; this covers direct module invocation).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.repl", description="interactive Transaction Datalog session"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print an engine metrics summary when the session ends",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the session's span trace as JSON lines to FILE (overwrites)",
+    )
+    parser.add_argument(
+        "--trace-append", action="store_true",
+        help="append to --trace-out instead of overwriting it",
+    )
+    args = parser.parse_args(argv)
+    if not (args.profile or args.trace_out):
+        Repl(out=sys.stdout).loop(in_stream=sys.stdin)
+        return 0
+
+    from .obs import Instrumentation, instrumented, render_report
+
+    inst = Instrumentation.create()
+    try:
+        with instrumented(inst):
+            Repl(out=sys.stdout).loop(in_stream=sys.stdin)
+    finally:
+        if args.trace_out:
+            inst.tracer.write_jsonl(args.trace_out, append=args.trace_append)
+        if args.profile:
+            print(render_report(inst))
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -52,6 +52,20 @@ from .constraints import (
 )
 from .enforce import enforce
 from .eventlog import event_log, timeline, to_json
+from .analytics import (
+    AgentStats,
+    CriticalPath,
+    ItemFlow,
+    TaskExecution,
+    TaskStats,
+    agent_utilization,
+    attribute_wall_clock,
+    critical_path,
+    item_flows,
+    latency_by_task,
+    render_analytics,
+    task_executions,
+)
 from .staffing import StaffingReport, analyze_staffing, peak_role_demand
 from .visualize import ascii_tree, to_dot
 
@@ -79,9 +93,21 @@ __all__ = [
     "StaffingReport",
     "WorkflowSimulator",
     "WorkflowSpec",
+    "AgentStats",
+    "CriticalPath",
+    "ItemFlow",
+    "TaskExecution",
+    "TaskStats",
+    "agent_utilization",
     "agent_workload",
     "analyze_staffing",
     "ascii_tree",
+    "attribute_wall_clock",
+    "critical_path",
+    "item_flows",
+    "latency_by_task",
+    "render_analytics",
+    "task_executions",
     "check_history",
     "check_trace",
     "enforce",

@@ -1,0 +1,439 @@
+"""Span-correlated analytics over workflow event logs.
+
+The paper motivates putting workflow state in the database with
+*monitoring* -- "tracking and querying the status of workflow
+activities" -- and the event log (:mod:`repro.workflow.eventlog`) is the
+process-mining view of one run.  This module turns that log into the
+numbers a workflow operator actually asks for:
+
+* **per-task latency** -- join ``task_started``/``task_done`` pairs into
+  :class:`TaskExecution` intervals, aggregate per task;
+* **agent utilization** -- busy time per agent against the run's span;
+* **queue wait vs. service time** -- per item, how long between dispatch
+  and first task vs. time inside tasks;
+* **critical path** -- the most expensive task chain through the
+  workflow's control-flow graph, weighted by observed latencies;
+* **wall-clock attribution** -- the event log carries the engine-trace
+  ``span_id`` of the run (see :mod:`repro.obs`), so logical ticks can be
+  scaled against the enclosing span's measured duration, giving each
+  task its share of real seconds.
+
+Time unit: the event log is *logical* -- one tick per recorded event
+(``seq``).  The simulator interleaves concurrent instances step by
+step, so tick intervals are a faithful measure of relative cost and are
+deterministic, which the tests rely on.  Wall-clock numbers only enter
+through the span join, and are labelled as estimates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .eventlog import EventRecord, event_log
+from .model import (
+    Choice,
+    Consume,
+    Emit,
+    Iterate,
+    Node,
+    NonVital,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    WaitFor,
+    WorkflowSpec,
+)
+from .scheduler import SimulationResult
+
+__all__ = [
+    "TaskExecution",
+    "TaskStats",
+    "AgentStats",
+    "ItemFlow",
+    "CriticalPath",
+    "task_executions",
+    "latency_by_task",
+    "agent_utilization",
+    "item_flows",
+    "critical_path",
+    "attribute_wall_clock",
+    "render_analytics",
+]
+
+_Records = Union[SimulationResult, Sequence[EventRecord]]
+
+
+def _records(source: _Records) -> List[EventRecord]:
+    if isinstance(source, SimulationResult):
+        return event_log(source)
+    return list(source)
+
+
+# -- task executions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """One completed task interval on one work item.
+
+    ``latency`` is in logical ticks (event-log sequence numbers); an
+    iterated task yields one execution per round, paired FIFO.
+    """
+
+    task: str
+    item: str
+    agent: Optional[str]
+    start_seq: int
+    done_seq: int
+    span_id: Optional[str] = None
+
+    @property
+    def latency(self) -> int:
+        return self.done_seq - self.start_seq
+
+
+def task_executions(source: _Records) -> List[TaskExecution]:
+    """Join ``task_started``/``task_done`` pairs into intervals.
+
+    Pairs FIFO per (task, item), so repeated rounds of an iterated task
+    each produce their own interval.  An unmatched start (simulation
+    inspected mid-flight) is dropped; a ``task_done`` with no recorded
+    start (shouldn't happen) is given a zero-length interval.
+    """
+    open_starts: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+    executions: List[TaskExecution] = []
+    for record in _records(source):
+        if record.task is None:
+            continue
+        key = (record.task, record.item)
+        if record.kind == "task_started":
+            open_starts[key].append(record.seq)
+        elif record.kind == "task_done":
+            starts = open_starts.get(key)
+            start_seq = starts.pop(0) if starts else record.seq
+            executions.append(
+                TaskExecution(
+                    record.task,
+                    record.item,
+                    record.agent,
+                    start_seq,
+                    record.seq,
+                    span_id=record.span_id,
+                )
+            )
+    return executions
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Aggregated latency for one task across executions."""
+
+    task: str
+    count: int
+    total: int
+    min: int
+    max: int
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def latency_by_task(source: _Records) -> Dict[str, TaskStats]:
+    """Per-task latency aggregates over all executions in the log."""
+    buckets: Dict[str, List[int]] = defaultdict(list)
+    for execution in task_executions(source):
+        buckets[execution.task].append(execution.latency)
+    return {
+        task: TaskStats(task, len(vals), sum(vals), min(vals), max(vals))
+        for task, vals in buckets.items()
+    }
+
+
+# -- agents -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AgentStats:
+    """One agent's share of the run."""
+
+    agent: str
+    completed: int
+    busy_ticks: int
+    utilization: float  # busy_ticks / run length, in [0, 1]
+
+
+def agent_utilization(source: _Records) -> Dict[str, AgentStats]:
+    """Busy time per agent (automated tasks land on pseudo-agent
+    ``auto``).  Utilization is busy ticks over the log's full span; with
+    concurrent instances one agent's intervals can overlap several
+    items', so utilizations need not sum to 1."""
+    records = _records(source)
+    if not records:
+        return {}
+    run_ticks = max(r.seq for r in records) - min(r.seq for r in records)
+    run_ticks = max(run_ticks, 1)
+    busy: Dict[str, int] = defaultdict(int)
+    completed: Dict[str, int] = defaultdict(int)
+    for execution in task_executions(records):
+        agent = execution.agent or "auto"
+        busy[agent] += execution.latency
+        completed[agent] += 1
+    return {
+        agent: AgentStats(agent, completed[agent], busy[agent], busy[agent] / run_ticks)
+        for agent in busy
+    }
+
+
+# -- per-item flow ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ItemFlow:
+    """One work item's passage through the system.
+
+    ``queue_wait`` is dispatch → first task start (instance spawned but
+    not yet worked); ``service`` is the sum of task latencies; the
+    difference between ``makespan`` and ``service`` beyond the queue
+    wait is time blocked on agents, synchronization, or interleaving.
+    """
+
+    item: str
+    dispatched_seq: Optional[int]
+    first_start_seq: Optional[int]
+    last_done_seq: Optional[int]
+    service_ticks: int
+
+    @property
+    def queue_wait(self) -> Optional[int]:
+        if self.dispatched_seq is None or self.first_start_seq is None:
+            return None
+        return self.first_start_seq - self.dispatched_seq
+
+    @property
+    def makespan(self) -> Optional[int]:
+        if self.dispatched_seq is None or self.last_done_seq is None:
+            return None
+        return self.last_done_seq - self.dispatched_seq
+
+
+def item_flows(source: _Records) -> Dict[str, ItemFlow]:
+    """Queue-wait / service / makespan per work item."""
+    records = _records(source)
+    dispatched: Dict[str, int] = {}
+    first_start: Dict[str, int] = {}
+    last_done: Dict[str, int] = {}
+    service: Dict[str, int] = defaultdict(int)
+    items: List[str] = []
+    for record in records:
+        if record.item not in dispatched and record.item not in first_start:
+            items.append(record.item)
+        if record.kind == "item_dispatched":
+            dispatched.setdefault(record.item, record.seq)
+        elif record.kind == "task_started":
+            first_start.setdefault(record.item, record.seq)
+        elif record.kind == "task_done":
+            last_done[record.item] = record.seq
+    for execution in task_executions(records):
+        service[execution.item] += execution.latency
+    return {
+        item: ItemFlow(
+            item,
+            dispatched.get(item),
+            first_start.get(item),
+            last_done.get(item),
+            service.get(item, 0),
+        )
+        for item in items
+    }
+
+
+# -- critical path ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The most expensive chain through the workflow's control flow.
+
+    ``cost`` is expected ticks per item: each step is weighted by the
+    task's *total* observed latency divided by the number of items, so
+    iterated tasks carry all their rounds and unexecuted branches weigh
+    nothing.
+    """
+
+    cost: float
+    tasks: Tuple[str, ...]
+
+
+def critical_path(
+    spec: WorkflowSpec,
+    source: Optional[_Records] = None,
+    all_specs: Sequence[WorkflowSpec] = (),
+    default_cost: float = 1.0,
+) -> CriticalPath:
+    """The heaviest task chain through *spec*'s dependency graph.
+
+    Sequences add, parallel regions and choices keep their most
+    expensive branch (worst case), subflows recurse into *all_specs*.
+    With no event log every step costs ``default_cost``, making this a
+    pure longest-path over the control-flow graph.
+    """
+    weights: Dict[str, float] = {}
+    if source is not None:
+        records = _records(source)
+        n_items = len({r.item for r in records if r.item}) or 1
+        for task, stats in latency_by_task(records).items():
+            weights[task] = stats.total / n_items
+    by_name = {s.name: s for s in all_specs}
+    by_name.setdefault(spec.name, spec)
+    visiting: List[str] = []
+
+    def walk(node: Node) -> Tuple[float, Tuple[str, ...]]:
+        if isinstance(node, Step):
+            return weights.get(node.task, default_cost), (node.task,)
+        if isinstance(node, SeqFlow):
+            cost, path = 0.0, ()  # type: Tuple[str, ...]
+            for child in node.children:
+                c, p = walk(child)
+                cost, path = cost + c, path + p
+            return cost, path
+        if isinstance(node, (ParFlow, Choice)):
+            return max((walk(child) for child in node.children), key=lambda cp: cp[0])
+        if isinstance(node, Iterate):
+            # Observed weights already include every round of the loop.
+            return walk(node.body)
+        if isinstance(node, NonVital):
+            return walk(node.body)
+        if isinstance(node, Subflow):
+            target = by_name.get(node.workflow)
+            if target is None or node.workflow in visiting:
+                return 0.0, ()
+            visiting.append(node.workflow)
+            try:
+                return walk(target.body)
+            finally:
+                visiting.pop()
+        if isinstance(node, (WaitFor, Emit, Consume)):
+            return 0.0, ()
+        raise TypeError("unknown workflow node %r" % (node,))
+
+    visiting.append(spec.name)
+    cost, tasks = walk(spec.body)
+    return CriticalPath(cost, tasks)
+
+
+# -- wall-clock attribution ---------------------------------------------------
+
+_SpanLike = Union[Mapping[str, object], object]
+
+
+def _span_fields(span: _SpanLike) -> Tuple[str, float]:
+    if isinstance(span, Mapping):
+        return str(span["span_id"]), float(span.get("duration") or 0.0)
+    return str(getattr(span, "span_id")), float(getattr(span, "duration", 0.0))
+
+
+def attribute_wall_clock(
+    source: _Records, spans: Sequence[_SpanLike]
+) -> Dict[str, float]:
+    """Estimated wall seconds per task, via the span correlation id.
+
+    Event records stamped with a ``span_id`` (instrumented runs) are
+    joined against the engine trace -- :class:`repro.obs.Span` objects
+    or the dicts ``read_jsonl`` returns -- and the enclosing span's
+    measured duration is divided over tasks proportionally to their
+    logical latency.  Returns an empty dict when the log carries no
+    span id or the trace has no matching span.
+    """
+    executions = task_executions(source)
+    span_ids = {e.span_id for e in executions if e.span_id is not None}
+    if not span_ids:
+        return {}
+    durations = dict(_span_fields(span) for span in spans)
+    total_ticks = sum(e.latency for e in executions)
+    if not total_ticks:
+        return {}
+    out: Dict[str, float] = defaultdict(float)
+    for execution in executions:
+        duration = durations.get(execution.span_id or "")
+        if duration is None:
+            continue
+        out[execution.task] += duration * (execution.latency / total_ticks)
+    return dict(out)
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_analytics(
+    source: _Records,
+    spec: Optional[WorkflowSpec] = None,
+    all_specs: Sequence[WorkflowSpec] = (),
+    spans: Sequence[_SpanLike] = (),
+) -> str:
+    """The full analytics report as aligned text (what ``repro
+    analyze`` prints)."""
+    records = _records(source)
+    lines: List[str] = []
+    stats = latency_by_task(records)
+    wall = attribute_wall_clock(records, spans) if spans else {}
+
+    lines.append("per-task latency (logical ticks):")
+    if stats:
+        width = max(len(t) for t in stats)
+        header = "  %-*s  %5s  %7s  %5s  %5s" % (width, "task", "runs", "mean", "min", "max")
+        if wall:
+            header += "  %10s" % "est. wall"
+        lines.append(header)
+        for task in sorted(stats, key=lambda t: -stats[t].total):
+            s = stats[task]
+            row = "  %-*s  %5d  %7.1f  %5d  %5d" % (
+                width, task, s.count, s.mean, s.min, s.max,
+            )
+            if wall:
+                row += "  %8.2fms" % (wall.get(task, 0.0) * 1e3)
+            lines.append(row)
+    else:
+        lines.append("  (no completed tasks in log)")
+
+    agents = agent_utilization(records)
+    if agents:
+        lines.append("agent utilization:")
+        width = max(len(a) for a in agents)
+        for agent in sorted(agents, key=lambda a: -agents[a].busy_ticks):
+            a = agents[agent]
+            lines.append(
+                "  %-*s  %3d task(s)  %5d busy ticks  %5.1f%%"
+                % (width, agent, a.completed, a.busy_ticks, a.utilization * 100)
+            )
+
+    flows = item_flows(records)
+    if flows:
+        lines.append("queue wait vs. service (ticks):")
+        width = max(len(i) for i in flows)
+        lines.append(
+            "  %-*s  %5s  %7s  %8s" % (width, "item", "wait", "service", "makespan")
+        )
+        for item in sorted(flows):
+            f = flows[item]
+            lines.append(
+                "  %-*s  %5s  %7d  %8s"
+                % (
+                    width,
+                    item,
+                    f.queue_wait if f.queue_wait is not None else "-",
+                    f.service_ticks,
+                    f.makespan if f.makespan is not None else "-",
+                )
+            )
+
+    if spec is not None:
+        path = critical_path(spec, records, all_specs=all_specs)
+        lines.append("critical path (expected ticks per item):")
+        lines.append(
+            "  %s  [cost %.1f]" % (" -> ".join(path.tasks) or "(empty)", path.cost)
+        )
+    return "\n".join(lines)

@@ -41,8 +41,33 @@ class EventRecord:
 
 
 def _parse_args(event: str) -> List[str]:
-    inner = event[event.index("(") + 1 : -1]
-    return [a.strip() for a in inner.split(",")]
+    """Top-level argument strings of a rendered fact.
+
+    Splits only at depth-0 commas, so compound-term arguments survive
+    (``review(claim(c1, high), p1)`` → ``["claim(c1, high)", "p1"]``),
+    and a zero-argument fact (``tick()`` or bare ``tick``) yields ``[]``.
+    """
+    start = event.find("(")
+    if start < 0:
+        return []
+    inner = event[start + 1 : event.rfind(")")]
+    if not inner.strip():
+        return []
+    args: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in inner:
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        current.append(ch)
+    args.append("".join(current).strip())
+    return args
 
 
 def event_log(

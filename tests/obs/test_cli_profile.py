@@ -101,3 +101,25 @@ class TestTraceOutFlag:
         names = [r["name"] for r in read_jsonl(trace.read_text())]
         assert "simulate" in names
         assert "iso-subsearch" in names
+
+
+class TestTraceAppendFlag:
+    def test_default_overwrites(self, bank_files, tmp_path, capsys):
+        program, db = bank_files
+        trace = tmp_path / "trace.jsonl"
+        args = ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+                "--trace-out", str(trace)]
+        assert main(args) == 0
+        first = len(read_jsonl(trace.read_text()))
+        assert main(args) == 0
+        assert len(read_jsonl(trace.read_text())) == first
+
+    def test_append_accumulates_runs(self, bank_files, tmp_path, capsys):
+        program, db = bank_files
+        trace = tmp_path / "trace.jsonl"
+        base = ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+                "--trace-out", str(trace)]
+        assert main(base) == 0
+        first = len(read_jsonl(trace.read_text()))
+        assert main(base + ["--trace-append"]) == 0
+        assert len(read_jsonl(trace.read_text())) == 2 * first

@@ -1,0 +1,189 @@
+"""OTLP/JSON export: wire-format shape, id rules, parent consistency."""
+
+import json
+
+import pytest
+
+from repro import Database, parse_database, parse_goal, parse_program, select_engine
+from repro.obs import (
+    Instrumentation,
+    Metrics,
+    Tracer,
+    instrumented,
+    read_jsonl,
+)
+from repro.obs.otlp import export_otlp, metrics_to_otlp, spans_to_otlp
+
+
+def _fixed_clock():
+    ticks = iter(range(100))
+    return lambda: float(next(ticks))
+
+
+@pytest.fixture
+def nested_tracer():
+    tracer = Tracer(clock=_fixed_clock())
+    with tracer.span("root", goal="g"):
+        with tracer.span("child-a", depth=1):
+            with tracer.span("leaf", ok=True):
+                pass
+        with tracer.span("child-b", weight=0.5):
+            pass
+    with tracer.span("second-root"):
+        pass
+    return tracer
+
+
+def _spans(payload):
+    return payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+
+
+class TestSpanShape:
+    def test_required_fields_present(self, nested_tracer):
+        for span in _spans(spans_to_otlp(nested_tracer, epoch=0.0)):
+            assert set(span) >= {
+                "traceId", "spanId", "name", "kind",
+                "startTimeUnixNano", "endTimeUnixNano", "attributes",
+            }
+            assert span["kind"] == 1  # SPAN_KIND_INTERNAL
+
+    def test_id_encoding(self, nested_tracer):
+        for span in _spans(spans_to_otlp(nested_tracer, epoch=0.0)):
+            assert len(span["traceId"]) == 32
+            assert len(span["spanId"]) == 16
+            int(span["traceId"], 16)  # valid lowercase hex
+            int(span["spanId"], 16)
+            assert span["spanId"] != "0" * 16
+            assert span["traceId"] != "0" * 32
+
+    def test_parent_links_consistent(self, nested_tracer):
+        spans = _spans(spans_to_otlp(nested_tracer, epoch=0.0))
+        by_id = {s["spanId"]: s for s in spans}
+        roots = [s for s in spans if "parentSpanId" not in s]
+        assert len(roots) == 2
+        for span in spans:
+            parent_id = span.get("parentSpanId")
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]  # parent must exist in the export
+            # ... and trace membership must follow the parent chain.
+            assert span["traceId"] == parent["traceId"]
+
+    def test_roots_open_distinct_traces(self, nested_tracer):
+        spans = _spans(spans_to_otlp(nested_tracer, epoch=0.0))
+        roots = [s for s in spans if "parentSpanId" not in s]
+        assert len({s["traceId"] for s in roots}) == 2
+
+    def test_timestamps_are_nano_strings(self, nested_tracer):
+        for span in _spans(spans_to_otlp(nested_tracer, epoch=0.0)):
+            start = int(span["startTimeUnixNano"])
+            end = int(span["endTimeUnixNano"])
+            assert end >= start
+            # fixed clock ticks are whole seconds
+            assert start % 1_000_000_000 == 0
+
+    def test_attributes_any_value_encoding(self, nested_tracer):
+        spans = _spans(spans_to_otlp(nested_tracer, epoch=0.0))
+        attrs = {s["name"]: s["attributes"] for s in spans}
+        assert attrs["root"] == [
+            {"key": "goal", "value": {"stringValue": "g"}}
+        ]
+        assert attrs["child-a"] == [{"key": "depth", "value": {"intValue": "1"}}]
+        assert attrs["leaf"] == [{"key": "ok", "value": {"boolValue": True}}]
+        assert attrs["child-b"] == [{"key": "weight", "value": {"doubleValue": 0.5}}]
+
+    def test_deterministic_with_epoch(self, nested_tracer):
+        one = spans_to_otlp(nested_tracer, epoch=0.0)
+        two = spans_to_otlp(nested_tracer, epoch=0.0)
+        assert one == two
+
+    def test_accepts_parsed_jsonl(self, nested_tracer):
+        parsed = read_jsonl(nested_tracer.to_jsonl())
+        from_dicts = spans_to_otlp(parsed, epoch=0.0)
+        from_tracer = spans_to_otlp(nested_tracer, epoch=0.0)
+        assert from_dicts == from_tracer
+
+    def test_resource_attributes(self, nested_tracer):
+        payload = spans_to_otlp(nested_tracer, resource={"run.id": "r7"}, epoch=0.0)
+        attrs = payload["resourceSpans"][0]["resource"]["attributes"]
+        keys = {a["key"]: a["value"] for a in attrs}
+        assert keys["service.name"] == {"stringValue": "repro-tdlog"}
+        assert keys["run.id"] == {"stringValue": "r7"}
+
+
+class TestMetricsShape:
+    @pytest.fixture
+    def metrics(self):
+        m = Metrics()
+        m.inc("search.steps", 7)
+        m.set_gauge("budget.spent", 7.0)
+        m.observe("answers.per_key", 2.0)
+        m.observe("answers.per_key", 4.0)
+        m.add_time("time.full", 0.25)
+        m.set_info("engine.backend", "Interpreter")
+        return m
+
+    def _metrics(self, payload):
+        return payload["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+
+    def test_counter_becomes_monotonic_sum(self, metrics):
+        out = {m["name"]: m for m in self._metrics(metrics_to_otlp(metrics, epoch=0.0))}
+        sum_ = out["search.steps"]["sum"]
+        assert sum_["isMonotonic"] is True
+        assert sum_["aggregationTemporality"] == 2  # CUMULATIVE
+        assert sum_["dataPoints"][0]["asInt"] == "7"
+
+    def test_gauge_becomes_gauge(self, metrics):
+        out = {m["name"]: m for m in self._metrics(metrics_to_otlp(metrics, epoch=0.0))}
+        assert out["budget.spent"]["gauge"]["dataPoints"][0]["asDouble"] == 7.0
+
+    def test_histogram_summary_fields(self, metrics):
+        out = {m["name"]: m for m in self._metrics(metrics_to_otlp(metrics, epoch=0.0))}
+        point = out["answers.per_key"]["histogram"]["dataPoints"][0]
+        assert point["count"] == "2"
+        assert point["sum"] == 6.0
+        assert point["min"] == 2.0 and point["max"] == 4.0
+
+    def test_timer_becomes_seconds_sum(self, metrics):
+        out = {m["name"]: m for m in self._metrics(metrics_to_otlp(metrics, epoch=0.0))}
+        assert out["time.full"]["unit"] == "s"
+        assert out["time.full"]["sum"]["dataPoints"][0]["asDouble"] == 0.25
+
+    def test_info_lands_on_resource(self, metrics):
+        payload = metrics_to_otlp(metrics, epoch=0.0)
+        attrs = payload["resourceMetrics"][0]["resource"]["attributes"]
+        keys = {a["key"]: a["value"] for a in attrs}
+        assert keys["repro.engine.backend"] == {"stringValue": "Interpreter"}
+
+    def test_accepts_snapshot_dict(self, metrics):
+        assert metrics_to_otlp(metrics.snapshot(), epoch=0.0) == metrics_to_otlp(
+            metrics, epoch=0.0
+        )
+
+
+class TestExportFromRealRun:
+    def test_combined_export_round_trips_through_json(self):
+        program = parse_program(
+            """
+            transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+            withdraw(Acct, Amt) <-
+                balance(Acct, Bal) * Bal >= Amt *
+                del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+            deposit(Acct, Amt) <-
+                balance(Acct, Bal) *
+                del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+            """
+        )
+        db = parse_database("balance(a, 100). balance(b, 10).")
+        engine = select_engine(program, "transfer(a, b, 30)")
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            list(engine.solve(parse_goal("transfer(a, b, 30)"), db))
+        payload = json.loads(json.dumps(export_otlp(inst, epoch=0.0)))
+        assert _spans(payload), "expected at least one span"
+        names = [
+            m["name"]
+            for m in payload["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        ]
+        assert "unify.attempts" in names
+        assert "table.misses" in names

@@ -1,0 +1,244 @@
+"""Span-correlated workflow analytics: latency, utilization, critical path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lims import build_lab_simulator, gel_pipeline, sample_batch
+from repro.obs import Instrumentation, instrumented
+from repro.workflow import (
+    Choice,
+    ParFlow,
+    SeqFlow,
+    Step,
+    Subflow,
+    Task,
+    WorkflowSpec,
+)
+from repro.workflow.analytics import (
+    agent_utilization,
+    attribute_wall_clock,
+    critical_path,
+    item_flows,
+    latency_by_task,
+    render_analytics,
+    task_executions,
+)
+from repro.workflow.eventlog import EventRecord
+
+
+def R(seq, kind, item, task=None, agent=None, span_id=None):
+    return EventRecord(seq, kind, item, task=task, agent=agent, span_id=span_id)
+
+
+@pytest.fixture
+def records():
+    """A hand-built log: one item, two tasks, the second iterated twice."""
+    return [
+        R(0, "item_dispatched", "w1"),
+        R(2, "task_started", "w1", task="prep", span_id="s1"),
+        R(5, "task_done", "w1", task="prep", agent="ada", span_id="s1"),
+        R(6, "task_started", "w1", task="gel", span_id="s1"),
+        R(8, "task_done", "w1", task="gel", agent="bob", span_id="s1"),
+        R(9, "task_started", "w1", task="gel", span_id="s1"),
+        R(10, "task_done", "w1", task="gel", agent="bob", span_id="s1"),
+    ]
+
+
+class TestTaskExecutions:
+    def test_pairs_started_done(self, records):
+        execs = task_executions(records)
+        assert [(e.task, e.start_seq, e.done_seq) for e in execs] == [
+            ("prep", 2, 5), ("gel", 6, 8), ("gel", 9, 10),
+        ]
+        assert [e.latency for e in execs] == [3, 2, 1]
+        assert execs[0].agent == "ada"
+        assert execs[0].span_id == "s1"
+
+    def test_repeated_rounds_pair_fifo(self):
+        log = [
+            R(0, "task_started", "w", task="t"),
+            R(1, "task_started", "w", task="t"),
+            R(3, "task_done", "w", task="t", agent="a"),
+            R(7, "task_done", "w", task="t", agent="a"),
+        ]
+        assert [(e.start_seq, e.done_seq) for e in task_executions(log)] == [
+            (0, 3), (1, 7),
+        ]
+
+    def test_unmatched_start_dropped(self):
+        log = [R(0, "task_started", "w", task="t")]
+        assert task_executions(log) == []
+
+    def test_latency_aggregation(self, records):
+        stats = latency_by_task(records)
+        assert stats["gel"].count == 2
+        assert stats["gel"].total == 3
+        assert stats["gel"].mean == 1.5
+        assert stats["gel"].min == 1 and stats["gel"].max == 2
+        assert stats["prep"].total == 3
+
+
+class TestAgentsAndFlows:
+    def test_agent_utilization(self, records):
+        agents = agent_utilization(records)
+        # run spans seqs 0..10 -> 10 ticks
+        assert agents["ada"].completed == 1
+        assert agents["ada"].busy_ticks == 3
+        assert agents["ada"].utilization == pytest.approx(0.3)
+        assert agents["bob"].busy_ticks == 3
+
+    def test_item_flows(self, records):
+        flow = item_flows(records)["w1"]
+        assert flow.queue_wait == 2  # dispatched at 0, first start at 2
+        assert flow.service_ticks == 6
+        assert flow.makespan == 10
+
+    def test_empty_log(self):
+        assert agent_utilization([]) == {}
+        assert item_flows([]) == {}
+        assert latency_by_task([]) == {}
+
+
+class TestWallClockAttribution:
+    def test_scales_span_duration_by_ticks(self, records):
+        spans = [{"span_id": "s1", "duration": 1.2}]
+        wall = attribute_wall_clock(records, spans)
+        assert wall["prep"] == pytest.approx(1.2 * 3 / 6)
+        assert wall["gel"] == pytest.approx(1.2 * 3 / 6)
+
+    def test_no_span_id_no_attribution(self):
+        log = [
+            R(0, "task_started", "w", task="t"),
+            R(1, "task_done", "w", task="t", agent="a"),
+        ]
+        assert attribute_wall_clock(log, [{"span_id": "s1", "duration": 1.0}]) == {}
+
+    def test_unmatched_span_ignored(self, records):
+        assert attribute_wall_clock(records, [{"span_id": "s9", "duration": 1.0}]) == {}
+
+
+class TestCriticalPath:
+    def test_longest_path_without_observations(self):
+        spec = WorkflowSpec(
+            "w",
+            SeqFlow(Step("a"), ParFlow(Step("b"), SeqFlow(Step("c"), Step("d")))),
+            (Task("a"), Task("b"), Task("c"), Task("d")),
+        )
+        path = critical_path(spec)
+        assert path.tasks == ("a", "c", "d")
+        assert path.cost == 3.0
+
+    def test_weights_steer_branch_choice(self):
+        spec = WorkflowSpec(
+            "w",
+            SeqFlow(Step("a"), Choice(Step("cheap"), Step("dear"))),
+            (Task("a"), Task("cheap"), Task("dear")),
+        )
+        log = [
+            R(0, "task_started", "w1", task="a"),
+            R(1, "task_done", "w1", task="a", agent="x"),
+            R(2, "task_started", "w1", task="dear"),
+            R(9, "task_done", "w1", task="dear", agent="x"),
+        ]
+        path = critical_path(spec, log)
+        assert path.tasks == ("a", "dear")
+        assert path.cost == pytest.approx(8.0)
+
+    def test_iterated_rounds_fold_into_step_weight(self):
+        from repro.workflow import Iterate
+
+        spec = WorkflowSpec(
+            "w", SeqFlow(Iterate(Step("t"), until="done")), (Task("t"),)
+        )
+        log = [
+            R(0, "task_started", "w1", task="t"),
+            R(1, "task_done", "w1", task="t", agent="x"),
+            R(2, "task_started", "w1", task="t"),
+            R(4, "task_done", "w1", task="t", agent="x"),
+        ]
+        path = critical_path(spec, log)
+        assert path.cost == pytest.approx(3.0)  # both rounds, one item
+
+    def test_subflow_recurses_and_cycles_terminate(self):
+        inner = WorkflowSpec("inner", SeqFlow(Step("x"), Subflow("outer")), (Task("x"),))
+        outer = WorkflowSpec("outer", SeqFlow(Step("y"), Subflow("inner")), (Task("y"),))
+        path = critical_path(outer, all_specs=(inner, outer))
+        assert path.tasks == ("y", "x")
+        assert path.cost == 2.0
+
+
+class TestRealSimulation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            sim = build_lab_simulator()
+            result = sim.run(sample_batch(2))
+        return result, inst
+
+    def test_span_join_against_real_trace(self, run):
+        result, inst = run
+        wall = attribute_wall_clock(result, inst.tracer.spans)
+        assert set(wall) == {t.name for t in gel_pipeline().tasks}
+        sim_span = next(s for s in inst.tracer.spans if s.name == "workflow.simulate")
+        assert sum(wall.values()) == pytest.approx(sim_span.duration)
+
+    def test_critical_path_on_genome_pipeline(self, run):
+        result, _ = run
+        path = critical_path(gel_pipeline(iterate=False), result)
+        assert path.tasks[0] == "receive"
+        assert path.tasks[-1] == "analyze"
+        assert "read_gel" in path.tasks
+        assert path.cost > 0
+
+    def test_render_has_all_sections(self, run):
+        result, inst = run
+        text = render_analytics(
+            result, spec=gel_pipeline(iterate=False), spans=inst.tracer.spans
+        )
+        assert "per-task latency" in text
+        assert "est. wall" in text
+        assert "agent utilization" in text
+        assert "queue wait vs. service" in text
+        assert "critical path" in text
+
+
+class TestAnalyzeCli:
+    def test_demo_mode_reports_latency_and_critical_path(self, capsys):
+        rc = main(["analyze", "--demo-lab", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-task latency" in out
+        assert "critical path" in out
+        assert "receive" in out and "analyze" in out
+        assert "est. wall" in out  # demo runs instrumented
+
+    def test_eventlog_file_mode_with_trace_join(self, tmp_path, capsys):
+        from repro.workflow.eventlog import to_json
+
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            result = build_lab_simulator().run(sample_batch(2))
+        log_path = tmp_path / "events.json"
+        log_path.write_text(to_json(result))
+        trace_path = tmp_path / "trace.jsonl"
+        inst.tracer.write_jsonl(str(trace_path))
+        rc = main(["analyze", str(log_path), "--trace", str(trace_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-task latency" in out
+        assert "est. wall" in out
+
+    def test_eventlog_file_mode_without_trace(self, tmp_path, capsys):
+        log = [
+            {"seq": 0, "kind": "task_started", "item": "w1", "task": "t"},
+            {"seq": 3, "kind": "task_done", "item": "w1", "task": "t", "agent": "a"},
+        ]
+        path = tmp_path / "events.json"
+        path.write_text(json.dumps(log))
+        rc = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "t" in out and "est. wall" not in out

@@ -133,3 +133,52 @@ class TestWhy:
     def test_why_on_committing_goal(self):
         _repl, out = run_session("rule go <- ins.ok.", "why go.")
         assert "can commit" in out
+
+
+class TestModuleEntryPoint:
+    """python -m repro.repl takes the same profiling flags as the CLI."""
+
+    def test_plain_session(self, monkeypatch, capsys):
+        import io
+        import sys
+
+        from repro.repl import main
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("quit\n"))
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "bye." in out
+        assert "== profile" not in out
+
+    def test_profile_flag_prints_report(self, monkeypatch, capsys):
+        import io
+        import sys
+
+        from repro.repl import main
+
+        monkeypatch.setattr(
+            sys,
+            "stdin",
+            io.StringIO("rule p <- ins.a.\n?- p.\nquit\n"),
+        )
+        assert main(["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== profile" in out
+        assert "search.configs_expanded" in out
+
+    def test_trace_out_and_append(self, monkeypatch, tmp_path, capsys):
+        import io
+        import sys
+
+        from repro.obs import read_jsonl
+        from repro.repl import main
+
+        trace = tmp_path / "repl.jsonl"
+        session = "rule p <- ins.a.\n?- p.\nquit\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(session))
+        assert main(["--trace-out", str(trace)]) == 0
+        first = len(read_jsonl(trace.read_text()))
+        assert first > 0
+        monkeypatch.setattr(sys, "stdin", io.StringIO(session))
+        assert main(["--trace-out", str(trace), "--trace-append"]) == 0
+        assert len(read_jsonl(trace.read_text())) == 2 * first

@@ -73,3 +73,63 @@ class TestSerialization:
         text = timeline(result)
         assert "w1:" in text and "w2:" in text
         assert "task_done" in text and "(by ada)" in text
+
+
+class FakeResult:
+    """Duck-typed stand-in for SimulationResult: just events + span id."""
+
+    def __init__(self, *events, span_id=None):
+        self.events = tuple(events)
+        self.span_id = span_id
+
+
+class TestArgParsingRobustness:
+    """Regression tests for `_parse_args`: zero-argument facts and
+    compound-term arguments used to break the flat name(a, b) shape."""
+
+    def test_zero_argument_fact(self):
+        records = event_log(FakeResult("ins.milestone()"))
+        assert [(r.kind, r.fact, r.item) for r in records] == [
+            ("fact_emitted", "milestone()", "")
+        ]
+
+    def test_zero_argument_consumed_fact(self):
+        records = event_log(FakeResult("del.lock()"))
+        assert [(r.kind, r.fact) for r in records] == [("fact_consumed", "lock()")]
+
+    def test_nested_parens_survive_as_one_argument(self):
+        records = event_log(FakeResult("ins.review(claim(c1, high), p1)"))
+        assert len(records) == 1
+        assert records[0].kind == "fact_emitted"
+        assert records[0].fact == "review(claim(c1, high), p1)"
+        # the last *top-level* argument is the item, not "high)"
+        assert records[0].item == "p1"
+
+    def test_nested_parens_in_task_events(self):
+        records = event_log(
+            FakeResult(
+                "ins.started(check, order(o1, rush))",
+                "ins.done(check, order(o1, rush), ada)",
+            )
+        )
+        assert [(r.kind, r.task, r.item) for r in records] == [
+            ("task_started", "check", "order(o1, rush)"),
+            ("task_done", "check", "order(o1, rush)"),
+        ]
+        assert records[1].agent == "ada"
+
+    def test_deeply_nested_and_spaces(self):
+        from repro.workflow.eventlog import _parse_args
+
+        assert _parse_args("p(f(g(a, b), c), d)") == ["f(g(a, b), c)", "d"]
+        assert _parse_args("p()") == []
+        assert _parse_args("p") == []
+        assert _parse_args("p( a , b )") == ["a", "b"]
+
+    def test_span_id_stamped_from_result(self):
+        records = event_log(FakeResult("ins.milestone()", span_id="s42"))
+        assert records[0].span_id == "s42"
+
+    def test_span_id_override_argument(self):
+        records = event_log(FakeResult("ins.milestone()"), span_id="s7")
+        assert records[0].span_id == "s7"

@@ -61,3 +61,25 @@ class TestHistoryProgram:
         facts = evaluate(history_program(), history)
         assert atom("worked_with", "alice", "auto") in facts  # both on w1
         assert atom("worked_with", "alice", "bob") not in facts
+
+
+class TestSpanCorrelation:
+    def test_status_report_echoes_span_id(self, history):
+        report = status_report(history, span_id="s12")
+        assert report.splitlines()[0] == "engine trace span: s12"
+
+    def test_status_report_omits_header_without_span(self, history):
+        assert "engine trace span" not in status_report(history)
+
+    def test_simulated_run_span_flows_into_report(self):
+        from repro.lims import build_lab_simulator, sample_batch
+        from repro.obs import Instrumentation, instrumented
+
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            result = build_lab_simulator().run(sample_batch(1))
+        assert result.span_id is not None
+        report = status_report(result.history, span_id=result.span_id)
+        assert "engine trace span: %s" % result.span_id in report
+        # the id names a real span in the engine trace
+        assert any(s.span_id == result.span_id for s in inst.tracer.spans)

@@ -93,3 +93,29 @@ class TestDot:
         dot = to_dot(network, [network, mapping, sequencing])
         assert "box3d" in dot
         assert "mapping" in dot and "sequencing" in dot
+
+
+class TestSyncAndConsumeNodes:
+    def test_wait_emit_consume_render_in_dot(self):
+        spec = WorkflowSpec(
+            "sync",
+            SeqFlow(WaitFor("ready"), Step("a"), Emit("ok")),
+            (Task("a", role="r1"),),
+        )
+        dot = to_dot(spec)
+        assert "wait for ready" in dot
+        assert "emit ok" in dot
+        assert "shape=ellipse" in dot
+
+    def test_consume_labelled(self):
+        from repro.workflow import Consume
+
+        spec = WorkflowSpec(
+            "c", SeqFlow(Step("a"), Consume("token")), (Task("a", None),)
+        )
+        assert "consume token" in ascii_tree(spec)
+        assert "consume token" in to_dot(spec)
+
+    def test_nonvital_skip_edge_in_dot(self, spec):
+        dot = to_dot(spec)
+        assert 'label="skip"' in dot and "style=dotted" in dot
