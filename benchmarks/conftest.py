@@ -60,6 +60,31 @@ def pytest_addoption(parser):
              "to FILE as JSON (consumed by perf tooling alongside "
              "BENCH_*.json timings)",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="representative subset: run only the first benchmark of "
+             "each bench_*.py module (one per paper artifact); used by "
+             "the CI profile-gate job to keep metrics artifacts cheap",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--quick"):
+        return
+    seen_modules = set()
+    selected, deselected = [], []
+    for item in items:
+        module = item.nodeid.split("::", 1)[0]
+        if module in seen_modules:
+            deselected.append(item)
+        else:
+            seen_modules.add(module)
+            selected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 def pytest_sessionfinish(session, exitstatus):

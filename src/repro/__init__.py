@@ -21,9 +21,11 @@ A production-quality reproduction of Anthony J. Bonner's PODS 1999 paper
 * :mod:`repro.complexity` -- the program families and drivers behind the
   benchmark suite.
 
-Quickstart::
+Quickstart -- :func:`repro.solve` is the blessed entry point (goals may
+be given as strings or formulas); use :func:`repro.select_engine` when
+reusing one engine across many goals::
 
-    from repro import parse_program, parse_database, select_engine
+    from repro import parse_program, parse_database, solve
 
     program = parse_program('''
         transfer(From, To, Amt) <-
@@ -36,8 +38,7 @@ Quickstart::
             del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
     ''')
     db = parse_database("balance(a, 100). balance(b, 10).")
-    engine = select_engine(program)
-    for solution in engine.solve("transfer(a, b, 30)", db):
+    for solution in solve(program, "transfer(a, b, 30)", db):
         print(solution.database)
 """
 
@@ -66,6 +67,7 @@ from .core import (
     UnsupportedProgramError,
     Variable,
     analyze,
+    as_goal,
     atom,
     classify,
     conc,
@@ -81,6 +83,7 @@ from .core import (
     parse_rules,
     select_engine,
     seq,
+    solve,
     var,
 )
 
@@ -112,6 +115,7 @@ __all__ = [
     "Variable",
     "__version__",
     "analyze",
+    "as_goal",
     "atom",
     "classify",
     "conc",
@@ -127,5 +131,6 @@ __all__ = [
     "parse_rules",
     "select_engine",
     "seq",
+    "solve",
     "var",
 ]

@@ -6,6 +6,7 @@ Usage examples::
     tdlog solve workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog run workflow.td --goal 'simulate' --db lab.facts --seed 7
     tdlog analyze --demo-lab 4
+    tdlog bench --repeat 5
     tdlog profile baseline
     tdlog profile diff
     tdlog profile export-otlp workflow.td --goal 'simulate' --out otlp.json
@@ -14,9 +15,15 @@ Usage examples::
 trace and final database; ``solve`` enumerates all solutions (bindings +
 final state); ``classify`` prints the sublanguage analysis.  ``analyze``
 computes workflow analytics (per-task latency, agent utilization, queue
-wait, critical path) from an event log or a demo simulation; ``profile``
-manages counter baselines (``baseline``/``diff``, the CI regression
-gate) and exports traces/metrics as OTLP JSON (``export-otlp``).
+wait, critical path) from an event log or a demo simulation; ``bench``
+times the profile-suite workloads (wall clock, best/mean over repeats);
+``profile`` manages counter baselines (``baseline``/``diff``, the CI
+regression gate) and exports traces/metrics as OTLP JSON
+(``export-otlp``).
+
+``tdlog`` is the canonical command name.  The same program is also
+installed as ``repro`` (a documented alias kept for older scripts);
+both run this module's :func:`main`.
 """
 
 from __future__ import annotations
@@ -187,6 +194,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Wall-clock timings over the profile-suite workloads.
+
+    Complements ``profile diff``: the counter gate catches *work* drift
+    deterministically; this reports what that work costs on this
+    machine.  Each repeat runs a workload from scratch (fresh program,
+    fresh engine), so per-program caches do not flatter later repeats.
+    """
+    import time
+
+    from .obs.analyze import profile_suite, suite_config
+
+    configs = (
+        [suite_config(name) for name in args.only] if args.only else profile_suite()
+    )
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    rows = []
+    for config in configs:
+        samples = []
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            config.run()
+            samples.append(time.perf_counter() - start)
+        rows.append(
+            {
+                "config": config.name,
+                "description": config.description,
+                "repeat": args.repeat,
+                "best_ms": round(min(samples) * 1000.0, 3),
+                "mean_ms": round(sum(samples) / len(samples) * 1000.0, 3),
+            }
+        )
+    width = max(len(str(row["config"])) for row in rows)
+    print("%-*s  %10s  %10s" % (width, "config", "best (ms)", "mean (ms)"))
+    for row in rows:
+        print(
+            "%-*s  %10.2f  %10.2f"
+            % (width, row["config"], row["best_ms"], row["mean_ms"])
+        )
+    print("(%d repeat(s) per config; best-of is the stable figure)" % args.repeat)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print("bench results written to %s" % args.json, file=sys.stderr)
+    return 0
+
+
 def _cmd_profile_baseline(args: argparse.Namespace) -> int:
     from .obs.analyze import suite_config, write_baselines
 
@@ -263,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tdlog",
         description="Transaction Datalog: run, solve, classify",
+        epilog="'tdlog' is the canonical name; 'repro' is an installed alias.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -332,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="demo mode: samples to push through the gel pipeline (default 3)",
     )
     p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock timings for the profile-suite workloads"
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=5, metavar="N",
+        help="runs per config; best and mean are reported (default 5)",
+    )
+    p_bench.add_argument(
+        "--only", action="append", metavar="CONFIG",
+        help="restrict to one suite config (repeatable)",
+    )
+    p_bench.add_argument(
+        "--json", metavar="FILE",
+        help="also write the timing rows as JSON to FILE",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_profile = sub.add_parser(
         "profile", help="counter baselines, regression diffs, OTLP export"

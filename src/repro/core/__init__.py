@@ -18,7 +18,7 @@ This subpackage is the paper's primary contribution.  The layering:
 
 from .analysis import Analysis, Sublanguage, analyze, classify
 from .database import Database, Schema, SchemaError
-from .engine import Engine, select_engine
+from .engine import Engine, select_engine, solve
 from .errors import (
     SafetyError,
     SearchBudgetExceeded,
@@ -46,6 +46,7 @@ from .interpreter import Execution, Interpreter, Solution
 from .nonrec import NonrecursiveEngine
 from .parser import (
     ParseError,
+    as_goal,
     parse_atom,
     parse_database,
     parse_goal,
@@ -101,6 +102,7 @@ __all__ = [
     "UnsupportedProgramError",
     "Variable",
     "analyze",
+    "as_goal",
     "atom",
     "classify",
     "conc",
@@ -118,5 +120,6 @@ __all__ = [
     "parse_rules",
     "select_engine",
     "seq",
+    "solve",
     "var",
 ]

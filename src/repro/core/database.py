@@ -14,6 +14,7 @@ style sharing keeps the small-step search affordable).
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import (
     AbstractSet,
     Dict,
@@ -89,7 +90,7 @@ class Database:
     table in the engines relies on.
     """
 
-    __slots__ = ("_index", "_hash", "_sorted", "_arg0")
+    __slots__ = ("_index", "_hash", "_sorted", "_argidx")
 
     def __init__(self, facts: Iterable[Atom] = ()):
         index: Dict[str, FrozenSet[Atom]] = {}
@@ -103,7 +104,7 @@ class Database:
         self._index = index
         self._hash: Optional[int] = None
         self._sorted: Dict[str, list] = {}
-        self._arg0: Dict[str, Dict] = {}
+        self._argidx: Dict[Tuple[str, int], Dict] = {}
 
     # -- construction helpers ------------------------------------------------
 
@@ -113,10 +114,16 @@ class Database:
         db._index = index
         db._hash = None
         db._sorted = {}
-        db._arg0 = {}
+        db._argidx = {}
         return db
 
     # -- lazy per-instance query caches ----------------------------------------
+    #
+    # The cached structures are never mutated after they are built, so a
+    # successor state produced by insert/delete can adopt them wholesale
+    # for untouched predicates and copy-on-write just the touched
+    # predicate's entries (see ``_derive``) -- the small-step search
+    # then pays index-build cost once per predicate, not once per state.
 
     def _sorted_facts(self, pred: str) -> list:
         cached = self._sorted.get(pred)
@@ -125,17 +132,71 @@ class Database:
             self._sorted[pred] = cached
         return cached
 
-    def _arg0_index(self, pred: str) -> Dict:
-        """First-argument index, built lazily: joins like
-        ``e(X, A) * e(A, B)`` probe by bound first argument instead of
-        scanning the whole relation."""
-        cached = self._arg0.get(pred)
+    def _arg_index(self, pred: str, pos: int) -> Dict:
+        """Per-position index, built lazily for whichever argument
+        positions queries actually bind: joins like ``e(X, A) * e(A, B)``
+        probe the second relation by its bound first argument, and
+        ``e(A, B) * e(X, B)`` probes by the second -- each position gets
+        its own index the first time a query needs it."""
+        cached = self._argidx.get((pred, pos))
         if cached is None:
             cached = {}
             for fact in self._sorted_facts(pred):
-                cached.setdefault(fact.args[0], []).append(fact)
-            self._arg0[pred] = cached
+                cached.setdefault(fact.args[pos], []).append(fact)
+            self._argidx[(pred, pos)] = cached
         return cached
+
+    def _arg0_index(self, pred: str) -> Dict:
+        """First-argument index (compatibility alias for
+        :meth:`_arg_index` at position 0)."""
+        return self._arg_index(pred, 0)
+
+    def _derive(self, pred: str, fact: Atom, removed: bool) -> "Database":
+        """A successor state differing from ``self`` by one fact of
+        *pred*, with query caches shared for every untouched predicate
+        and updated copy-on-write for *pred* itself."""
+        group = self._index.get(pred, frozenset())
+        new_index = dict(self._index)
+        if removed:
+            new_group = group - {fact}
+            if new_group:
+                new_index[pred] = new_group
+            else:
+                del new_index[pred]
+        else:
+            new_index[pred] = group | {fact}
+        db = Database._from_index(new_index)
+        for p, lst in self._sorted.items():
+            if p != pred:
+                db._sorted[p] = lst
+        for key, idx in self._argidx.items():
+            if key[0] != pred:
+                db._argidx[key] = idx
+        old_sorted = self._sorted.get(pred)
+        if old_sorted is not None:
+            new_sorted = [f for f in old_sorted if f != fact] if removed else list(old_sorted)
+            if not removed:
+                insort(new_sorted, fact)
+            db._sorted[pred] = new_sorted
+        for key, idx in self._argidx.items():
+            if key[0] != pred:
+                continue
+            pos = key[1]
+            value = fact.args[pos]
+            new_idx = dict(idx)
+            bucket = new_idx.get(value, [])
+            if removed:
+                new_bucket = [f for f in bucket if f != fact]
+                if new_bucket:
+                    new_idx[value] = new_bucket
+                else:
+                    new_idx.pop(value, None)
+            else:
+                new_bucket = list(bucket)
+                insort(new_bucket, fact)
+                new_idx[value] = new_bucket
+            db._argidx[key] = new_idx
+        return db
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Iterable[Tuple]]) -> "Database":
@@ -213,9 +274,15 @@ class Database:
             if pattern in group:
                 yield subst
             return
-        if pattern.args and not isinstance(pattern.args[0], Variable):
-            candidates = self._arg0_index(pattern.pred).get(pattern.args[0], ())
-        else:
+        # Query-mode index selection: probe on the first *bound*
+        # argument position, whichever it is -- the index for that
+        # position is built on first use and shared across states.
+        candidates = None
+        for pos, arg in enumerate(pattern.args):
+            if not isinstance(arg, Variable):
+                candidates = self._arg_index(pattern.pred, pos).get(arg, ())
+                break
+        if candidates is None:
             candidates = self._sorted_facts(pattern.pred)
         for fact in candidates:
             bound = match_atom(pattern, fact, subst)
@@ -241,9 +308,7 @@ class Database:
         group = self._index.get(fact.pred, frozenset())
         if fact in group:
             return self
-        new_index = dict(self._index)
-        new_index[fact.pred] = group | {fact}
-        return Database._from_index(new_index)
+        return self._derive(fact.pred, fact, removed=False)
 
     def delete(self, fact: Atom) -> "Database":
         """Elementary deletion ``del.p(t)``: a new state with *fact* removed.
@@ -255,13 +320,7 @@ class Database:
         group = self._index.get(fact.pred)
         if group is None or fact not in group:
             return self
-        new_group = group - {fact}
-        new_index = dict(self._index)
-        if new_group:
-            new_index[fact.pred] = new_group
-        else:
-            del new_index[fact.pred]
-        return Database._from_index(new_index)
+        return self._derive(fact.pred, fact, removed=True)
 
     def insert_all(self, facts: Iterable[Atom]) -> "Database":
         db = self

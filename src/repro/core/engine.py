@@ -21,6 +21,7 @@ benchmarks do not care which evaluator runs underneath.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, Optional, Set, Union
 
@@ -28,13 +29,13 @@ from ..obs.context import Instrumentation, active
 from .analysis import Analysis, Sublanguage, analyze
 from .database import Database
 from .formulas import Formula
-from .interpreter import Execution, Interpreter, Solution
+from .interpreter import Execution, Interpreter, Solution, _simulate_legacy_args
 from .nonrec import NonrecursiveEngine
-from .parser import parse_goal
+from .parser import as_goal
 from .program import Program
 from .seqeval import SequentialEngine
 
-__all__ = ["Engine", "select_engine"]
+__all__ = ["Engine", "select_engine", "solve"]
 
 _Backend = Union[Interpreter, SequentialEngine, NonrecursiveEngine]
 
@@ -62,9 +63,7 @@ class Engine:
         return self.sublanguage in _DECIDABLE
 
     def _goal(self, goal: Union[str, Formula]) -> Formula:
-        if isinstance(goal, str):
-            goal = parse_goal(goal)
-        return goal
+        return as_goal(goal)
 
     def _describe(self) -> Instrumentation:
         """Stamp the active instrumentation (if any) with what runs here:
@@ -125,6 +124,7 @@ class Engine:
         self,
         goal: Union[str, Formula],
         db: Database,
+        *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
     ) -> Optional[Execution]:
@@ -133,6 +133,7 @@ class Engine:
         Simulation always uses the small-step scheduler (traces are a
         small-step notion), regardless of the analytic backend.
         """
+        seed, max_depth = _simulate_legacy_args(legacy, seed, max_depth)
         interp = (
             self.backend
             if isinstance(self.backend, Interpreter)
@@ -148,6 +149,7 @@ class Engine:
 def select_engine(
     program: Program,
     goal: Union[str, Formula, None] = None,
+    *legacy,
     max_configs: int = 200_000,
 ) -> Engine:
     """Classify *program* (and *goal*, if given) and build the matching
@@ -155,10 +157,24 @@ def select_engine(
 
     ``max_configs`` bounds the small-step searches (full and fully
     bounded TD); the big-step evaluators ignore it, as they terminate
-    unconditionally.
+    unconditionally.  Options after ``goal`` are keyword-only; positional
+    ``max_configs`` keeps working for one deprecation cycle.
     """
-    if isinstance(goal, str):
-        goal = parse_goal(goal)
+    if legacy:
+        if len(legacy) > 1:
+            raise TypeError(
+                "select_engine() takes 2 positional arguments (program, goal) "
+                "but %d were given" % (2 + len(legacy))
+            )
+        warnings.warn(
+            "passing max_configs positionally to select_engine() is "
+            "deprecated; use select_engine(program, goal, max_configs=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        max_configs = legacy[0]
+    if goal is not None:
+        goal = as_goal(goal)
     analysis = analyze(program, goal)
     sub = analysis.classify()
     backend: _Backend
@@ -169,3 +185,20 @@ def select_engine(
     else:
         backend = Interpreter(program, max_configs=max_configs)
     return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)
+
+
+def solve(
+    program: Program,
+    goal: Union[str, Formula],
+    db: Database,
+    *,
+    max_configs: int = 200_000,
+) -> Iterator[Solution]:
+    """The blessed one-call entry point: classify, pick an engine, solve.
+
+    Equivalent to ``select_engine(program, goal).solve(goal, db)`` --
+    *goal* may be a formula or concrete syntax.  Use :func:`select_engine`
+    directly when reusing one engine across many goals or databases.
+    """
+    engine = select_engine(program, goal, max_configs=max_configs)
+    return engine.solve(goal, db)

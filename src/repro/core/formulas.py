@@ -55,6 +55,7 @@ __all__ = [
     "iso",
     "apply_subst",
     "formula_variables",
+    "free_variables",
     "rename_formula",
     "walk_formulas",
 ]
@@ -139,6 +140,11 @@ class Call(Formula):
 
 
 def _flatten(cls, parts: Tuple[Formula, ...]) -> Tuple[Formula, ...]:
+    for p in parts:
+        if isinstance(p, (cls, Truth)):
+            break
+    else:  # already flat -- the common case on rebuilds
+        return tuple(parts)
     out = []
     for p in parts:
         if isinstance(p, cls):
@@ -323,11 +329,51 @@ def _apply_expr(expr: ArithExpr, subst: Substitution) -> ArithExpr:
     return walk(expr, subst)
 
 
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+
+def free_variables(f: Formula) -> frozenset:
+    """The set of variables occurring in *f*, cached on the node.
+
+    Formula nodes are immutable, so the set is computed once per node and
+    shared by every tree that reuses the node.  The hot-path consumers
+    are :func:`apply_subst` (skip subtrees the substitution cannot touch)
+    and the transition relation's blocked-branch summaries.
+    """
+    cached = getattr(f, "_free_vars", None)
+    if cached is not None:
+        return cached
+    if isinstance(f, (Test, Neg, Ins, Del, Call)):
+        fv = frozenset(f.atom.variables()) if not f.atom.is_ground() else _EMPTY_FROZENSET
+    elif isinstance(f, (Seq, Conc)):
+        fv = _EMPTY_FROZENSET
+        for p in f.parts:
+            fv = fv | free_variables(p)
+    elif isinstance(f, Isol):
+        fv = free_variables(f.body)
+    elif isinstance(f, Builtin):
+        fv = frozenset(_expr_variables(f.left)) | frozenset(_expr_variables(f.right))
+    elif isinstance(f, Truth):
+        return _EMPTY_FROZENSET
+    else:
+        raise TypeError("unknown formula type: %r" % (f,))
+    object.__setattr__(f, "_free_vars", fv)
+    return fv
+
+
 def apply_subst(f: Formula, subst: Substitution) -> Formula:
-    """Apply a substitution to an entire formula tree."""
+    """Apply a substitution to an entire formula tree.
+
+    Subtrees whose variables are disjoint from the substitution's domain
+    are returned unchanged (not copied), so a step's residual shares all
+    untouched structure -- and therefore all cached canonical-key and
+    free-variable summaries -- with its parent configuration.
+    """
     if not subst:
         return f
     if isinstance(f, Truth):
+        return f
+    if free_variables(f).isdisjoint(subst):
         return f
     if isinstance(f, Test):
         return Test(apply_atom(f.atom, subst))

@@ -25,14 +25,16 @@ transition, which is precisely the paper's notion of isolation.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..obs.context import Instrumentation, NOOP, active
 from .database import Database
 from .errors import SearchBudgetExceeded
 from .formulas import Formula, apply_subst, formula_variables
+from .parser import as_goal
 from .program import Program
 from .terms import Term, Variable
 from .transitions import (
@@ -135,14 +137,15 @@ class Interpreter:
 
     # -- public API -------------------------------------------------------------
 
-    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
+    def solve(self, goal: Union[str, Formula], db: Database) -> Iterator[Solution]:
         """Enumerate solutions fairly (BFS).
 
+        *goal* may be a formula or concrete syntax (``"p(X) * q(X)"``).
         Yields each distinct (answer bindings, final database) pair once.
         Terminates iff the reachable configuration space is finite;
         otherwise enumeration is fair and the budget eventually fires.
         """
-        goal = self.program.resolve_goal(goal)
+        goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
         budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
@@ -155,19 +158,19 @@ class Interpreter:
             finally:
                 _note_budget(obs, budget)
 
-    def succeeds(self, goal: Formula, db: Database) -> bool:
+    def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
         """True iff some execution of *goal* from *db* commits."""
         for _ in self.solve(goal, db):
             return True
         return False
 
-    def final_databases(self, goal: Formula, db: Database) -> Set[Database]:
+    def final_databases(self, goal: Union[str, Formula], db: Database) -> Set[Database]:
         """All final states reachable by executing *goal* from *db*."""
         return {sol.database for sol in self.solve(goal, db)}
 
-    def run(self, goal: Formula, db: Database) -> Iterator[Execution]:
+    def run(self, goal: Union[str, Formula], db: Database) -> Iterator[Execution]:
         """Like :meth:`solve` but with execution traces attached."""
-        goal = self.program.resolve_goal(goal)
+        goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
         budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
@@ -182,8 +185,9 @@ class Interpreter:
 
     def simulate(
         self,
-        goal: Formula,
+        goal: Union[str, Formula],
         db: Database,
+        *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
     ) -> Optional[Execution]:
@@ -194,7 +198,8 @@ class Interpreter:
         branch first).  Returns ``None`` if the goal has no execution
         within the explored space.
         """
-        goal = self.program.resolve_goal(goal)
+        seed, max_depth = _simulate_legacy_args(legacy, seed, max_depth)
+        goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
         budget = _Budget(self.max_configs, obs)
         rng = random.Random(seed) if seed is not None else None
@@ -381,6 +386,31 @@ class Interpreter:
                 obs.exit_iso()
 
         return run_isolated
+
+
+def _simulate_legacy_args(legacy, seed, max_depth):
+    """Map legacy positional ``simulate(goal, db, seed, max_depth)`` calls.
+
+    ``seed`` and ``max_depth`` are keyword-only since the API unification;
+    positional use keeps working for one deprecation cycle.
+    """
+    if not legacy:
+        return seed, max_depth
+    if len(legacy) > 2:
+        raise TypeError(
+            "simulate() takes 2 positional arguments (goal, db) but %d were given"
+            % (2 + len(legacy))
+        )
+    warnings.warn(
+        "passing seed/max_depth positionally to simulate() is deprecated; "
+        "use keyword arguments (seed=..., max_depth=...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    seed = legacy[0]
+    if len(legacy) == 2:
+        max_depth = legacy[1]
+    return seed, max_depth
 
 
 def _note_budget(obs: Instrumentation, budget: _Budget) -> None:

@@ -39,6 +39,7 @@ from .formulas import (
     walk_formulas,
 )
 from .interpreter import Interpreter, Solution
+from .parser import as_goal
 from .program import Program
 from .seqeval import _canonical_call
 from .terms import Atom, Variable
@@ -68,8 +69,8 @@ class NonrecursiveEngine:
         # Instrumentation for the current solve (NOOP when inactive).
         self._obs: Instrumentation = NOOP
 
-    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
-        goal = self.program.resolve_goal(goal)
+    def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
+        goal = self.program.resolve_goal(as_goal(goal))
         goal_has_conc = any(isinstance(s, Conc) for s in walk_formulas(goal))
         if self._fallback is not None or goal_has_conc:
             fallback = self._fallback or Interpreter(self.program)
@@ -174,10 +175,9 @@ class NonrecursiveEngine:
                 if isinstance(t, Variable):
                     seen_vars.setdefault(t, None)
             canon_vars = list(seen_vars)
-            for rule in self.program.fresh_rules_for(canon_atom.signature):
-                theta0 = unify_atoms(rule.head, canon_atom)
-                if theta0 is None:
-                    continue
+            # Indexed dispatch: head matching for this canonical call
+            # shape is memoized on the program (see Program.match_rules).
+            for rule, theta0 in self.program.match_rules(canon_atom):
                 for theta1, db_out in self._eval(rule.body, db, theta0):
                     values = tuple(walk(v, theta1) for v in canon_vars)
                     if any(isinstance(v, Variable) for v in values):

@@ -56,6 +56,7 @@ from .terms import Atom, Constant, Term, Variable
 
 __all__ = [
     "ParseError",
+    "as_goal",
     "parse_program",
     "parse_rules",
     "parse_goal",
@@ -413,6 +414,24 @@ def parse_goal(text: str) -> Formula:
     :meth:`Program.resolve_goal` (the engines do this automatically).
     """
     return _Parser(text).parse_goal_text()
+
+
+def as_goal(goal: Union[str, Formula]) -> Formula:
+    """Coerce *goal* to a :class:`Formula`: strings are parsed, formulas
+    pass through.
+
+    This is the shared goal-coercion helper behind the unified solve
+    surface -- every public entry point (``Interpreter.solve``/``run``/
+    ``simulate``, the analytic engines, ``Engine``, ``select_engine``)
+    accepts either form and funnels through here.
+    """
+    if isinstance(goal, str):
+        return parse_goal(goal)
+    if isinstance(goal, Formula):
+        return goal
+    raise TypeError(
+        "goal must be a str or a Formula, not %r" % type(goal).__name__
+    )
 
 
 def parse_database(text: str) -> Database:

@@ -41,14 +41,37 @@ from .formulas import (
     formula_variables,
     walk_formulas,
 )
-from .terms import Atom, Signature, Variable
-from .unify import Substitution
+from .terms import Atom, Signature, Term, Variable
+from .unify import Substitution, unify_atoms
 
 __all__ = ["Rule", "Program", "ProgramError"]
 
 
 class ProgramError(ValueError):
     """Raised for ill-formed rulebases (e.g. updating a derived predicate)."""
+
+
+def _canon_call(atom: Atom) -> Tuple[Atom, Dict[Variable, Variable]]:
+    """Abstract a call atom to its shape: variables are renamed to
+    reserved names by first occurrence (``\\x00`` cannot appear in source
+    variable names), constants are kept.  Two calls with the same shape
+    match the same rules with α-equivalent unifiers."""
+    mapping: Dict[Variable, Variable] = {}
+    args = []
+    changed = False
+    for t in atom.args:
+        if isinstance(t, Variable):
+            c = mapping.get(t)
+            if c is None:
+                c = Variable("\x00%d" % len(mapping))
+                mapping[t] = c
+            args.append(c)
+            changed = True
+        else:
+            args.append(t)
+    if not changed:
+        return atom, mapping
+    return Atom(atom.pred, tuple(args)), mapping
 
 
 @dataclass(frozen=True)
@@ -58,14 +81,25 @@ class Rule:
     head: Atom
     body: Formula
 
+    def _var_set(self) -> frozenset:
+        """Cached variable set; rules are immutable and renamed often."""
+        cached = getattr(self, "_vars", None)
+        if cached is None:
+            cached = frozenset(self.head.variables()).union(
+                formula_variables(self.body)
+            )
+            object.__setattr__(self, "_vars", cached)
+        return cached
+
     def variables(self) -> Set[Variable]:
-        out = set(self.head.variables())
-        out.update(formula_variables(self.body))
-        return out
+        return set(self._var_set())
 
     def rename(self, suffix: str) -> "Rule":
         """Freshen every variable by appending *suffix*."""
-        renaming = {v: Variable(v.name + suffix) for v in self.variables()}
+        variables = self._var_set()
+        if not variables:
+            return self
+        renaming = {v: Variable(v.name + suffix) for v in variables}
         new_head = Atom(
             self.head.pred,
             tuple(renaming.get(t, t) if isinstance(t, Variable) else t for t in self.head.args),
@@ -114,6 +148,8 @@ class Program:
         for rule in self._rules:
             self._derived.setdefault(rule.head.signature, []).append(rule)
         self._fresh_counter = itertools.count(1)
+        self._match_cache: Dict[Atom, list] = {}
+        self._footprint: Optional[Tuple[frozenset, frozenset]] = None
         self._validate()
 
     # -- construction internals ------------------------------------------------
@@ -196,6 +232,64 @@ class Program:
         """Rules for *sig*, each with variables freshly renamed."""
         for rule in self._derived.get(sig, ()):
             yield rule.rename("#%d" % next(self._fresh_counter))
+
+    def match_rules(self, call_atom: Atom) -> Iterator[Tuple[Rule, Substitution]]:
+        """Indexed call dispatch: ``(fresh rule, unifier)`` for every rule
+        whose head unifies with *call_atom*, in program order.
+
+        Equivalent to scanning :meth:`fresh_rules_for` and unifying each
+        renamed head, but which heads match -- and with what unifier, up
+        to renaming -- depends only on the call's *shape* (its constants
+        and variable-sharing pattern), so the result is memoized per
+        canonicalized call atom.  Repeated unfoldings of the same call
+        shape then skip head unification entirely: only the matching
+        rules are renamed and their cached unifier templates are
+        instantiated with the call's actual variables.
+        """
+        sig = call_atom.signature
+        canon, mapping = _canon_call(call_atom)
+        entry = self._match_cache.get(canon)
+        rules = self._derived.get(sig, ())
+        if entry is None:
+            entry = []
+            for idx, rule in enumerate(rules):
+                # Base (unrenamed) rule vars cannot collide with the
+                # reserved canonical names, so this one unification
+                # stands in for every future call of this shape.
+                theta = unify_atoms(rule.head, canon)
+                if theta is not None:
+                    entry.append((idx, theta))
+            self._match_cache[canon] = entry
+        if not entry:
+            return
+        inv: Dict[Variable, Term] = {c: v for v, c in mapping.items()}
+        for idx, ctheta in entry:
+            suffix = "#%d" % next(self._fresh_counter)
+            theta: Dict[Variable, Term] = {}
+            for v, t in ctheta.items():
+                if isinstance(t, Variable):
+                    t = inv[t]
+                actual = inv.get(v)
+                if actual is None:
+                    actual = Variable(v.name + suffix)
+                theta[actual] = t
+            yield rules[idx].rename(suffix), theta
+
+    def update_footprint(self) -> Tuple[frozenset, frozenset]:
+        """Predicates any rule body can insert / delete (cached)."""
+        cached = self._footprint
+        if cached is None:
+            insertable = set()
+            deletable = set()
+            for rule in self._rules:
+                for sub in walk_formulas(rule.body):
+                    if isinstance(sub, Ins):
+                        insertable.add(sub.atom.pred)
+                    elif isinstance(sub, Del):
+                        deletable.add(sub.atom.pred)
+            cached = (frozenset(insertable), frozenset(deletable))
+            self._footprint = cached
+        return cached
 
     def resolve_goal(self, goal: Formula) -> Formula:
         """Resolve generic calls in a parsed goal against this program."""

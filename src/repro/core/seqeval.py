@@ -52,6 +52,7 @@ from .formulas import (
     walk_formulas,
 )
 from .interpreter import Solution
+from .parser import as_goal
 from .program import Program
 from .terms import Atom, Constant, Term, Variable
 from .unify import Substitution, apply_atom, unify_atoms, walk
@@ -123,12 +124,13 @@ class SequentialEngine:
 
     # -- public API -------------------------------------------------------------
 
-    def solve(self, goal: Formula, db: Database) -> Iterator[Solution]:
+    def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
         """Enumerate all (bindings, final state) pairs for *goal*.
 
-        Complete and terminating: this is a decision procedure.
+        *goal* may be a formula or concrete syntax.  Complete and
+        terminating: this is a decision procedure.
         """
-        goal = self.program.resolve_goal(goal)
+        goal = self.program.resolve_goal(as_goal(goal))
         for sub in walk_formulas(goal):
             if isinstance(sub, Conc):
                 raise UnsupportedProgramError(
@@ -237,10 +239,9 @@ class SequentialEngine:
         for v in canon_vars:
             seen.setdefault(v, None)
         canon_vars = list(seen)
-        for rule in self.program.fresh_rules_for(canon_atom.signature):
-            theta = unify_atoms(rule.head, canon_atom)
-            if theta is None:
-                continue
+        # Indexed dispatch: head matching for this canonical call shape
+        # is memoized on the program (see Program.match_rules).
+        for rule, theta in self.program.match_rules(canon_atom):
             for theta_out, db_out in self._eval(rule.body, db_in, theta):
                 values = []
                 ground = True

@@ -14,12 +14,25 @@ The module deliberately keeps the data model tiny and explicit:
 
 Constants compare by value, variables by name.  ``Atom`` exposes the
 predicate *signature* ``name/arity`` used throughout schema handling.
+
+Hash-consing
+------------
+
+Constants and atoms are *interned*: constructing ``Constant("a")`` (or an
+``Atom`` with the same predicate and arguments) twice returns the same
+object.  The engines hash these objects constantly -- every database
+state is a frozenset of atoms, every memo table keys on them -- so each
+instance precomputes its hash once, equality gets an identity fast path,
+and ``Atom`` caches its groundness.  The intern tables hold their entries
+weakly, so transient pattern atoms from a search are reclaimed with the
+search.  Interning is a cache, not an identity guarantee: equality is
+still by value, and code must never rely on ``is`` for term comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Tuple, Union
+import weakref
+from typing import Dict, Iterable, Iterator, Tuple, Union
 
 __all__ = [
     "Constant",
@@ -41,7 +54,6 @@ __all__ = [
 ConstValue = Union[str, int]
 
 
-@dataclass(frozen=True)
 class Constant:
     """An uninterpreted constant symbol.
 
@@ -53,7 +65,46 @@ class Constant:
     compare values; use builtins for value comparisons.
     """
 
-    value: ConstValue
+    __slots__ = ("value", "_hash", "__weakref__")
+
+    _interned: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, value: ConstValue):
+        # Key by (type, value) so Constant(1) and Constant("1") intern
+        # apart even though 1 == "1" is False anyway; bool is an int
+        # subclass and may share a slot with its int twin -- harmless,
+        # since equality and hashing stay value-based.
+        key = (value.__class__, value)
+        cached = cls._interned.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((cls, value)))
+        cls._interned[key] = self
+        return self
+
+    def __setattr__(self, name, _value):
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if isinstance(other, Constant):
+            return self.value == other.value
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def _sort_key(self):
         return ("c", type(self.value).__name__, str(self.value))
@@ -63,17 +114,49 @@ class Constant:
             return self._sort_key() < other._sort_key()
         return NotImplemented
 
+    def __repr__(self) -> str:
+        return "Constant(value=%r)" % (self.value,)
+
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class Variable:
     """A logical variable.  Names conventionally start with an uppercase
     letter or underscore (the parser enforces this for concrete syntax).
+
+    Variables are *not* interned -- call unfolding freshens them with a
+    global counter, so most are short-lived -- but each instance caches
+    its hash, which substitution dictionaries probe constantly.
     """
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((Variable, name)))
+
+    def __setattr__(self, name, _value):
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if isinstance(other, Variable):
+            return self.name == other.name
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def _sort_key(self):
         return ("v", "", self.name)
@@ -82,6 +165,9 @@ class Variable:
         if isinstance(other, (Constant, Variable)):
             return self._sort_key() < other._sort_key()
         return NotImplemented
+
+    def __repr__(self) -> str:
+        return "Variable(name=%r)" % (self.name,)
 
     def __str__(self) -> str:
         return self.name
@@ -93,7 +179,6 @@ Term = Union[Constant, Variable]
 Signature = Tuple[str, int]
 
 
-@dataclass(frozen=True)
 class Atom:
     """A (possibly non-ground) atom ``pred(args)``.
 
@@ -103,8 +188,46 @@ class Atom:
     predicates defined by rules.
     """
 
-    pred: str
-    args: Tuple[Term, ...] = ()
+    __slots__ = ("pred", "args", "_hash", "_ground", "__weakref__")
+
+    _interned: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, pred: str, args: Tuple[Term, ...] = ()):
+        key = (pred, args)
+        cached = cls._interned.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((cls, pred, args)))
+        object.__setattr__(
+            self, "_ground", all(isinstance(t, Constant) for t in args)
+        )
+        cls._interned[key] = self
+        return self
+
+    def __setattr__(self, name, _value):
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if isinstance(other, Atom):
+            return self.pred == other.pred and self.args == other.args
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Atom, (self.pred, self.args))
 
     @property
     def arity(self) -> int:
@@ -115,7 +238,7 @@ class Atom:
         return (self.pred, len(self.args))
 
     def is_ground(self) -> bool:
-        return all(isinstance(t, Constant) for t in self.args)
+        return self._ground
 
     def variables(self) -> Iterator[Variable]:
         """Yield the variables of this atom, left to right, with repeats."""
@@ -130,6 +253,9 @@ class Atom:
         if isinstance(other, Atom):
             return self._sort_key() < other._sort_key()
         return NotImplemented
+
+    def __repr__(self) -> str:
+        return "Atom(pred=%r, args=%r)" % (self.pred, self.args)
 
     def __str__(self) -> str:
         if not self.args:

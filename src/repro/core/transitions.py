@@ -27,12 +27,14 @@ sorted) so searches can memoize visited configurations.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .database import Database
 from .errors import SafetyError
 from .formulas import (
+    BinOp,
     Builtin,
     Call,
     Conc,
@@ -150,25 +152,85 @@ IsolRunner = Callable[
 ]
 
 
+def _never_steps(proc: Formula) -> bool:
+    """True if ``proc`` provably yields no step *in any database state*.
+
+    This is the freeness summary behind the indexed redex enumeration:
+    non-ground updates and under-instantiated builtins are blocked until
+    a sibling binds their variables, and that blockedness is decidable
+    from the node alone.  The verdict is cached on the (immutable) node,
+    so a deep concurrent process pays for each blocked branch once, not
+    once per enumeration.  The summary is *exact* for the redexes it
+    skips -- skipping never changes the multiset of steps enumerated
+    (see the differential test in ``tests/core/test_transitions_diff.py``).
+    """
+    cached = getattr(proc, "_never_steps", None)
+    if cached is not None:
+        return cached
+    if isinstance(proc, (Ins, Del)):
+        verdict = not proc.atom.is_ground()
+    elif isinstance(proc, Builtin):
+        if proc.op == "is":
+            # ``X is expr`` fires once the right side is ground; a
+            # non-term left side always raises at evaluation time.
+            verdict = isinstance(proc.left, BinOp) or _expr_has_vars(proc.right)
+        else:
+            verdict = _expr_has_vars(proc.left) or _expr_has_vars(proc.right)
+    elif isinstance(proc, Seq):
+        verdict = _never_steps(proc.parts[0]) if proc.parts else True
+    elif isinstance(proc, Conc):
+        verdict = all(_never_steps(p) for p in proc.parts)
+    elif isinstance(proc, Isol):
+        # The nested search yields one step per complete execution of
+        # the body; a body that cannot take a first step (and is not
+        # already ``true``) has none.
+        verdict = not isinstance(proc.body, Truth) and _never_steps(proc.body)
+    elif isinstance(proc, Truth):
+        return True  # no transitions out of the empty process
+    else:
+        verdict = False  # Test / Neg / Call: depends on db or program
+    object.__setattr__(proc, "_never_steps", verdict)
+    return verdict
+
+
+def _expr_has_vars(expr) -> bool:
+    if isinstance(expr, Variable):
+        return True
+    if hasattr(expr, "op"):
+        return _expr_has_vars(expr.left) or _expr_has_vars(expr.right)
+    return False
+
+
 def enabled_steps(
     program: Program,
     proc: Formula,
     db: Database,
     isol_runner: IsolRunner,
+    *,
+    optimized: bool = True,
 ) -> Iterator[Step]:
     """Yield every transition enabled in ``(proc, db)``.
 
     The ``residual`` of each step is the whole remaining process with the
     stepped redex replaced; the step's substitution has *not* yet been
     applied (callers apply it once, to the whole tree).
+
+    ``optimized=False`` selects the naive reference enumeration (scan
+    every rule, descend into every branch); the default indexed path
+    skips provably blocked branches and dispatches calls through the
+    program's per-signature rule index.  Both enumerate the same steps
+    -- the naive path exists as the oracle for the differential test.
     """
-    yield from _steps(program, proc, db, isol_runner)
+    if optimized:
+        yield from _steps(program, proc, db, isol_runner)
+    else:
+        yield from _steps_naive(program, proc, db, isol_runner)
 
 
 def _steps(
     program: Program, proc: Formula, db: Database, isol_runner: IsolRunner
 ) -> Iterator[Step]:
-    if isinstance(proc, Truth):
+    if isinstance(proc, Truth) or _never_steps(proc):
         return
     if isinstance(proc, Test):
         for theta in db.match(proc.atom):
@@ -213,16 +275,17 @@ def _steps(
             raise SafetyError(
                 "call to undefined predicate %s/%d" % sig
             )
-        for rule in program.fresh_rules_for(sig):
-            theta = unify_atoms(rule.head, proc.atom)
-            if theta is not None:
-                yield Step(
-                    Action("call", _display_atom(apply_atom(proc.atom, theta))),
-                    theta,
-                    rule.body,
-                    db,
-                    rule.body,
-                )
+        # Indexed dispatch: the program memoizes which rule heads match
+        # this call shape, so repeated unfoldings skip the unification
+        # scan over non-matching rules entirely.
+        for rule, theta in program.match_rules(proc.atom):
+            yield Step(
+                Action("call", _display_atom(apply_atom(proc.atom, theta))),
+                theta,
+                rule.body,
+                db,
+                rule.body,
+            )
         return
     if isinstance(proc, Seq):
         head, rest = proc.parts[0], proc.parts[1:]
@@ -237,6 +300,8 @@ def _steps(
         return
     if isinstance(proc, Conc):
         for i, branch in enumerate(proc.parts):
+            if _never_steps(branch):
+                continue  # provably blocked: a sibling must bind it first
             others_before = proc.parts[:i]
             others_after = proc.parts[i + 1 :]
             for step in _steps(program, branch, db, isol_runner):
@@ -256,6 +321,98 @@ def _steps(
                 Truth(),
                 final_db,
             )
+        return
+    raise TypeError("cannot step formula of type %r" % type(proc).__name__)
+
+
+def _steps_naive(
+    program: Program, proc: Formula, db: Database, isol_runner: IsolRunner
+) -> Iterator[Step]:
+    """Reference enumeration: no blocked-branch skipping, calls resolved
+    by scanning every freshly-renamed rule.  Kept as the oracle for the
+    optimized path's differential test."""
+    if isinstance(proc, Truth):
+        return
+    if isinstance(proc, Test):
+        for theta in db.match(proc.atom):
+            yield Step(
+                Action("test", _display_atom(apply_atom(proc.atom, theta))),
+                theta,
+                Truth(),
+                db,
+            )
+        return
+    if isinstance(proc, Neg):
+        if not db.holds(proc.atom):
+            yield Step(Action("neg", _display_atom(proc.atom)), {}, Truth(), db)
+        return
+    if isinstance(proc, Ins):
+        if not proc.atom.is_ground():
+            return
+        yield Step(Action("ins", proc.atom), {}, Truth(), db.insert(proc.atom))
+        return
+    if isinstance(proc, Del):
+        if not proc.atom.is_ground():
+            return
+        yield Step(Action("del", proc.atom), {}, Truth(), db.delete(proc.atom))
+        return
+    if isinstance(proc, Builtin):
+        try:
+            theta = proc.evaluate({})
+        except ValueError:
+            return
+        if theta is not None:
+            yield Step(Action("builtin", detail=str(proc)), theta, Truth(), db)
+        return
+    if isinstance(proc, Isol):
+        for theta, final_db, trace in isol_runner(proc.body, db):
+            yield Step(
+                Action("iso", subtrace=tuple(trace)),
+                theta,
+                Truth(),
+                final_db,
+            )
+        return
+    if isinstance(proc, Call):
+        sig = proc.atom.signature
+        if not program.is_derived(sig):
+            raise SafetyError(
+                "call to undefined predicate %s/%d" % sig
+            )
+        for rule in program.fresh_rules_for(sig):
+            theta = unify_atoms(rule.head, proc.atom)
+            if theta is not None:
+                yield Step(
+                    Action("call", _display_atom(apply_atom(proc.atom, theta))),
+                    theta,
+                    rule.body,
+                    db,
+                    rule.body,
+                )
+        return
+    if isinstance(proc, Seq):
+        head, rest = proc.parts[0], proc.parts[1:]
+        for step in _steps_naive(program, head, db, isol_runner):
+            yield Step(
+                step.action,
+                step.subst,
+                seq(step.residual, *rest),
+                step.database,
+                step.local,
+            )
+        return
+    if isinstance(proc, Conc):
+        for i, branch in enumerate(proc.parts):
+            others_before = proc.parts[:i]
+            others_after = proc.parts[i + 1 :]
+            for step in _steps_naive(program, branch, db, isol_runner):
+                yield Step(
+                    step.action,
+                    step.subst,
+                    conc(*others_before, step.residual, *others_after),
+                    step.database,
+                    step.local,
+                )
         return
     raise TypeError("cannot step formula of type %r" % type(proc).__name__)
 
@@ -300,17 +457,23 @@ def update_footprint(program: Program, *goals: Formula):
     delete.  Used by :func:`dead_config`: tests on predicates outside the
     insert footprint can never *become* true, absence tests on predicates
     outside the delete footprint can never become true either.
+
+    The rulebase's contribution is cached on the program (rulebases are
+    immutable), so nested isolation searches -- which recompute the
+    footprint for each sub-goal -- only walk the sub-goal itself.
     """
-    insertable = set()
-    deletable = set()
-    bodies = [r.body for r in program.rules] + list(goals)
-    for body in bodies:
+    insertable, deletable = program.update_footprint()
+    if not goals:
+        return insertable, deletable
+    ins_extra = set(insertable)
+    del_extra = set(deletable)
+    for body in goals:
         for sub in walk_formulas(body):
             if isinstance(sub, Ins):
-                insertable.add(sub.atom.pred)
+                ins_extra.add(sub.atom.pred)
             elif isinstance(sub, Del):
-                deletable.add(sub.atom.pred)
-    return frozenset(insertable), frozenset(deletable)
+                del_extra.add(sub.atom.pred)
+    return frozenset(ins_extra), frozenset(del_extra)
 
 
 def dead_config(
@@ -458,55 +621,163 @@ def _pure_read_satisfiable(body: Formula, db: Database) -> Optional[bool]:
 # ---------------------------------------------------------------------------
 # Canonicalization for memoization
 # ---------------------------------------------------------------------------
+#
+# The canonical key of a node is computed *compositionally* and cached on
+# the node (formula trees are immutable, so nothing ever invalidates).
+# Each node stores a pair
+#
+#     (shape, varseq)
+#
+# where ``shape`` is a hashable structure in which this node's variables
+# appear as local first-occurrence indices ``('v', i)``, and ``varseq``
+# is the tuple of distinct variables in that numbering order.  A
+# composite node embeds each child as ``(child_shape, perm)`` with
+# ``perm`` mapping the child's local indices to the parent's -- so
+# cross-branch variable sharing is captured without renumbering the
+# child's whole subtree.  Because a step's residual shares all untouched
+# subtrees with its parent process (see ``apply_subst``), re-keying a
+# successor configuration only does work proportional to the changed
+# spine, not the whole tree.
+#
+# ``shape`` alone is the public key: ``varseq`` is first-occurrence
+# ordered by construction, so the key is invariant under variable
+# renaming, and composing the perms bottom-up reproduces exactly the
+# global first-occurrence numbering the previous from-scratch algorithm
+# produced.
+
+#: Bound on how many concurrent-branch orderings are tried when several
+#: branches have identical shapes.  Tied groups are tiny in practice
+#: (the bound allows e.g. one group of 4 plus a pair); past it we keep
+#: the stable order, which is sound and only costs memo sharing.
+_MAX_TIE_CANDIDATES = 64
 
 
-def _skeleton(f: Formula):
-    """A branch-local canonical key, used only to order concurrent
-    branches deterministically before variables are numbered globally.
+def _ckey_pair(f: Formula, sort_conc: bool):
+    cache = getattr(f, "_ckey_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(f, "_ckey_cache", cache)
+    pair = cache.get(sort_conc)
+    if pair is None:
+        pair = _ckey_build(f, sort_conc)
+        cache[sort_conc] = pair
+    return pair
 
-    Variables are numbered by first occurrence *within this branch*, so
-    the skeleton is independent of outside naming but still captures the
-    branch's internal sharing pattern (``p(X, X)`` vs ``p(X, Y)``).
-    """
-    local: Dict[Variable, int] = {}
 
-    def walk(g: Formula):
-        if isinstance(g, Truth):
-            return ("T",)
-        if isinstance(g, (Test, Neg, Ins, Del, Call)):
-            return (type(g).__name__, g.atom.pred, term_keys(g.atom.args))
-        if isinstance(g, Builtin):
-            return ("B", g.op, expr_key(g.left), expr_key(g.right))
-        if isinstance(g, Seq):
-            return ("S",) + tuple(walk(p) for p in g.parts)
-        if isinstance(g, Conc):
-            # children sorted by their own (independent) skeletons
-            return ("C",) + tuple(sorted((_skeleton(p) for p in g.parts), key=repr))
-        if isinstance(g, Isol):
-            return ("I", walk(g.body))
-        raise TypeError("cannot canonicalize %r" % type(g).__name__)
-
-    def term_keys(terms):
-        out = []
-        for t in terms:
+def _ckey_build(f: Formula, sort_conc: bool):
+    if isinstance(f, Truth):
+        return (("T",), ())
+    if isinstance(f, (Test, Neg, Ins, Del, Call)):
+        local: Dict[Variable, int] = {}
+        keys = []
+        for t in f.atom.args:
             if isinstance(t, Variable):
-                if t not in local:
-                    local[t] = len(local)
-                out.append(("v", local[t]))
+                idx = local.get(t)
+                if idx is None:
+                    idx = len(local)
+                    local[t] = idx
+                keys.append(("v", idx))
             else:
-                out.append(("c", type(t.value).__name__, str(t.value)))
-        return tuple(out)
+                keys.append(("c", type(t.value).__name__, str(t.value)))
+        shape = (type(f).__name__, f.atom.pred, tuple(keys))
+        return (shape, tuple(local))
+    if isinstance(f, Builtin):
+        local = {}
+        shape = (
+            "B",
+            f.op,
+            _ckey_expr(f.left, local),
+            _ckey_expr(f.right, local),
+        )
+        return (shape, tuple(local))
+    if isinstance(f, Isol):
+        # A single child: its local numbering *is* the parent's.
+        cshape, cvars = _ckey_pair(f.body, sort_conc)
+        return (("I", cshape), cvars)
+    if isinstance(f, Seq):
+        return _ckey_assemble(
+            "S", [_ckey_pair(p, sort_conc) for p in f.parts]
+        )
+    if isinstance(f, Conc):
+        pairs = [_ckey_pair(p, sort_conc) for p in f.parts]
+        if not sort_conc:
+            return _ckey_assemble("C", pairs)
+        return _ckey_conc_sorted(pairs)
+    raise TypeError("cannot canonicalize %r" % type(f).__name__)
 
-    def expr_key(expr):
-        if isinstance(expr, Variable):
-            if expr not in local:
-                local[expr] = len(local)
-            return ("v", local[expr])
-        if hasattr(expr, "op"):
-            return ("e", expr.op, expr_key(expr.left), expr_key(expr.right))
-        return ("c", type(expr.value).__name__, str(expr.value))
 
-    return walk(f)
+def _ckey_expr(expr, local: Dict[Variable, int]):
+    if isinstance(expr, Variable):
+        idx = local.get(expr)
+        if idx is None:
+            idx = len(local)
+            local[expr] = idx
+        return ("v", idx)
+    if hasattr(expr, "op"):
+        return (
+            "e",
+            expr.op,
+            _ckey_expr(expr.left, local),
+            _ckey_expr(expr.right, local),
+        )
+    return ("c", type(expr.value).__name__, str(expr.value))
+
+
+def _ckey_assemble(tag: str, pairs):
+    """Combine ordered child (shape, varseq) pairs into the parent pair,
+    renumbering variables by first occurrence across the children."""
+    order: Dict[Variable, int] = {}
+    embedded = []
+    for cshape, cvars in pairs:
+        perm = []
+        for v in cvars:
+            idx = order.get(v)
+            if idx is None:
+                idx = len(order)
+                order[v] = idx
+            perm.append(idx)
+        embedded.append((cshape, tuple(perm)))
+    return ((tag,) + tuple(embedded), tuple(order))
+
+
+def _ckey_conc_sorted(pairs):
+    """Canonical (shape, varseq) for a concurrent node, invariant under
+    branch reordering.
+
+    Branches are sorted by their perm-free shapes; groups of branches
+    with *identical* shapes can still differ in how their variables are
+    shared with the rest of the process, so within the tie groups every
+    ordering (bounded by :data:`_MAX_TIE_CANDIDATES`) is tried and the
+    lexicographically least assembled key wins.  The candidate set
+    depends only on the multiset of branches, which is what makes the
+    key genuinely commutative -- the previous implementation kept input
+    order on ties and keyed ``p(X,Y) | p(Z,X)`` apart from its swap.
+    """
+    decorated = sorted(pairs, key=lambda pr: repr(pr[0]))
+    groups: List[list] = []
+    for pr in decorated:
+        if groups and groups[-1][0][0] == pr[0]:
+            groups[-1].append(pr)
+        else:
+            groups.append([pr])
+    n_candidates = 1
+    for g in groups:
+        for k in range(2, len(g) + 1):
+            n_candidates *= k
+    if n_candidates == 1 or n_candidates > _MAX_TIE_CANDIDATES:
+        return _ckey_assemble("C", [pr for g in groups for pr in g])
+    best = None
+    best_render = None
+    for arrangement in itertools.product(
+        *(itertools.permutations(g) for g in groups)
+    ):
+        ordering = [pr for g in arrangement for pr in g]
+        assembled = _ckey_assemble("C", ordering)
+        render = repr(assembled[0])
+        if best_render is None or render < best_render:
+            best_render = render
+            best = assembled
+    return best
 
 
 def canonical_key(proc: Formula, sort_conc: bool = True):
@@ -515,56 +786,14 @@ def canonical_key(proc: Formula, sort_conc: bool = True):
 
     Renaming-apart matters because call unfolding freshens rule variables
     with a global counter: two searches reaching "the same" residual
-    process would otherwise never share a memo entry.
+    process would otherwise never share a memo entry.  Branch-order
+    invariance matters because interleaving semantics makes ``a | b``
+    and ``b | a`` the same process.
 
-    Branch sorting is done in two passes: concurrent branches are first
-    ordered by a variable-identity-free *skeleton*, then variables are
-    numbered by first occurrence in the sorted traversal.  Sorting before
-    numbering makes the key genuinely order-invariant.  (Branches with
-    identical skeletons but different variable-sharing patterns with the
-    rest of the process can still key apart -- a sound approximation that
-    only costs memo hits, never correctness.)  ``sort_conc=False``
-    disables sorting for the ablation benchmark.
+    Keys are assembled from per-node summaries cached on the (immutable)
+    nodes, so residual processes -- which share almost all structure with
+    their parent configuration -- are re-keyed in time proportional to
+    what actually changed.  ``sort_conc=False`` disables branch sorting
+    for the ablation benchmark.
     """
-    counter: Dict[Variable, int] = {}
-
-    def key(f: Formula):
-        if isinstance(f, Truth):
-            return ("T",)
-        if isinstance(f, (Test, Neg, Ins, Del, Call)):
-            tag = type(f).__name__
-            return (tag, f.atom.pred, _term_keys(f.atom.args))
-        if isinstance(f, Builtin):
-            return ("B", f.op, _expr_key(f.left), _expr_key(f.right))
-        if isinstance(f, Seq):
-            return ("S",) + tuple(key(p) for p in f.parts)
-        if isinstance(f, Conc):
-            parts = list(f.parts)
-            if sort_conc:
-                parts.sort(key=lambda p: repr(_skeleton(p)))
-            return ("C",) + tuple(key(p) for p in parts)
-        if isinstance(f, Isol):
-            return ("I", key(f.body))
-        raise TypeError("cannot canonicalize %r" % type(f).__name__)
-
-    def _term_keys(terms):
-        out = []
-        for t in terms:
-            if isinstance(t, Variable):
-                if t not in counter:
-                    counter[t] = len(counter)
-                out.append(("v", counter[t]))
-            else:
-                out.append(("c", type(t.value).__name__, str(t.value)))
-        return tuple(out)
-
-    def _expr_key(expr):
-        if isinstance(expr, Variable):
-            if expr not in counter:
-                counter[expr] = len(counter)
-            return ("v", counter[expr])
-        if hasattr(expr, "op"):
-            return ("e", expr.op, _expr_key(expr.left), _expr_key(expr.right))
-        return ("c", type(expr.value).__name__, str(expr.value))
-
-    return key(proc)
+    return _ckey_pair(proc, sort_conc)[0]

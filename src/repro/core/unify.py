@@ -56,7 +56,7 @@ def apply_term(term: Term, subst: Substitution) -> Term:
 
 def apply_atom(a: Atom, subst: Substitution) -> Atom:
     """Apply *subst* to every argument of *a*."""
-    if not a.args or not subst:
+    if not a.args or not subst or a.is_ground():
         return a
     new_args = tuple(walk(t, subst) for t in a.args)
     if new_args == a.args:

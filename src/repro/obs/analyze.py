@@ -15,9 +15,9 @@ Three pieces:
   the paper's own examples so the gate tracks the programs the repo is
   *about*.
 * :func:`write_baselines` -- run each workload instrumented and write
-  ``<name>.json`` per config (``repro profile baseline``).
+  ``<name>.json`` per config (``tdlog profile baseline``).
 * :func:`diff_baselines` -- re-run and compare against the committed
-  snapshots with per-counter tolerances (``repro profile diff``); any
+  snapshots with per-counter tolerances (``tdlog profile diff``); any
   out-of-tolerance drift, in either direction, is a failure.  A PR that
   legitimately moves a counter regenerates the baseline in the same
   change, so the delta is reviewed where it happens.
@@ -246,7 +246,7 @@ def load_baseline(path: str) -> Dict[str, object]:
     if record.get("schema") != SCHEMA:
         raise ValueError(
             "%s: baseline schema %r, expected %r -- regenerate with "
-            "'repro profile baseline'" % (path, record.get("schema"), SCHEMA)
+            "'tdlog profile baseline'" % (path, record.get("schema"), SCHEMA)
         )
     return record
 
@@ -373,7 +373,7 @@ def diff_baselines(
         path = os.path.join(baseline_dir, config.name + ".json")
         if not os.path.exists(path):
             problems.append(
-                "%s: no baseline at %s (run 'repro profile baseline')"
+                "%s: no baseline at %s (run 'tdlog profile baseline')"
                 % (config.name, path)
             )
             continue

@@ -141,6 +141,73 @@ class TestQueries:
         assert d1.union(d2) == Database([atom("p", "a"), atom("q", "b")])
 
 
+class TestArgIndexes:
+    """Per-position match indexes and their maintenance across updates.
+
+    Derived databases share index structure with their parent for
+    untouched predicates and update the touched one incrementally --
+    these tests pin that a stale bucket can never leak through
+    delete -> insert chains.
+    """
+
+    Y = Variable("Y")
+
+    def test_match_after_delete_then_insert(self):
+        # The counter-update shape every bank/lab workload hits:
+        # del.balance(a, 100) then ins.balance(a, 70).
+        d0 = Database([atom("balance", "a", 100), atom("balance", "b", 10)])
+        list(d0.match(Atom("balance", (atom("x", "a").args[0], X))))  # warm index
+        d1 = d0.delete(atom("balance", "a", 100)).insert(atom("balance", "a", 70))
+        results = list(d1.match(Atom("balance", (atom("x", "a").args[0], X))))
+        assert [str(s[X]) for s in results] == ["70"]
+        # The parent is untouched.
+        parent = list(d0.match(Atom("balance", (atom("x", "a").args[0], X))))
+        assert [str(s[X]) for s in parent] == ["100"]
+
+    def test_index_probe_on_second_position(self):
+        d = Database([atom("e", "a", "b"), atom("e", "c", "b"), atom("e", "a", "d")])
+        results = list(d.match(Atom("e", (X, atom("x", "b").args[0]))))
+        assert sorted(str(s[X]) for s in results) == ["a", "c"]
+
+    def test_zero_arg_predicate_match_and_updates(self):
+        d0 = Database()
+        assert not d0.holds(atom("flag"))
+        d1 = d0.insert(atom("flag"))
+        assert list(d1.match(atom("flag"))) == [{}]
+        d2 = d1.delete(atom("flag"))
+        assert list(d2.match(atom("flag"))) == []
+        d3 = d2.insert(atom("flag"))
+        assert d3.holds(atom("flag"))
+
+    def test_warm_index_consistent_with_cold(self):
+        # A pattern answered from a derived db's (incrementally updated)
+        # index must equal a from-scratch db's answer.
+        facts = [atom("p", i, i * i) for i in range(10)]
+        warm = Database(facts)
+        pattern = Atom("p", (atom("x", 3).args[0], X))
+        list(warm.match(pattern))  # build index on position 0
+        for i in range(0, 10, 2):
+            warm = warm.delete(atom("p", i, i * i))
+        warm = warm.insert(atom("p", 3, 999)).delete(atom("p", 3, 9))
+        cold = Database(
+            [atom("p", i, i * i) for i in range(1, 10, 2) if i != 3]
+            + [atom("p", 3, 999)]
+        )
+        assert warm == cold
+        assert sorted(map(str, (s[X] for s in warm.match(pattern)))) == sorted(
+            map(str, (s[X] for s in cold.match(pattern)))
+        )
+
+    def test_deleting_last_indexed_fact_empties_bucket(self):
+        a_const = atom("x", "a").args[0]
+        d0 = Database([atom("p", "a")])
+        list(d0.match(Atom("p", (a_const,))))  # warm bucket for "a"
+        d1 = d0.delete(atom("p", "a"))
+        assert list(d1.match(Atom("p", (a_const,)))) == []
+        d2 = d1.insert(atom("p", "a"))
+        assert list(d2.match(Atom("p", (a_const,)))) == [{}]
+
+
 class TestSchema:
     def test_declare_and_check(self):
         s = Schema([("p", 2)])

@@ -93,3 +93,93 @@ class TestUniformAPI:
             NonrecursiveEngine(prog).final_databases(goal, db),
         ]
         assert finals[0] == finals[1] == finals[2]
+
+
+class TestUnifiedGoalAPI:
+    """Every solve surface accepts str | Formula via the shared coercer."""
+
+    def test_as_goal_coerces_and_rejects(self):
+        from repro import Formula, as_goal
+
+        g = as_goal("p(X) * q(X)")
+        assert isinstance(g, Formula)
+        assert as_goal(g) is g
+        with pytest.raises(TypeError):
+            as_goal(42)
+
+    def test_interpreter_accepts_string_goals(self, tc_program, chain_db):
+        interp = Interpreter(tc_program)
+        sols = list(interp.solve("path(a, X)", chain_db))
+        assert len(sols) == 3
+        assert interp.succeeds("path(a, d)", chain_db)
+        assert len(interp.final_databases("path(a, d)", chain_db)) == 1
+        assert list(interp.run("path(a, d)", chain_db))
+
+    def test_interpreter_simulate_accepts_string_goal(self, tc_program, chain_db):
+        exe = Interpreter(tc_program).simulate("path(a, d)", chain_db, seed=3)
+        assert exe is not None
+
+    def test_sequential_engine_accepts_string_goals(self, tc_program, chain_db):
+        assert len(list(SequentialEngine(tc_program).solve("path(a, X)", chain_db))) == 3
+
+    def test_nonrec_engine_accepts_string_goals(self):
+        prog = parse_program("t <- q(X) * ins.r(X).")
+        eng = NonrecursiveEngine(prog)
+        assert len(list(eng.solve("t", parse_database("q(a). q(b).")))) == 2
+
+    def test_blessed_module_level_solve(self, tc_program, chain_db):
+        from repro import solve
+
+        sols = list(solve(tc_program, "path(a, X)", chain_db))
+        assert len(sols) == 3
+
+    def test_blessed_solve_accepts_formula(self, tc_program, chain_db):
+        from repro import solve
+
+        sols = list(solve(tc_program, parse_goal("path(a, X)"), chain_db))
+        assert len(sols) == 3
+
+
+class TestDeprecationShims:
+    """Pre-PR positional call shapes keep working, with a warning."""
+
+    def test_select_engine_positional_max_configs_warns(self, tc_program):
+        with pytest.warns(DeprecationWarning, match="max_configs"):
+            eng = select_engine(tc_program, "path(a, d)", 10_000)
+        assert isinstance(eng.backend, SequentialEngine)
+
+    def test_select_engine_keyword_max_configs_is_silent(self, tc_program):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            select_engine(tc_program, "path(a, d)", max_configs=10_000)
+
+    def test_select_engine_positional_value_is_used(self):
+        prog = parse_program("loop <- ins.a | loop.")  # full TD -> Interpreter
+        with pytest.warns(DeprecationWarning):
+            eng = select_engine(prog, None, 1234)
+        assert isinstance(eng.backend, Interpreter)
+        assert eng.backend.max_configs == 1234
+
+    def test_interpreter_simulate_positional_seed_warns(self, tc_program, chain_db):
+        interp = Interpreter(tc_program)
+        with pytest.warns(DeprecationWarning, match="seed"):
+            exe = interp.simulate(parse_goal("path(a, d)"), chain_db, 3)
+        assert exe is not None
+        with pytest.warns(DeprecationWarning):
+            exe = interp.simulate(parse_goal("path(a, d)"), chain_db, None, 50_000)
+        assert exe is not None
+
+    def test_engine_simulate_positional_seed_warns(self, tc_program, chain_db):
+        eng = select_engine(tc_program)
+        with pytest.warns(DeprecationWarning):
+            exe = eng.simulate("path(a, d)", chain_db, 3)
+        assert exe is not None
+
+    def test_too_many_positionals_still_a_type_error(self, tc_program, chain_db):
+        interp = Interpreter(tc_program)
+        with pytest.raises(TypeError):
+            interp.simulate(parse_goal("path(a, d)"), chain_db, 1, 2, 3)
+        with pytest.raises(TypeError):
+            select_engine(tc_program, "path(a, d)", 1, 2)

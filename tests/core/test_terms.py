@@ -97,3 +97,54 @@ class TestConversions:
     def test_is_ground_helper(self):
         assert is_ground([atom("p", "a"), atom("q")])
         assert not is_ground([atom("p", "a"), Atom("q", (Variable("X"),))])
+
+
+class TestInterning:
+    """Constants and atoms are hash-consed: equal values are one object."""
+
+    def test_equal_constants_are_identical(self):
+        assert Constant("a") is Constant("a")
+        assert Constant(7) is Constant(7)
+
+    def test_bool_and_int_do_not_collide(self):
+        # True == 1 in Python; the intern key includes the value's type.
+        assert Constant(True) is not Constant(1)
+        assert Constant(False) is not Constant(0)
+
+    def test_equal_atoms_are_identical(self):
+        assert atom("p", "a", 1) is atom("p", "a", 1)
+        assert atom("p") is atom("p")
+        assert Atom("p", (Variable("X"),)) is Atom("p", (Variable("X"),))
+
+    def test_distinct_values_stay_distinct(self):
+        assert Constant("a") is not Constant("b")
+        assert atom("p", "a") is not atom("q", "a")
+        assert atom("p", "a") is not atom("p", "a", "a")
+
+    def test_variables_are_not_interned(self):
+        # Fresh variables are minted per rule unfolding; interning them
+        # would only add table overhead.  Equality is still by name.
+        assert Variable("X") == Variable("X")
+
+    def test_groundness_cached_per_atom(self):
+        ground = atom("p", "a")
+        open_atom = Atom("p", (Variable("X"),))
+        assert ground.is_ground()
+        assert not open_atom.is_ground()
+
+    def test_pickle_round_trip_preserves_identity(self):
+        import pickle
+
+        for original in (Constant("a"), Constant(7), atom("p", "a", 2)):
+            assert pickle.loads(pickle.dumps(original)) is original
+
+    def test_interning_survives_collection_of_other_refs(self):
+        # The tables are weak: dropping one reference must not corrupt
+        # the identity guarantee for survivors.
+        import gc
+
+        keep = Constant("keep-me")
+        temp = Constant("temp-%d" % id(keep))
+        del temp
+        gc.collect()
+        assert Constant("keep-me") is keep

@@ -101,6 +101,66 @@ class TestCanonicalKey:
         g = prog.resolve_goal(parse_goal("iso(p(X) * 1 < 2) | del.q(a)"))
         assert hash(canonical_key(g)) is not None
 
+    def test_conc_tie_between_shared_variable_branches(self):
+        # Equal-shape branches whose skeletons tie: only the variable
+        # pattern distinguishes orderings, and the key must not depend
+        # on which order the branches were written in.
+        prog = parse_program("x <- y.")
+        g1 = prog.resolve_goal(parse_goal("p(X, Y) | p(Z, X)"))
+        g2 = prog.resolve_goal(parse_goal("p(Z, X) | p(X, Y)"))
+        assert canonical_key(g1) == canonical_key(g2)
+
+
+class TestCanonicalKeyCaching:
+    """Keys are cached per immutable node and shared across contexts."""
+
+    def _goal(self, text):
+        prog = parse_program("x <- y.")
+        return prog.resolve_goal(parse_goal(text))
+
+    def test_repeated_calls_return_equal_keys(self):
+        for text in (
+            "p(A) * q(A, B)",
+            "ins.a | p(X) | iso(del.b * q(X))",
+            "iso(iso(p(X) * q(X)))",
+        ):
+            g = self._goal(text)
+            assert canonical_key(g) == canonical_key(g)
+            assert canonical_key(g, sort_conc=False) == canonical_key(
+                g, sort_conc=False
+            )
+
+    def test_nested_nodes_key_identically_in_and_out_of_context(self):
+        # The same subformula keyed standalone and keyed as a child of a
+        # larger nest must induce the same renaming classes: a seq/conc/
+        # iso nest over renamed parts keys identically to the original.
+        g1 = self._goal("iso(p(A) * (q(A) | r(B))) * s(B)")
+        g2 = self._goal("iso(p(X) * (q(X) | r(Y))) * s(Y)")
+        assert canonical_key(g1) == canonical_key(g2)
+        assert canonical_key(g1, sort_conc=False) == canonical_key(
+            g2, sort_conc=False
+        )
+
+    def test_cache_attribute_populated_once(self):
+        g = self._goal("p(A) * q(A, B)")
+        assert not hasattr(g, "_ckey_cache") or True  # may be pre-warmed
+        first = canonical_key(g)
+        cache = g._ckey_cache
+        assert canonical_key(g) == first
+        assert g._ckey_cache is cache
+
+    def test_structure_sharing_reuses_child_keys(self):
+        # apply_subst with a domain disjoint from a subformula returns
+        # the *same* node, so its cached key pair is reused verbatim.
+        from repro.core.formulas import apply_subst
+        from repro.core.terms import Variable
+
+        g = self._goal("p(A) * (q(B) | r(B))")
+        canonical_key(g)  # warm every node's cache
+        conc_part = g.parts[1]
+        stepped = apply_subst(g, {Variable("A"): parse_goal("p(c)").atom.args[0]})
+        assert stepped.parts[1] is conc_part
+
 
 class TestUpdateFootprint:
     def test_collects_from_rules_and_goal(self):

@@ -1,0 +1,152 @@
+"""Differential test: optimized vs. naive redex enumeration.
+
+``enabled_steps`` ships two implementations: the indexed/pruned default
+(freeness-summary skipping, per-signature rule dispatch) and the naive
+scan it replaced, kept as an oracle behind ``optimized=False``.  The
+optimizations are pure work-avoidance -- skipping a branch is only legal
+when *no* database could ever let it step -- so on every reachable
+configuration both must produce the same multiset of transitions.
+
+Steps are compared modulo variable renaming: the two paths consume the
+program's fresh-variable counter differently, so raw formulas differ in
+``#k`` suffixes while the transitions they denote are identical.  The
+fingerprint is ``(action text, canonical key of the applied residual,
+successor database)`` -- exactly the parts renaming cannot touch.
+
+The workloads are the five profile-suite configs (the programs the
+counter gate pins), explored breadth-first to a state cap.
+"""
+
+import re
+from collections import Counter
+
+import pytest
+
+from repro import Database, parse_database, parse_goal, parse_program
+from repro.core.formulas import apply_subst
+from repro.core.interpreter import Interpreter, _Budget
+from repro.core.transitions import canonical_key, enabled_steps
+from repro.obs.analyze import _BANK_TD, _GENOME_FACTS, _GENOME_TD, _PATH_TD
+
+
+#: Fresh-variable suffixes (``B2#3``) in action text; atoms are already
+#: displayed suffix-free, but builtin details inside iso subtraces are not.
+_FRESH_SUFFIX = re.compile(r"#\d+")
+
+
+def _fingerprint(step):
+    residual = apply_subst(step.residual, step.subst)
+    action = _FRESH_SUFFIX.sub("", str(step.action))
+    return (action, canonical_key(residual), step.database)
+
+
+def assert_enumeration_equivalent(program, goal, db, max_states=400):
+    """BFS over reachable configurations; at each one, the optimized and
+    naive enumerations must agree as multisets modulo renaming."""
+    goal = program.resolve_goal(goal)
+    interp = Interpreter(program)
+    runner = interp._isol_runner(_Budget(interp.max_configs))
+    seen = set()
+    frontier = [(goal, db)]
+    checked = 0
+    while frontier and checked < max_states:
+        proc, state = frontier.pop(0)
+        key = (canonical_key(proc), state)
+        if key in seen:
+            continue
+        seen.add(key)
+        checked += 1
+        optimized = list(enabled_steps(program, proc, state, runner))
+        naive = list(
+            enabled_steps(program, proc, state, runner, optimized=False)
+        )
+        opt_fp = Counter(_fingerprint(s) for s in optimized)
+        naive_fp = Counter(_fingerprint(s) for s in naive)
+        assert opt_fp == naive_fp, (
+            "enumeration mismatch at process %s / db %s:\n"
+            "optimized-only: %s\nnaive-only: %s"
+            % (proc, state, opt_fp - naive_fp, naive_fp - opt_fp)
+        )
+        for step in optimized:
+            frontier.append(
+                (apply_subst(step.residual, step.subst), step.database)
+            )
+    assert checked > 0
+
+
+class TestProfileSuiteEquivalence:
+    def test_bank_transfer(self):
+        assert_enumeration_equivalent(
+            parse_program(_BANK_TD),
+            parse_goal("transfer(a, b, 30)"),
+            parse_database("balance(a, 100). balance(b, 10)."),
+        )
+
+    def test_path_tabled(self):
+        assert_enumeration_equivalent(
+            parse_program(_PATH_TD),
+            parse_goal("path(a, X)"),
+            parse_database("e(a, b). e(b, c). e(c, d). e(d, e). e(e, f)."),
+        )
+
+    def test_genome_simulate(self):
+        assert_enumeration_equivalent(
+            parse_program(_GENOME_TD),
+            parse_goal("simulate"),
+            parse_database(_GENOME_FACTS),
+        )
+
+    def test_genome_statespace(self):
+        assert_enumeration_equivalent(
+            parse_program(_GENOME_TD),
+            parse_goal("simulate"),
+            parse_database(
+                "workitem(dna01). available(raj). "
+                "qualified(raj, tech). qualified(raj, reader)."
+            ),
+        )
+
+    def test_lab_workflow(self):
+        from repro.core.formulas import Call
+        from repro.core.terms import atom
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator()
+        assert_enumeration_equivalent(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(2)),
+            max_states=200,
+        )
+
+
+class TestTargetedShapes:
+    """Shapes the freeness summary must *not* prune."""
+
+    def test_blocked_branch_unblocks_after_binding(self):
+        # X is free in ins.p(X) until the test binds it: the summary is
+        # db-independent, so it must keep the branch.
+        program = parse_program("go <- q(X) * ins.p(X).")
+        assert_enumeration_equivalent(
+            program, parse_goal("go"), parse_database("q(a). q(b).")
+        )
+
+    def test_never_ground_update_skipped_identically(self):
+        # A concurrent branch that can never step: both enumerations
+        # must agree it contributes nothing (and the others still run).
+        program = parse_program("go <- ins.p(X) | ins.a | ins.b.")
+        assert_enumeration_equivalent(program, parse_goal("go"), Database())
+
+    def test_builtin_over_unbound_variable(self):
+        program = parse_program("go <- Y is X + 1 | ins.a.")
+        assert_enumeration_equivalent(program, parse_goal("go"), Database())
+
+    def test_iso_of_truth_still_steps(self):
+        program = parse_program("go <- iso(true) * ins.a.")
+        assert_enumeration_equivalent(program, parse_goal("go"), Database())
+
+    def test_negation_and_zero_arity(self):
+        program = parse_program(
+            "go <- not stop * ins.mark * stop2.\nstop2 <- mark."
+        )
+        assert_enumeration_equivalent(program, parse_goal("go"), Database())

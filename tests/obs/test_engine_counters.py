@@ -123,14 +123,39 @@ class TestSeqevalCounters:
         assert any(s.name == "table-fixpoint" for s in inst.tracer.spans)
 
     def test_counters_deterministic_across_runs(self, tc_program, chain_db):
+        # Fresh program per run: the rulebase memoizes call-shape head
+        # matching, so a *reused* program legitimately does less
+        # unification work on later runs.  Determinism is over
+        # from-scratch runs, which is what the profile gate replays.
         def run():
-            engine = SequentialEngine(tc_program)
+            engine = SequentialEngine(parse_program(str(tc_program)))
             list(engine.solve(parse_goal("path(X, Y)"), chain_db))
 
         first = counters_for(run).metrics.snapshot(include_timers=False)
         second = counters_for(run).metrics.snapshot(include_timers=False)
         assert first == second
         assert first["counters"]["table.misses"] > 0
+        assert first["counters"]["unify.attempts"] > 0
+
+    def test_program_match_cache_reduces_unify_work(self, tc_program, chain_db):
+        # The flip side of the above: reusing one program across runs
+        # must *keep the same answers* while skipping head unification.
+        def run():
+            engine = SequentialEngine(tc_program)
+            return [
+                s.bindings for s in engine.solve(parse_goal("path(X, Y)"), chain_db)
+            ]
+
+        inst1 = Instrumentation.create()
+        with instrumented(inst1):
+            answers1 = run()
+        inst2 = Instrumentation.create()
+        with instrumented(inst2):
+            answers2 = run()
+        assert answers1 == answers2
+        assert inst2.metrics.counter("unify.attempts") <= inst1.metrics.counter(
+            "unify.attempts"
+        )
 
 
 class TestNonrecCounters:

@@ -1,4 +1,4 @@
-"""Counter baselines and the regression-gate diff (repro profile ...)."""
+"""Counter baselines and the regression-gate diff (tdlog profile ...)."""
 
 import json
 import os

@@ -1,5 +1,7 @@
 """Tests for the tdlog command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -141,3 +143,27 @@ class TestDiagnose:
         out = capsys.readouterr().out
         assert "cannot commit" in out
         assert "permit" in out
+
+
+class TestBench:
+    def test_table_and_json(self, tmp_path, capsys):
+        out = tmp_path / "timings.json"
+        code = main([
+            "bench", "--only", "bank_transfer", "--repeat", "1",
+            "--json", str(out),
+        ])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "bank_transfer" in table
+        assert "best (ms)" in table
+        rows = json.loads(out.read_text())
+        assert rows[0]["config"] == "bank_transfer"
+        assert rows[0]["repeat"] == 1
+        assert rows[0]["best_ms"] > 0
+
+    def test_bad_repeat_rejected(self, capsys):
+        assert main(["bench", "--repeat", "0", "--only", "bank_transfer"]) == 2
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            main(["bench", "--only", "not_a_config", "--repeat", "1"])
