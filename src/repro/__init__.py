@@ -46,8 +46,12 @@ from .core import (
     Action,
     Analysis,
     Atom,
+    AttemptBudgetExceeded,
+    Checkpoint,
     Constant,
     Database,
+    Deadline,
+    DeadlineExceeded,
     Engine,
     Execution,
     Formula,
@@ -56,6 +60,7 @@ from .core import (
     ParseError,
     Program,
     ProgramError,
+    ReproError,
     Rule,
     SafetyError,
     Schema,
@@ -93,8 +98,12 @@ __all__ = [
     "Action",
     "Analysis",
     "Atom",
+    "AttemptBudgetExceeded",
+    "Checkpoint",
     "Constant",
     "Database",
+    "Deadline",
+    "DeadlineExceeded",
     "Engine",
     "Execution",
     "Formula",
@@ -103,6 +112,7 @@ __all__ = [
     "ParseError",
     "Program",
     "ProgramError",
+    "ReproError",
     "Rule",
     "SafetyError",
     "Schema",

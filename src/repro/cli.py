@@ -10,6 +10,8 @@ Usage examples::
     tdlog profile baseline
     tdlog profile diff
     tdlog profile export-otlp workflow.td --goal 'simulate' --out otlp.json
+    tdlog chaos --plans 50 --seed 0
+    tdlog chaos --only bank_transfer --json chaos.json
 
 ``run`` finds one successful execution (the simulator) and prints its
 trace and final database; ``solve`` enumerates all solutions (bindings +
@@ -19,7 +21,10 @@ wait, critical path) from an event log or a demo simulation; ``bench``
 times the profile-suite workloads (wall clock, best/mean over repeats);
 ``profile`` manages counter baselines (``baseline``/``diff``, the CI
 regression gate) and exports traces/metrics as OTLP JSON
-(``export-otlp``).
+(``export-otlp``); ``chaos`` runs the differential fault-injection
+suite (seeded fault plans against every chaos workload, asserting the
+atomicity and retry-recovery invariants -- see docs/ROBUSTNESS.md) and
+its output is byte-identical for the same arguments.
 
 ``tdlog`` is the canonical command name.  The same program is also
 installed as ``repro`` (a documented alias kept for older scripts);
@@ -300,6 +305,68 @@ def _cmd_profile_export_otlp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Differential fault-injection sweep (see docs/ROBUSTNESS.md).
+
+    Exit status 0 iff no workload reported an atomicity or recovery
+    violation; the printed report (and ``--json`` payload) is a pure
+    function of the arguments, so CI can diff it byte-for-byte.
+    """
+    from dataclasses import asdict
+
+    from .faults import (
+        chaos_workloads,
+        format_report,
+        run_chaos,
+        workload_by_name,
+    )
+
+    if args.list:
+        for workload in chaos_workloads():
+            print("%-16s %s" % (workload.name, workload.description))
+        return 0
+    if args.plans < 1:
+        print("error: --plans must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        workloads = (
+            [workload_by_name(name) for name in args.only]
+            if args.only
+            else None
+        )
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    reports = run_chaos(
+        workloads=workloads,
+        plans=args.plans,
+        base_seed=args.seed,
+        allow_exhaustion=not args.no_exhaustion,
+    )
+    print(format_report(reports))
+    if args.json:
+        payload = {
+            "plans": args.plans,
+            "seed": args.seed,
+            "reports": [
+                {
+                    "workload": report.workload,
+                    "commits": report.commits,
+                    "aborts": report.aborts,
+                    "recoveries": report.recoveries,
+                    "violations": len(report.violations),
+                    "outcomes": [asdict(o) for o in report.outcomes],
+                }
+                for report in reports
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print("chaos report written to %s" % args.json, file=sys.stderr)
+    return 1 if any(report.violations for report in reports) else 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Profiling flags shared by every subcommand (see docs/OBSERVABILITY.md)."""
     parser.add_argument(
@@ -471,7 +538,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_export.set_defaults(fn=_cmd_profile_export_otlp)
 
-    for command in (p_classify, p_solve, p_run, p_graph, p_diag, p_repl, p_analyze):
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep over the chaos workloads",
+    )
+    p_chaos.add_argument(
+        "--plans", type=int, default=50, metavar="N",
+        help="fault plans per workload (default 50)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed; plan i uses seed S+i (default 0)",
+    )
+    p_chaos.add_argument(
+        "--only", action="append", metavar="WORKLOAD",
+        help="restrict to one chaos workload (repeatable)",
+    )
+    p_chaos.add_argument(
+        "--no-exhaustion", action="store_true",
+        help="generate only window-based faults (no forced budget/deadline)",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="FILE",
+        help="also write the full per-plan outcomes as JSON to FILE",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list workloads and exit"
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
+    for command in (
+        p_classify, p_solve, p_run, p_graph, p_diag, p_repl, p_analyze, p_chaos,
+    ):
         _add_obs_flags(command)
 
     return parser

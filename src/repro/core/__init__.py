@@ -20,6 +20,9 @@ from .analysis import Analysis, Sublanguage, analyze, classify
 from .database import Database, Schema, SchemaError
 from .engine import Engine, select_engine, solve
 from .errors import (
+    AttemptBudgetExceeded,
+    DeadlineExceeded,
+    ReproError,
     SafetyError,
     SearchBudgetExceeded,
     TDError,
@@ -42,7 +45,7 @@ from .formulas import (
     iso,
     seq,
 )
-from .interpreter import Execution, Interpreter, Solution
+from .interpreter import Checkpoint, Deadline, Execution, Interpreter, Solution
 from .nonrec import NonrecursiveEngine
 from .parser import (
     ParseError,
@@ -69,11 +72,15 @@ __all__ = [
     "Action",
     "Analysis",
     "Atom",
+    "AttemptBudgetExceeded",
     "Builtin",
     "Call",
+    "Checkpoint",
     "Conc",
     "Constant",
     "Database",
+    "Deadline",
+    "DeadlineExceeded",
     "Del",
     "Engine",
     "Execution",
@@ -86,6 +93,7 @@ __all__ = [
     "ParseError",
     "Program",
     "ProgramError",
+    "ReproError",
     "Rule",
     "SafetyError",
     "Schema",

@@ -28,8 +28,16 @@ from typing import Iterator, Optional, Set, Union
 from ..obs.context import Instrumentation, active
 from .analysis import Analysis, Sublanguage, analyze
 from .database import Database
+from .errors import ReproError
 from .formulas import Formula
-from .interpreter import Execution, Interpreter, Solution, _simulate_legacy_args
+from .interpreter import (
+    Checkpoint,
+    Deadline,
+    Execution,
+    Interpreter,
+    Solution,
+    _simulate_legacy_args,
+)
 from .nonrec import NonrecursiveEngine
 from .parser import as_goal
 from .program import Program
@@ -38,6 +46,18 @@ from .seqeval import SequentialEngine
 __all__ = ["Engine", "select_engine", "solve"]
 
 _Backend = Union[Interpreter, SequentialEngine, NonrecursiveEngine]
+
+
+def _annotate(exc: ReproError, goal: Union[str, Formula]) -> ReproError:
+    """Stamp the user's goal on an escaping engine error.
+
+    The façade re-raises the *same* exception object, never a rewrap, so
+    the structured fields set deeper down (``spent``, ``checkpoint``)
+    survive the crossing; only a missing ``goal`` is filled in.
+    """
+    if getattr(exc, "goal", None) is None:
+        exc.goal = goal
+    return exc
 
 #: Sublanguages for which the selected procedure is guaranteed to halt.
 _DECIDABLE = {
@@ -82,43 +102,84 @@ class Engine:
     def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
         """Does some execution of *goal* from *db* commit?"""
         obs = self._describe()
-        if not obs.enabled:
-            return self.backend.succeeds(self._goal(goal), db)
-        with obs.metrics.timer(self._timer_name()):
-            return self.backend.succeeds(self._goal(goal), db)
+        try:
+            if not obs.enabled:
+                return self.backend.succeeds(self._goal(goal), db)
+            with obs.metrics.timer(self._timer_name()):
+                return self.backend.succeeds(self._goal(goal), db)
+        except ReproError as exc:
+            raise _annotate(exc, goal)
 
-    def solve(self, goal: Union[str, Formula], db: Database) -> Iterator[Solution]:
-        """Enumerate (answer bindings, final state) pairs."""
+    def solve(
+        self,
+        goal: Union[str, Formula],
+        db: Database,
+        *,
+        deadline: Union[None, float, Deadline] = None,
+    ) -> Iterator[Solution]:
+        """Enumerate (answer bindings, final state) pairs.
+
+        *deadline* arms a cooperative stop on the small-step backend
+        (full/bounded TD); the analytic backends are decision procedures
+        and ignore it.
+        """
         obs = self._describe()
-        if not obs.enabled:
-            return self.backend.solve(self._goal(goal), db)
-        return self._timed_solve(goal, db, obs)
+        return self._timed_solve(goal, db, obs, deadline)
 
     def _timed_solve(
-        self, goal: Union[str, Formula], db: Database, obs: Instrumentation
+        self,
+        goal: Union[str, Formula],
+        db: Database,
+        obs: Instrumentation,
+        deadline: Union[None, float, Deadline] = None,
     ) -> Iterator[Solution]:
         """Enumerate solutions, accruing wall time per sublanguage.
 
         The timer covers time spent *inside* the backend iterator, not
-        whatever the consumer does between answers.
+        whatever the consumer does between answers.  Engine errors
+        escaping the backend cross this façade as the same exception
+        object (``spent``/``checkpoint`` intact), with the user's goal
+        stamped on.
         """
         name = self._timer_name()
-        inner = self.backend.solve(self._goal(goal), db)
+        if deadline is not None and isinstance(self.backend, Interpreter):
+            inner = self.backend.solve(self._goal(goal), db, deadline=deadline)
+        else:
+            inner = self.backend.solve(self._goal(goal), db)
         while True:
-            with obs.metrics.timer(name):
-                try:
+            try:
+                if not obs.enabled:
                     solution = next(inner)
-                except StopIteration:
-                    return
+                else:
+                    with obs.metrics.timer(name):
+                        solution = next(inner)
+            except StopIteration:
+                return
+            except ReproError as exc:
+                raise _annotate(exc, goal)
             yield solution
+
+    def resume(self, checkpoint: Checkpoint, **kwargs) -> Iterator[Solution]:
+        """Continue an interrupted small-step search (see
+        :meth:`Interpreter.resume`); checkpoints only come from the
+        small-step backend, so an interpreter always handles this."""
+        interp = (
+            self.backend
+            if isinstance(self.backend, Interpreter)
+            else Interpreter(self.program)
+        )
+        return interp.resume(checkpoint, **kwargs)
 
     def final_databases(self, goal: Union[str, Formula], db: Database) -> Set[Database]:
         """All states the transaction can leave the database in."""
         obs = self._describe()
-        if not obs.enabled:
-            return self.backend.final_databases(self._goal(goal), db)
-        with obs.metrics.timer(self._timer_name()):
-            return self.backend.final_databases(self._goal(goal), db)
+        try:
+            if not obs.enabled:
+                return self.backend.final_databases(self._goal(goal), db)
+            with obs.metrics.timer(self._timer_name()):
+                return self.backend.final_databases(self._goal(goal), db)
+        except ReproError as exc:
+            raise _annotate(exc, goal)
 
     def simulate(
         self,
@@ -127,6 +188,7 @@ class Engine:
         *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
+        deadline: Union[None, float, Deadline] = None,
     ) -> Optional[Execution]:
         """One successful execution with its full action trace.
 
@@ -140,10 +202,19 @@ class Engine:
             else Interpreter(self.program)
         )
         obs = self._describe()
-        if not obs.enabled:
-            return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
-        with obs.metrics.timer(self._timer_name()):
-            return interp.simulate(self._goal(goal), db, seed=seed, max_depth=max_depth)
+        try:
+            if not obs.enabled:
+                return interp.simulate(
+                    self._goal(goal), db, seed=seed, max_depth=max_depth,
+                    deadline=deadline,
+                )
+            with obs.metrics.timer(self._timer_name()):
+                return interp.simulate(
+                    self._goal(goal), db, seed=seed, max_depth=max_depth,
+                    deadline=deadline,
+                )
+        except ReproError as exc:
+            raise _annotate(exc, goal)
 
 
 def select_engine(

@@ -184,12 +184,25 @@ class Conc(Formula):
 
 @dataclass(frozen=True)
 class Isol(Formula):
-    """Isolated (atomic) execution of the body: ``iso(body)``."""
+    """Isolated (atomic) execution of the body: ``iso(body)``.
+
+    ``budget`` is an optional cap on the nested search that executes the
+    body: when set, an attempt that would explore more than ``budget``
+    configurations *fails* (and therefore rolls back -- the paper's
+    rollback-on-failure) instead of raising, which is the semantics of
+    the ``with_budget`` recovery combinator (see
+    :mod:`repro.faults.recovery`).  ``None`` (the default, and the only
+    form concrete syntax produces) shares the enclosing search's budget
+    and reports exhaustion as an error, exactly as before.
+    """
 
     body: Formula
+    budget: Optional[int] = None
 
     def __str__(self) -> str:
-        return "iso(%s)" % (self.body,)
+        if self.budget is None:
+            return "iso(%s)" % (self.body,)
+        return "iso[%d](%s)" % (self.budget, self.body)
 
 
 # ---------------------------------------------------------------------------
@@ -310,11 +323,15 @@ def conc(*parts: Formula) -> Formula:
     return Conc(flat)
 
 
-def iso(body: Formula) -> Formula:
-    """Isolation; ``iso(true)`` is just ``true``."""
+def iso(body: Formula, budget: Optional[int] = None) -> Formula:
+    """Isolation; ``iso(true)`` is just ``true``.
+
+    ``budget`` caps the nested search executing the body (bounded
+    attempt semantics -- see :class:`Isol`).
+    """
     if isinstance(body, Truth):
         return TRUTH
-    return Isol(body)
+    return Isol(body, budget)
 
 
 def _wrap(f: Formula) -> str:
@@ -390,7 +407,7 @@ def apply_subst(f: Formula, subst: Substitution) -> Formula:
     if isinstance(f, Conc):
         return Conc(tuple(apply_subst(p, subst) for p in f.parts))
     if isinstance(f, Isol):
-        return Isol(apply_subst(f.body, subst))
+        return Isol(apply_subst(f.body, subst), f.budget)
     if isinstance(f, Builtin):
         return Builtin(f.op, _apply_expr(f.left, subst), _apply_expr(f.right, subst))
     raise TypeError("unknown formula type: %r" % (f,))

@@ -19,20 +19,48 @@ two procedures that are possible:
 
 Isolated sub-processes (``iso(a)``) are executed by a nested search from
 the current state; each complete sub-execution contributes one atomic
-transition, which is precisely the paper's notion of isolation.
+transition, which is precisely the paper's notion of isolation.  An
+``iso`` with a budget annotation (``iso[k](a)``, or the ``with_budget``
+recovery combinator) runs the nested search under a *private cap*: if
+the attempt cannot complete within ``k`` configurations it simply
+*fails*, which by the paper's rollback-on-failure semantics leaves no
+trace -- the launching pad for ``retry``/``fallback`` recovery.
+
+Graceful degradation: breadth-first searches interrupted by the budget
+or by a cooperative :class:`Deadline` attach a resumable
+:class:`Checkpoint` to the raised exception; :meth:`Interpreter.resume`
+continues the search exactly where it stopped, with a fresh budget.
+
+Fault injection: an injector passed as ``faults=`` (anything with a
+``perturb(process, database, steps)`` method -- see
+:mod:`repro.faults.inject`) is consulted once per configuration
+expansion and may drop, reorder, or abort the enabled steps.  The hook
+is duck-typed so the core never imports the faults package.
 """
 
 from __future__ import annotations
 
 import random
+import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..obs.context import Instrumentation, NOOP, active
 from .database import Database
-from .errors import SearchBudgetExceeded
+from .errors import AttemptBudgetExceeded, DeadlineExceeded, SearchBudgetExceeded
 from .formulas import Formula, apply_subst, formula_variables
 from .parser import as_goal
 from .program import Program
@@ -50,7 +78,7 @@ from .transitions import (
 )
 from .unify import Substitution, walk
 
-__all__ = ["Interpreter", "Solution", "Execution"]
+__all__ = ["Interpreter", "Solution", "Execution", "Checkpoint", "Deadline"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +101,71 @@ class Execution:
     def events(self) -> Tuple[str, ...]:
         """The trace rendered as strings (handy in tests and logs)."""
         return tuple(str(a) for a in self.trace)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A resumable snapshot of an interrupted breadth-first search.
+
+    Captured by :meth:`Interpreter._bfs` when the budget or a deadline
+    fires and attached to the in-flight exception (``exc.checkpoint``);
+    each enclosing search layer overwrites the field as the exception
+    propagates, so the caller always sees the *outermost* (user-goal)
+    checkpoint.  The snapshot is self-contained and picklable: frontier
+    configurations, the visited-key summary, and already-emitted answers
+    (so resumption never re-yields a solution).
+
+    Resume with :meth:`Interpreter.resume`; a checkpoint taken under one
+    ``sort_concurrent`` setting can only be resumed under the same one
+    (the visited summary is keyed by canonical form).
+    """
+
+    goal: Formula
+    goal_vars: Tuple[Variable, ...]
+    frontier: Tuple[Configuration, ...]
+    seen: frozenset
+    emitted: frozenset
+    traces: Optional[Mapping[object, Tuple[Action, ...]]]
+    want_trace: bool
+    spent: int
+    sort_concurrent: bool
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.frontier)
+
+
+class Deadline:
+    """A cooperative wall-clock deadline.
+
+    Checked by the search loops between configuration expansions (never
+    inside an elementary step), so the caller always observes consistent
+    pre-step state.  The clock is injectable for deterministic tests;
+    it defaults to :func:`time.monotonic`.
+    """
+
+    __slots__ = ("limit", "clock", "start")
+
+    def __init__(
+        self, limit: float, clock: Optional[Callable[[], float]] = None
+    ):
+        self.limit = limit
+        self.clock = clock if clock is not None else time.monotonic
+        self.start = self.clock()
+
+    def check(self) -> None:
+        elapsed = self.clock() - self.start
+        if elapsed > self.limit:
+            raise DeadlineExceeded(elapsed, self.limit)
+
+
+def _as_deadline(deadline) -> Optional[Deadline]:
+    """Accept seconds, a ready-made :class:`Deadline`, or ``None``."""
+    if deadline is None:
+        return None
+    if hasattr(deadline, "check"):
+        return deadline
+    return Deadline(float(deadline))
 
 
 class _Budget:
@@ -104,6 +197,35 @@ class _Budget:
             raise SearchBudgetExceeded(self.used, self.limit, spent=self.used)
 
 
+class _CappedBudget:
+    """A bounded attempt's private budget, layered over the shared one.
+
+    Every spend charges the *parent* first (the global budget is a hard
+    ceiling shared with nested searches, as before) and then the private
+    cap; exceeding the cap raises :class:`AttemptBudgetExceeded`, which
+    the isolation runner converts into attempt failure (rollback), not
+    an abort of the whole search.
+    """
+
+    __slots__ = ("parent", "cap", "used")
+
+    def __init__(self, parent, cap: int):
+        self.parent = parent
+        self.cap = cap
+        self.used = 0
+
+    def spend(self) -> None:
+        self.parent.spend()
+        self.used += 1
+        if self.used > self.cap:
+            exc = AttemptBudgetExceeded(self.used, self.cap, spent=self.used)
+            # Tag the raiser so nested bounded attempts can tell their
+            # own cap from an enclosing one (which must keep propagating
+            # until it reaches the runner that created it).
+            exc.attempt = self
+            raise exc
+
+
 class Interpreter:
     """Breadth-first semi-decision procedure and DFS simulator for full TD.
 
@@ -118,6 +240,15 @@ class Interpreter:
     sort_concurrent:
         Canonicalize configurations by sorting concurrent branches
         (better memoization; switchable for the ablation benchmark).
+    faults:
+        Optional fault injector: any object with a
+        ``perturb(process, database, steps)`` method returning an
+        iterator of steps (see :class:`repro.faults.inject.FaultInjector`).
+        Consulted once per configuration expansion, including nested
+        isolation searches.  An optional truthy ``dormant`` attribute
+        signals that no further perturbation can occur, letting the
+        search re-enable its failed-state memoization from that point.
+        ``None`` (the default) is zero-overhead.
     """
 
     def __init__(
@@ -125,10 +256,12 @@ class Interpreter:
         program: Program,
         max_configs: int = 200_000,
         sort_concurrent: bool = True,
+        faults=None,
     ):
         self.program = program
         self.max_configs = max_configs
         self.sort_concurrent = sort_concurrent
+        self.faults = faults
 
     def _make_budget(self, obs: Optional[Instrumentation] = None) -> "_Budget":
         """A fresh step budget (used by the verifier, which drives the
@@ -137,13 +270,23 @@ class Interpreter:
 
     # -- public API -------------------------------------------------------------
 
-    def solve(self, goal: Union[str, Formula], db: Database) -> Iterator[Solution]:
+    def solve(
+        self,
+        goal: Union[str, Formula],
+        db: Database,
+        *,
+        deadline: Union[None, float, Deadline] = None,
+    ) -> Iterator[Solution]:
         """Enumerate solutions fairly (BFS).
 
         *goal* may be a formula or concrete syntax (``"p(X) * q(X)"``).
         Yields each distinct (answer bindings, final database) pair once.
         Terminates iff the reachable configuration space is finite;
         otherwise enumeration is fair and the budget eventually fires.
+
+        *deadline* (seconds, or a :class:`Deadline`) arms a cooperative
+        stop: when it fires, :class:`DeadlineExceeded` is raised with a
+        resumable checkpoint attached, like budget exhaustion.
         """
         goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
@@ -152,7 +295,13 @@ class Interpreter:
         with obs.span("solve", engine="interpreter", goal=str(goal)):
             try:
                 for answers, final_db, _ in self._bfs(
-                    goal, db, goal_vars, budget, want_trace=False, obs=obs
+                    goal,
+                    db,
+                    goal_vars,
+                    budget,
+                    want_trace=False,
+                    obs=obs,
+                    deadline=_as_deadline(deadline),
                 ):
                     yield Solution(dict(zip(goal_vars, answers)), final_db)
             finally:
@@ -168,7 +317,13 @@ class Interpreter:
         """All final states reachable by executing *goal* from *db*."""
         return {sol.database for sol in self.solve(goal, db)}
 
-    def run(self, goal: Union[str, Formula], db: Database) -> Iterator[Execution]:
+    def run(
+        self,
+        goal: Union[str, Formula],
+        db: Database,
+        *,
+        deadline: Union[None, float, Deadline] = None,
+    ) -> Iterator[Execution]:
         """Like :meth:`solve` but with execution traces attached."""
         goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
@@ -177,9 +332,69 @@ class Interpreter:
         with obs.span("solve", engine="interpreter", mode="run", goal=str(goal)):
             try:
                 for answers, final_db, trace in self._bfs(
-                    goal, db, goal_vars, budget, want_trace=True, obs=obs
+                    goal,
+                    db,
+                    goal_vars,
+                    budget,
+                    want_trace=True,
+                    obs=obs,
+                    deadline=_as_deadline(deadline),
                 ):
                     yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
+            finally:
+                _note_budget(obs, budget)
+
+    def resume(
+        self,
+        checkpoint: Checkpoint,
+        *,
+        deadline: Union[None, float, Deadline] = None,
+    ) -> Iterator[Union[Solution, Execution]]:
+        """Continue an interrupted breadth-first search from *checkpoint*.
+
+        The search resumes with a **fresh budget** of ``max_configs``
+        (the tabling papers' restart discipline: each resumption gets a
+        full allowance) and never re-yields an answer the interrupted
+        search already emitted.  Yields :class:`Execution` when the
+        original search wanted traces (``run``), else :class:`Solution`.
+
+        If this resumption is interrupted again, the new exception
+        carries a new checkpoint -- resumption composes indefinitely,
+        and resuming the checkpoint of a *finished* search yields
+        nothing (idempotence).
+        """
+        if checkpoint.sort_concurrent != self.sort_concurrent:
+            raise ValueError(
+                "checkpoint was taken with sort_concurrent=%r but this "
+                "interpreter uses sort_concurrent=%r; the visited-state "
+                "summary is not comparable"
+                % (checkpoint.sort_concurrent, self.sort_concurrent)
+            )
+        obs = active()
+        budget = _Budget(self.max_configs, obs)
+        goal_vars = list(checkpoint.goal_vars)
+        with obs.span(
+            "resume",
+            engine="interpreter",
+            goal=str(checkpoint.goal),
+            frontier=str(checkpoint.frontier_size),
+        ):
+            try:
+                for answers, final_db, trace in self._bfs(
+                    checkpoint.goal,
+                    None,
+                    goal_vars,
+                    budget,
+                    want_trace=checkpoint.want_trace,
+                    obs=obs,
+                    deadline=_as_deadline(deadline),
+                    state=checkpoint,
+                ):
+                    bindings = dict(zip(goal_vars, answers))
+                    if checkpoint.want_trace:
+                        yield Execution(bindings, final_db, trace)
+                    else:
+                        yield Solution(bindings, final_db)
             finally:
                 _note_budget(obs, budget)
 
@@ -190,13 +405,16 @@ class Interpreter:
         *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
+        deadline: Union[None, float, Deadline] = None,
     ) -> Optional[Execution]:
         """Find one successful execution by DFS with backtracking.
 
         With ``seed`` the interleaving choices are shuffled reproducibly;
         without it the scheduler is deterministic (program order, left
         branch first).  Returns ``None`` if the goal has no execution
-        within the explored space.
+        within the explored space.  Depth-first stacks are not
+        checkpointable, so budget/deadline errors raised here carry
+        ``checkpoint=None``.
         """
         seed, max_depth = _simulate_legacy_args(legacy, seed, max_depth)
         goal = self.program.resolve_goal(as_goal(goal))
@@ -206,7 +424,19 @@ class Interpreter:
         goal_vars = _ordered_vars(goal)
         with obs.span("simulate", engine="interpreter", goal=str(goal)):
             try:
-                result = self._dfs(goal, db, goal_vars, budget, rng, max_depth, obs=obs)
+                result = self._dfs(
+                    goal,
+                    db,
+                    goal_vars,
+                    budget,
+                    rng,
+                    max_depth,
+                    obs=obs,
+                    deadline=_as_deadline(deadline),
+                )
+            except (SearchBudgetExceeded, DeadlineExceeded) as exc:
+                exc.goal = goal
+                raise
             finally:
                 _note_budget(obs, budget)
         if result is None:
@@ -219,20 +449,29 @@ class Interpreter:
     def _bfs(
         self,
         goal: Formula,
-        db: Database,
+        db: Optional[Database],
         goal_vars: Sequence[Variable],
-        budget: _Budget,
+        budget,
         want_trace: bool,
         obs: Instrumentation = NOOP,
+        deadline: Optional[Deadline] = None,
+        state: Optional[Checkpoint] = None,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
-        start = Configuration(goal, db, tuple(goal_vars))
-        start_key = self._key(start)
-        frontier = deque([start])
-        seen = {start_key}
-        traces: Dict[object, Tuple[Action, ...]] = {start_key: ()}
-        emitted = set()
+        if state is None:
+            start = Configuration(goal, db, tuple(goal_vars))
+            start_key = self._key(start)
+            frontier = deque([start])
+            seen = {start_key}
+            traces: Dict[object, Tuple[Action, ...]] = {start_key: ()}
+            emitted = set()
+        else:
+            frontier = deque(state.frontier)
+            seen = set(state.seen)
+            traces = dict(state.traces) if state.traces is not None else {}
+            emitted = set(state.emitted)
         enabled = obs.enabled
+        faults = self.faults
 
         while frontier:
             config = frontier.popleft()
@@ -247,27 +486,57 @@ class Interpreter:
                 continue
             if enabled:
                 obs.metrics.inc("search.configs_expanded")
-            for step in enabled_steps(
-                self.program,
-                config.process,
-                config.database,
-                self._isol_runner(budget, obs),
-            ):
-                budget.spend()
-                new_proc = apply_subst(step.residual, step.subst)
-                if dead_config(new_proc, step.database, insertable, deletable):
-                    continue
-                new_answers = tuple(walk(t, step.subst) for t in config.answers)
-                succ = Configuration(new_proc, step.database, new_answers)
-                key = self._key(succ)
-                if key in seen:
-                    continue
-                seen.add(key)
-                if want_trace:
-                    traces[key] = traces.get(config_key, ()) + (step.action,)
-                frontier.append(succ)
+            try:
+                if deadline is not None:
+                    deadline.check()
+                steps = enabled_steps(
+                    self.program,
+                    config.process,
+                    config.database,
+                    self._isol_runner(budget, obs, deadline),
+                )
+                if faults is not None:
+                    steps = faults.perturb(config.process, config.database, steps)
+                for step in steps:
+                    budget.spend()
+                    new_proc = apply_subst(step.residual, step.subst)
+                    if dead_config(new_proc, step.database, insertable, deletable):
+                        continue
+                    new_answers = tuple(walk(t, step.subst) for t in config.answers)
+                    succ = Configuration(new_proc, step.database, new_answers)
+                    key = self._key(succ)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if want_trace:
+                        traces[key] = traces.get(config_key, ()) + (step.action,)
+                    frontier.append(succ)
+                    if enabled:
+                        obs.metrics.gauge_max("search.frontier_peak", len(frontier))
+            except (SearchBudgetExceeded, DeadlineExceeded) as exc:
+                # Interrupted mid-expansion: re-queue the current
+                # configuration (successors already discovered stay in
+                # ``seen``, so re-expanding it on resume is sound) and
+                # attach a resumable snapshot.  Every enclosing search
+                # layer runs this same handler as the exception
+                # propagates, so the outermost (user-goal) checkpoint
+                # wins.
+                frontier.appendleft(config)
+                exc.goal = goal
+                exc.checkpoint = Checkpoint(
+                    goal=goal,
+                    goal_vars=tuple(goal_vars),
+                    frontier=tuple(frontier),
+                    seen=frozenset(seen),
+                    emitted=frozenset(emitted),
+                    traces=dict(traces) if want_trace else None,
+                    want_trace=want_trace,
+                    spent=budget.used,
+                    sort_concurrent=self.sort_concurrent,
+                )
                 if enabled:
-                    obs.metrics.gauge_max("search.frontier_peak", len(frontier))
+                    obs.metrics.inc("search.checkpoints")
+                raise
 
     def _key(self, config: Configuration):
         return (
@@ -285,28 +554,54 @@ class Interpreter:
         goal: Formula,
         db: Database,
         goal_vars: Sequence[Variable],
-        budget: _Budget,
+        budget,
         rng: Optional[random.Random],
         max_depth: int,
         obs: Instrumentation = NOOP,
+        deadline: Optional[Deadline] = None,
     ) -> Optional[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
         failed: Set[object] = set()
+        # The failed-state memo is keyed on (process, database) alone,
+        # which is sound only when enabledness depends on nothing else.
+        # A fault injector is *tick*-dependent -- the same configuration
+        # can fail now and succeed after a fault window expires -- so
+        # the memo starts disabled under faults, and is re-enabled the
+        # moment the injector goes dormant (every window expired, no
+        # exhaustion pending): from then on the search is exactly
+        # fault-free, and entries recorded after that point stay sound.
+        use_memo = self.faults is None
         limit_hits = 0  # depth-truncation events (blocks unsound fail-memo)
         trace: List[Action] = []
+        faults = self.faults
 
         def expand(proc: Formula, state: Database):
             """Successor (step, residual process) pairs, pruned of dead
             configurations and ordered so that children whose frontier is
             immediately enabled come before blocked ones (see
-            :func:`frontier_blocked`)."""
+            :func:`frontier_blocked`).
+
+            Lazy: ready steps are yielded as they are discovered and
+            blocked ones deferred to the end, so a step the DFS never
+            backtracks into is never paid for.  This matters for
+            ``iso``: the nested search yields one step per isolated
+            execution, and eager materialization here would force it to
+            enumerate its *entire* execution space even when the first
+            one commits the goal.  (Seeded runs still materialize -- a
+            shuffle needs the full list.)
+            """
             if obs.enabled:
                 obs.metrics.inc("search.configs_expanded")
+            if deadline is not None:
+                deadline.check()
+            steps = enabled_steps(
+                self.program, proc, state, self._isol_runner(budget, obs, deadline)
+            )
+            if faults is not None:
+                steps = faults.perturb(proc, state, steps)
             ready = []
             deferred = []
-            for step in enabled_steps(
-                self.program, proc, state, self._isol_runner(budget, obs)
-            ):
+            for step in steps:
                 budget.spend()
                 new_proc = apply_subst(step.residual, step.subst)
                 if dead_config(new_proc, step.database, insertable, deletable):
@@ -314,12 +609,15 @@ class Interpreter:
                 local = apply_subst(step.local, step.subst)
                 if frontier_blocked(local, step.database):
                     deferred.append((step, new_proc))
+                elif rng is None:
+                    yield step, new_proc
                 else:
                     ready.append((step, new_proc))
             if rng is not None:
                 rng.shuffle(ready)
                 rng.shuffle(deferred)
-            return iter(ready + deferred)
+                yield from ready
+            yield from deferred
 
         # Each frame: (key, step iterator, answers, hits_before).  The
         # explicit stack avoids Python recursion limits on long workflow
@@ -328,6 +626,8 @@ class Interpreter:
         stack: List[list] = [[start_key, expand(goal, db), tuple(goal_vars), 0]]
 
         while stack:
+            if not use_memo and getattr(faults, "dormant", False):
+                use_memo = True
             frame = stack[-1]
             key, steps, answers, hits_before = frame
             advanced = False
@@ -341,7 +641,7 @@ class Interpreter:
                     trace.pop()
                     continue
                 new_key = (canonical_key(new_proc, self.sort_concurrent), step.database)
-                if new_key in failed:
+                if use_memo and new_key in failed:
                     trace.pop()
                     continue
                 stack.append(
@@ -352,7 +652,7 @@ class Interpreter:
             if not advanced:
                 # Frame exhausted: memoize as failed only if no descendant
                 # was truncated by the depth limit (soundness of the memo).
-                if limit_hits == hits_before:
+                if use_memo and limit_hits == hits_before:
                     failed.add(key)
                 stack.pop()
                 if trace:
@@ -361,11 +661,22 @@ class Interpreter:
 
     # -- isolation ----------------------------------------------------------------
 
-    def _isol_runner(self, budget: _Budget, obs: Instrumentation = NOOP):
-        def executions(body: Formula, db: Database):
+    def _isol_runner(
+        self,
+        budget,
+        obs: Instrumentation = NOOP,
+        deadline: Optional[Deadline] = None,
+    ):
+        def executions(body: Formula, db: Database, sub_budget):
             body_vars = _ordered_vars(body)
             for answers, final_db, trace in self._bfs(
-                body, db, body_vars, budget, want_trace=True, obs=obs
+                body,
+                db,
+                body_vars,
+                sub_budget,
+                want_trace=True,
+                obs=obs,
+                deadline=deadline,
             ):
                 theta = {
                     v: t
@@ -374,16 +685,29 @@ class Interpreter:
                 }
                 yield theta, final_db, trace
 
-        def run_isolated(body: Formula, db: Database):
-            if not obs.enabled:
-                yield from executions(body, db)
-                return
-            obs.enter_iso()
+        def run_isolated(body: Formula, db: Database, cap: Optional[int] = None):
+            sub_budget = budget if cap is None else _CappedBudget(budget, cap)
             try:
-                with obs.span("iso-subsearch", body=str(body)):
-                    yield from executions(body, db)
-            finally:
-                obs.exit_iso()
+                if not obs.enabled:
+                    yield from executions(body, db, sub_budget)
+                    return
+                obs.enter_iso()
+                try:
+                    with obs.span("iso-subsearch", body=str(body)):
+                        yield from executions(body, db, sub_budget)
+                finally:
+                    obs.exit_iso()
+            except AttemptBudgetExceeded as exc:
+                # A bounded attempt (iso[k]) ran out of its private cap:
+                # by rollback-on-failure this is ordinary *failure* of
+                # the isolated step, not an abort -- the attempt yields
+                # no execution and leaves no trace.  An enclosing
+                # attempt's cap keeps propagating to its own runner.
+                if getattr(exc, "attempt", None) is not sub_budget:
+                    raise
+                if obs.enabled:
+                    obs.metrics.inc("iso.attempt_budget_exhausted")
+                return
 
         return run_isolated
 

@@ -187,7 +187,7 @@ class Program:
         if isinstance(f, Conc):
             return Conc(tuple(self._resolve_formula(p) for p in f.parts))
         if isinstance(f, Isol):
-            return Isol(self._resolve_formula(f.body))
+            return Isol(self._resolve_formula(f.body), f.budget)
         return f
 
     def _resolve_rule(self, rule: Rule) -> Rule:

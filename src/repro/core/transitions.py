@@ -145,10 +145,14 @@ def is_final(proc: Formula) -> bool:
 
 
 #: Type of the callback used to execute isolated sub-processes: given a
-#: body and a database it yields (answer substitution, final database,
-#: trace) triples for the body's complete executions.
+#: body, a database, and an optional attempt-budget cap (``Isol.budget``)
+#: it yields (answer substitution, final database, trace) triples for
+#: the body's complete executions.  A capped attempt that exhausts its
+#: budget yields nothing further (failure, hence rollback) instead of
+#: raising.
 IsolRunner = Callable[
-    [Formula, Database], Iterator[Tuple[Substitution, Database, Tuple[Action, ...]]]
+    [Formula, Database, Optional[int]],
+    Iterator[Tuple[Substitution, Database, Tuple[Action, ...]]],
 ]
 
 
@@ -314,7 +318,7 @@ def _steps(
                 )
         return
     if isinstance(proc, Isol):
-        for theta, final_db, trace in isol_runner(proc.body, db):
+        for theta, final_db, trace in isol_runner(proc.body, db, proc.budget):
             yield Step(
                 Action("iso", subtrace=tuple(trace)),
                 theta,
@@ -365,7 +369,7 @@ def _steps_naive(
             yield Step(Action("builtin", detail=str(proc)), theta, Truth(), db)
         return
     if isinstance(proc, Isol):
-        for theta, final_db, trace in isol_runner(proc.body, db):
+        for theta, final_db, trace in isol_runner(proc.body, db, proc.budget):
             yield Step(
                 Action("iso", subtrace=tuple(trace)),
                 theta,
@@ -691,9 +695,12 @@ def _ckey_build(f: Formula, sort_conc: bool):
         )
         return (shape, tuple(local))
     if isinstance(f, Isol):
-        # A single child: its local numbering *is* the parent's.
+        # A single child: its local numbering *is* the parent's.  The
+        # attempt budget is part of the shape: a capped iso and an
+        # uncapped one are different processes (one can fail where the
+        # other diverges).
         cshape, cvars = _ckey_pair(f.body, sort_conc)
-        return (("I", cshape), cvars)
+        return (("I", f.budget, cshape), cvars)
     if isinstance(f, Seq):
         return _ckey_assemble(
             "S", [_ckey_pair(p, sort_conc) for p in f.parts]

@@ -1,0 +1,70 @@
+"""Deterministic fault injection and transactional recovery for TD.
+
+The paper's robustness story is semantic -- a failed (sub)transaction
+leaves no trace, and ``iso(a)`` gives atomic units with relative commit
+and rollback-on-failure -- but semantics only counts for executions
+that actually *fail*.  This package exercises failure on purpose:
+
+``plan``
+    Seeded, fully deterministic :class:`FaultPlan` values: which steps
+    fail, when agents are unavailable, when scheduling turns
+    adversarial, when the budget or deadline is forced to fire.  Same
+    seed, same plan, same perturbed execution -- always.
+``inject``
+    The :class:`FaultInjector` the interpreter consults once per
+    configuration expansion (the ``faults=`` hook on
+    :class:`~repro.core.interpreter.Interpreter`), advancing one *tick*
+    per expansion so fault windows open and close as the search runs.
+``recovery``
+    Paper-faithful recovery combinators compiled to ordinary TD rules:
+    ``retry(a, n)`` (bounded recursion over ``iso(a)``),
+    ``fallback(a, b)``, ``with_budget(a, k)``, ``compensate(a, undo)``.
+``chaos``
+    The differential chaos harness behind ``tdlog chaos``: run a
+    workload under many seeded fault plans and report commits, aborts,
+    and (what must never happen) atomicity violations.
+"""
+
+from .chaos import (
+    ChaosReport,
+    ChaosWorkload,
+    chaos_workloads,
+    format_report,
+    run_chaos,
+    run_one_plan,
+    workload_by_name,
+)
+from .inject import FaultInjector
+from .plan import (
+    AdversarialOrder,
+    AgentOutage,
+    Exhaustion,
+    FaultPlan,
+    StepFault,
+    Window,
+    generate_plan,
+)
+from .recovery import Recovered, compensate, fallback, retry, with_budget
+
+__all__ = [
+    "AdversarialOrder",
+    "AgentOutage",
+    "ChaosReport",
+    "ChaosWorkload",
+    "Exhaustion",
+    "FaultInjector",
+    "FaultPlan",
+    "Recovered",
+    "StepFault",
+    "Window",
+    "chaos_workloads",
+    "compensate",
+    "fallback",
+    "format_report",
+    "generate_plan",
+    "retry",
+    "run_chaos",
+    "run_one_plan",
+    "with_budget",
+    "workload_by_name",
+]

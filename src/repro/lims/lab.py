@@ -110,11 +110,18 @@ def build_lab_simulator(
     iterate: bool = False,
     agents: Optional[Sequence[Agent]] = None,
     max_configs: int = 5_000_000,
+    abortable: bool = False,
 ) -> WorkflowSimulator:
-    """A ready-to-run simulator for the gel pipeline."""
+    """A ready-to-run simulator for the gel pipeline.
+
+    ``abortable=True`` compiles the graceful-degradation task rules
+    (attempts that cannot claim an agent record ``aborted`` instead of
+    deadlocking) -- the configuration the fault-injection chaos suite
+    runs the lab under.
+    """
     pool = list(agents) if agents is not None else lab_agents()
     return WorkflowSimulator([gel_pipeline(iterate=iterate)], agents=pool,
-                             max_configs=max_configs)
+                             max_configs=max_configs, abortable=abortable)
 
 
 #: Stages of the downstream sequencing line.

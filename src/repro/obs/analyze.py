@@ -161,6 +161,22 @@ def _run_lab_workflow() -> None:
     assert len(result.completed("analyze")) == 3
 
 
+def _run_chaos_faults() -> None:
+    # A small, fixed slice of the chaos suite (docs/ROBUSTNESS.md).  The
+    # injector is seed-deterministic and holds no RNG of its own, so the
+    # ``faults.*`` counters -- ticks consumed, steps dropped, reordered
+    # expansions -- are exactly reproducible and baseline-gated like any
+    # other engine counter.
+    from ..faults import run_chaos, workload_by_name
+
+    reports = run_chaos(
+        [workload_by_name("bank_transfer"), workload_by_name("genome_iso")],
+        plans=6,
+        base_seed=0,
+    )
+    assert not any(report.violations for report in reports)
+
+
 def profile_suite() -> List[ProfileConfig]:
     """The fixed workloads the committed baselines cover, one per
     engine family, all drawn from the paper's running examples."""
@@ -189,6 +205,11 @@ def profile_suite() -> List[ProfileConfig]:
             "lab_workflow_batch3",
             "compiled genome-lab workflow, batch of 3 (workflow simulator)",
             _run_lab_workflow,
+        ),
+        ProfileConfig(
+            "chaos_faults",
+            "seeded fault-injection slice: bank + iso genome, 6 plans each",
+            _run_chaos_faults,
         ),
     ]
 

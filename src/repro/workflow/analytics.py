@@ -55,6 +55,7 @@ __all__ = [
     "ItemFlow",
     "CriticalPath",
     "task_executions",
+    "task_aborts",
     "latency_by_task",
     "agent_utilization",
     "item_flows",
@@ -99,9 +100,13 @@ def task_executions(source: _Records) -> List[TaskExecution]:
     """Join ``task_started``/``task_done`` pairs into intervals.
 
     Pairs FIFO per (task, item), so repeated rounds of an iterated task
-    each produce their own interval.  An unmatched start (simulation
-    inspected mid-flight) is dropped; a ``task_done`` with no recorded
-    start (shouldn't happen) is given a zero-length interval.
+    each produce their own interval.  A ``task_aborted`` record closes
+    its start *without* producing an interval -- an aborted attempt has
+    no completion, so counting it as latency would mis-pair every later
+    round of the same task on the same item.  An unmatched start
+    (simulation inspected mid-flight) is dropped; a ``task_done`` with
+    no recorded start (shouldn't happen) is given a zero-length
+    interval.
     """
     open_starts: Dict[Tuple[str, str], List[int]] = defaultdict(list)
     executions: List[TaskExecution] = []
@@ -111,6 +116,10 @@ def task_executions(source: _Records) -> List[TaskExecution]:
         key = (record.task, record.item)
         if record.kind == "task_started":
             open_starts[key].append(record.seq)
+        elif record.kind == "task_aborted":
+            starts = open_starts.get(key)
+            if starts:
+                starts.pop(0)
         elif record.kind == "task_done":
             starts = open_starts.get(key)
             start_seq = starts.pop(0) if starts else record.seq
@@ -125,6 +134,15 @@ def task_executions(source: _Records) -> List[TaskExecution]:
                 )
             )
     return executions
+
+
+def task_aborts(source: _Records) -> Dict[str, int]:
+    """Aborted attempts per task (``task_aborted`` records)."""
+    counts: Dict[str, int] = defaultdict(int)
+    for record in _records(source):
+        if record.kind == "task_aborted" and record.task is not None:
+            counts[record.task] += 1
+    return dict(counts)
 
 
 @dataclass(frozen=True)
@@ -398,6 +416,13 @@ def render_analytics(
             lines.append(row)
     else:
         lines.append("  (no completed tasks in log)")
+
+    aborts = task_aborts(records)
+    if aborts:
+        lines.append("aborted attempts:")
+        width = max(len(t) for t in aborts)
+        for task in sorted(aborts):
+            lines.append("  %-*s  %3d" % (width, task, aborts[task]))
 
     agents = agent_utilization(records)
     if agents:

@@ -20,6 +20,18 @@ The compilation scheme is the paper's (Examples 3.1 and 3.3):
 
       it_k(W) <- until(W).
       it_k(W) <- not until(W) * [[body]] * it_k(W).
+
+With ``abortable=True`` every task also gets a last-resort rule::
+
+    task_t(W) <- ins.started(t, W) * ins.aborted(t, W).
+
+Under the DFS scheduler's program-order preference the rule only fires
+when the normal rule cannot (no qualified agent claimable -- e.g. a
+fault-injected outage), recording the failed attempt *distinctly* in
+the history instead of deadlocking the whole simulation: graceful
+degradation, with ``aborted(Task, Item)`` facts for monitoring to
+report and for the event log to close unmatched ``started`` records
+against.  The default (``False``) compiles exactly as before.
 """
 
 from __future__ import annotations
@@ -74,8 +86,9 @@ def task_predicate(name: str) -> str:
 
 
 class _Compiler:
-    def __init__(self, specs: Sequence[WorkflowSpec]):
+    def __init__(self, specs: Sequence[WorkflowSpec], abortable: bool = False):
         self.specs = list(specs)
+        self.abortable = abortable
         self.rules: List[Rule] = []
         self._aux = itertools.count(1)
         names = [s.name for s in self.specs]
@@ -96,6 +109,8 @@ class _Compiler:
                 tasks[task.name] = task
         for task in tasks.values():
             self.rules.append(self._task_rule(task))
+            if self.abortable:
+                self.rules.append(self._abort_rule(task))
         for spec in self.specs:
             head = Atom(workflow_predicate(spec.name), (_W,))
             self.rules.append(Rule(head, self._node(spec.name, spec.body)))
@@ -120,6 +135,22 @@ class _Compiler:
             Ins(Atom("started", (t, _W))),
             Ins(Atom("done", (t, _W, a))),
             Ins(Atom("available", (a,))),
+        )
+        return Rule(head, body)
+
+    def _abort_rule(self, task: Task) -> Rule:
+        """Last-resort alternative: record the attempt as aborted.
+
+        Listed *after* the normal rule, so schedulers that honor program
+        order only reach it when the task cannot execute; the
+        ``started``/``aborted`` pair keeps the history honest about the
+        failed attempt (no fabricated ``done``, no claimed agent).
+        """
+        head = Atom(task_predicate(task.name), (_W,))
+        t = Constant(task.name)
+        body = seq(
+            Ins(Atom("started", (t, _W))),
+            Ins(Atom("aborted", (t, _W))),
         )
         return Rule(head, body)
 
@@ -172,9 +203,15 @@ class _Compiler:
         raise TypeError("unknown workflow node %r" % (node,))
 
 
-def compile_workflows(specs: Sequence[WorkflowSpec]) -> Program:
-    """Compile one or more (possibly mutually referring) workflows."""
-    rules = _Compiler(specs).compile()
+def compile_workflows(
+    specs: Sequence[WorkflowSpec], abortable: bool = False
+) -> Program:
+    """Compile one or more (possibly mutually referring) workflows.
+
+    ``abortable`` adds the per-task graceful-degradation rule (see
+    module docstring); the default compiles exactly the paper's scheme.
+    """
+    rules = _Compiler(specs, abortable=abortable).compile()
     return Program(rules)
 
 

@@ -11,6 +11,7 @@ tools expect.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Sequence
 
@@ -18,14 +19,22 @@ from .scheduler import SimulationResult
 
 __all__ = ["EventRecord", "event_log", "to_json", "timeline"]
 
+#: Bookkeeping predicates of the recovery combinators
+#: (:mod:`repro.faults.recovery`): attempt tokens are search machinery,
+#: not workflow events, so consuming one is not logged.
+_RECOVERY_TOKEN = re.compile(r"(retry|fallback|comp)_\d+_tok$")
+
 
 @dataclass(frozen=True)
 class EventRecord:
     """One structured workflow event.
 
-    ``kind`` is ``task_started`` / ``task_done`` / ``item_dispatched`` /
-    ``fact_emitted`` / ``fact_consumed``.  ``agent`` is set only for
-    ``task_done`` (the history records the performer at completion).
+    ``kind`` is ``task_started`` / ``task_done`` / ``task_aborted`` /
+    ``item_dispatched`` / ``fact_emitted`` / ``fact_consumed``.
+    ``agent`` is set only for ``task_done`` (the history records the
+    performer at completion); a ``task_aborted`` record closes its
+    ``task_started`` without one -- the attempt failed before any agent
+    performed it.
     ``span_id``, when present, is the engine-trace span the simulation
     ran under (see :mod:`repro.obs`), so process-mining output can be
     joined against profiling traces.
@@ -91,6 +100,9 @@ def event_log(
         elif event.startswith("ins.done("):
             task, item, agent = _parse_args(event)[:3]
             record = EventRecord(seq, "task_done", item, task=task, agent=agent)
+        elif event.startswith("ins.aborted("):
+            task, item = _parse_args(event)[:2]
+            record = EventRecord(seq, "task_aborted", item, task=task)
         elif event.startswith("del.workitem("):
             (item,) = _parse_args(event)[:1]
             record = EventRecord(seq, "item_dispatched", item)
@@ -104,7 +116,7 @@ def event_log(
                 )
         elif event.startswith("del.") and "(" in event:
             pred = event[len("del."):event.index("(")]
-            if pred not in ("available", "workitem", "pending"):
+            if pred not in ("available", "workitem", "pending") and not _RECOVERY_TOKEN.match(pred):
                 args = _parse_args(event)
                 record = EventRecord(
                     seq, "fact_consumed", args[-1] if args else "",
@@ -149,7 +161,7 @@ def timeline(result: SimulationResult) -> str:
                     "  [%3d] %-14s %s (by %s)"
                     % (record.seq, record.kind, record.task, record.agent)
                 )
-            elif record.kind == "task_started":
+            elif record.kind in ("task_started", "task_aborted"):
                 lines.append(
                     "  [%3d] %-14s %s" % (record.seq, record.kind, record.task)
                 )

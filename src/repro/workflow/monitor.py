@@ -10,6 +10,14 @@ The history facts written by compiled tasks --
 Datalog over the final state.  This module provides the common queries
 directly and a reusable :func:`history_program` for richer analysis with
 :mod:`repro.datalog`.
+
+Abortable compilations (``compile_workflows(..., abortable=True)``)
+additionally record ``aborted(Task, Item)`` for attempts that ran under
+a fault and could not claim an agent.  Aborted terminations are kept
+*distinct* from completions everywhere below: they have their own
+queries (:func:`aborted_tasks`, :func:`failed_items`), they do not
+count as completed work, and :func:`in_progress` excludes them -- an
+aborted attempt is terminated, not still running.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ __all__ = [
     "task_counts",
     "agent_workload",
     "in_progress",
+    "aborted_tasks",
+    "failed_items",
     "history_program",
 ]
 
@@ -58,11 +68,34 @@ def agent_workload(db: Database) -> Dict[str, int]:
 
 
 def in_progress(db: Database) -> List[Tuple[str, str]]:
-    """(task, item) pairs started but not done -- nonempty only when
-    inspecting an intermediate state, e.g. inside an execution trace."""
+    """(task, item) pairs started but neither done nor aborted --
+    nonempty only when inspecting an intermediate state, e.g. inside an
+    execution trace.  Aborted attempts are terminated (distinctly, not
+    successfully), so they are not "in progress"."""
     done = {(str(f.args[0]), str(f.args[1])) for f in db.facts("done")}
     started = {(str(f.args[0]), str(f.args[1])) for f in db.facts("started")}
-    return sorted(started - done)
+    aborted = {(str(f.args[0]), str(f.args[1])) for f in db.facts("aborted")}
+    return sorted(started - done - aborted)
+
+
+def aborted_tasks(db: Database) -> List[Tuple[str, str]]:
+    """(task, item) pairs recorded as aborted (fault-degraded attempts)."""
+    return sorted(
+        {(str(f.args[0]), str(f.args[1])) for f in db.facts("aborted")}
+    )
+
+
+def failed_items(db: Database) -> List[str]:
+    """Work items with at least one aborted task and no completion of
+    that same task -- the items a fault actually cost something."""
+    recovered = {(str(f.args[0]), str(f.args[1])) for f in db.facts("done")}
+    return sorted(
+        {
+            item
+            for task, item in aborted_tasks(db)
+            if (task, item) not in recovered
+        }
+    )
 
 
 def history_program() -> DatalogProgram:
@@ -71,7 +104,9 @@ def history_program() -> DatalogProgram:
     * ``touched(W)`` -- the item has at least one completed task;
     * ``worked_with(A, B)`` -- agents A and B worked on a common item
       (reflexive: every working agent is paired with itself);
-    * ``idle(A)`` -- an available agent with no completed work.
+    * ``idle(A)`` -- an available agent with no completed work;
+    * ``failed(W)`` -- some task on the item aborted and never
+      completed (the degraded items a fault run leaves behind).
     """
     t, w, a, b = (Variable(v) for v in "TWAB")
     t2 = Variable("T2")
@@ -92,6 +127,16 @@ def history_program() -> DatalogProgram:
             ),
         ),
         DatalogRule(Atom("busy_agent", (a,)), (Literal(Atom("done", (t, w, a))),)),
+        DatalogRule(
+            Atom("failed", (w,)),
+            (
+                Literal(Atom("aborted", (t, w))),
+                Literal(Atom("recovered_task", (t, w)), positive=False),
+            ),
+        ),
+        DatalogRule(
+            Atom("recovered_task", (t, w)), (Literal(Atom("done", (t, w, a))),)
+        ),
     ])
 
 
@@ -111,6 +156,12 @@ def status_report(db: Database, span_id: Optional[str] = None) -> str:
     lines.append("agent workload:")
     for agent, n in sorted(agent_workload(db).items()):
         lines.append("  %-20s %d" % (agent, n))
+    aborted = aborted_tasks(db)
+    if aborted:
+        lines.append("aborted attempts: %s" % ", ".join("%s/%s" % p for p in aborted))
+        failed = failed_items(db)
+        if failed:
+            lines.append("failed items: %s" % ", ".join(failed))
     pending = in_progress(db)
     if pending:
         lines.append("in progress: %s" % ", ".join("%s/%s" % p for p in pending))

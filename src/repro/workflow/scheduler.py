@@ -167,17 +167,19 @@ class WorkflowSimulator:
         agents: Sequence[Agent] = (),
         extra_rules: Sequence[Rule] = (),
         max_configs: int = 2_000_000,
+        abortable: bool = False,
     ):
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("need at least one workflow spec")
         self.agents = list(agents)
-        base_program = compile_workflows(self.specs)
+        base_program = compile_workflows(self.specs, abortable=abortable)
         rules = list(base_program.rules)
         rules += driver_rules(self.specs[0].name)
         rules += environment_rules()
         rules += list(extra_rules)
         self.program = Program(rules)
+        self.abortable = abortable
         self.interpreter = Interpreter(self.program, max_configs=max_configs)
 
     def initial_database(
@@ -198,12 +200,25 @@ class WorkflowSimulator:
         extra_goal: Optional[Formula] = None,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
+        fault_plan=None,
+        retry_attempts: int = 0,
+        retry_budget: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate until every instance completes; returns the result.
 
         Raises :class:`RuntimeError` if no successful execution exists
         (e.g. no agent is qualified for some task: the workflow
         deadlocks, which TD reports as failure to commit).
+
+        ``fault_plan`` runs this simulation under a deterministic
+        :class:`~repro.faults.plan.FaultPlan` (a fresh injector per
+        call, so the same plan perturbs identically every time).
+        ``retry_attempts`` wraps the whole simulation goal in the
+        ``retry`` recovery combinator with that many isolated attempts
+        -- under transient faults the later attempts land after the
+        fault windows close.  ``retry_budget`` additionally caps each
+        attempt's search (``iso[k]``), so one wandering attempt fails
+        at the cap instead of exhausting the whole budget.
         """
         db = self.initial_database(items, pending, extra_facts)
         goal: Formula = Call(atom("simulate"))
@@ -211,9 +226,29 @@ class WorkflowSimulator:
             goal = conc(goal, Call(atom("env")))
         if extra_goal is not None:
             goal = conc(goal, extra_goal)
+        interpreter = self.interpreter
+        if retry_attempts:
+            # Imported here: repro.faults sits above the workflow layer.
+            from ..faults.recovery import retry
+
+            recovered = retry(goal, retry_attempts, budget=retry_budget)
+            program = self.program.extend(recovered.rules)
+            db = db.insert_all(recovered.facts)
+            goal = program.resolve_goal(recovered.goal)
+            interpreter = Interpreter(
+                program, max_configs=interpreter.max_configs
+            )
+        if fault_plan is not None:
+            from ..faults.inject import FaultInjector
+
+            interpreter = Interpreter(
+                interpreter.program,
+                max_configs=interpreter.max_configs,
+                faults=FaultInjector(fault_plan),
+            )
         obs = active()
         with obs.span("workflow.simulate", main=self.specs[0].name) as span:
-            execution = self.interpreter.simulate(
+            execution = interpreter.simulate(
                 goal, db, seed=seed, max_depth=max_depth
             )
         if execution is None:

@@ -1,0 +1,214 @@
+"""Resumable search: checkpoints captured on budget/deadline
+exhaustion, resume semantics, and the budget edge cases (zero budget,
+exhaustion exactly at a solution, resume-after-resume, pickling)."""
+
+import pickle
+
+import pytest
+
+from repro import Database, Interpreter, parse_database, parse_program
+from repro.core.engine import select_engine
+from repro.core.errors import (
+    DeadlineExceeded,
+    ReproError,
+    SearchBudgetExceeded,
+)
+from repro.core.interpreter import Checkpoint, Deadline, Solution
+
+#: A linear walk over a nine-edge chain: enumerating ``walk(a, Y)``
+#: yields one solution per suffix of the chain, spread over enough
+#: configurations that small budgets interrupt at many different points
+#: (including exactly at a solution).
+CHAIN = """
+walk(X, Y) <- edge(X, Y) * ins.visited(Y).
+walk(X, Y) <- edge(X, Z) * ins.visited(Z) * walk(Z, Y).
+"""
+
+CHAIN_DB = (
+    "edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, f). "
+    "edge(f, g). edge(g, h). edge(h, i). edge(i, j)."
+)
+
+GOAL = "walk(a, Y)"
+
+
+def chain_interp(max_configs, **kw):
+    return Interpreter(parse_program(CHAIN), max_configs=max_configs, **kw)
+
+
+def canon(solutions):
+    """Hashable rendering of a solution list (for set comparisons)."""
+    return [
+        (
+            tuple(sorted((str(v), str(t)) for v, t in sol.bindings.items())),
+            sol.database,
+        )
+        for sol in solutions
+    ]
+
+
+def full_solutions():
+    return canon(chain_interp(1_000_000).solve(GOAL, parse_database(CHAIN_DB)))
+
+
+def drain_with_resume(cap, resume_cap=1_000_000):
+    """Solve under a tight budget, then finish via resume; returns the
+    combined solution list and how many interruptions occurred."""
+    db = parse_database(CHAIN_DB)
+    got = []
+    interruptions = 0
+    source = chain_interp(cap).solve(GOAL, db)
+    while True:
+        try:
+            for sol in source:
+                got.append(sol)
+            return got, interruptions
+        except ReproError as exc:
+            interruptions += 1
+            assert exc.checkpoint is not None
+            assert exc.spent is not None and exc.spent > 0
+            source = chain_interp(resume_cap).resume(exc.checkpoint)
+
+
+class TestBudgetEdgeCases:
+    def test_budget_of_zero_interrupts_immediately_but_loses_nothing(self):
+        db = parse_database(CHAIN_DB)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(chain_interp(0).solve(GOAL, db))
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.frontier_size >= 1
+        resumed = canon(chain_interp(1_000_000).resume(checkpoint))
+        assert resumed == full_solutions()
+
+    def test_every_interruption_point_resumes_to_the_same_answers(self):
+        # Sweep the budget across the whole search, so some caps fire
+        # before the first solution, some exactly at a solution, and
+        # some after the last: partial + resumed must always equal the
+        # uninterrupted run, with no duplicates.
+        full = full_solutions()
+        interrupted_at_least_once = False
+        for cap in range(0, 120, 7):
+            got, interruptions = drain_with_resume(cap)
+            interrupted_at_least_once |= interruptions > 0
+            rendered = canon(got)
+            assert sorted(map(repr, rendered)) == sorted(map(repr, full)), (
+                "cap %d lost or duplicated solutions" % cap
+            )
+            assert len(rendered) == len(set(map(repr, rendered)))
+        assert interrupted_at_least_once
+
+    def test_resume_after_resume_composes(self):
+        # Resume under the same tight budget as the original search:
+        # the drain takes several hops, each carrying a fresh
+        # checkpoint, and still converges to the full answer set.
+        full = full_solutions()
+        got, interruptions = drain_with_resume(13, resume_cap=13)
+        assert interruptions >= 2
+        assert sorted(map(repr, canon(got))) == sorted(map(repr, full))
+
+    def test_resuming_the_same_checkpoint_twice_is_idempotent(self):
+        db = parse_database(CHAIN_DB)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(chain_interp(20).solve(GOAL, db))
+        checkpoint = info.value.checkpoint
+        once = canon(chain_interp(1_000_000).resume(checkpoint))
+        twice = canon(chain_interp(1_000_000).resume(checkpoint))
+        assert once == twice
+
+    def test_checkpoint_survives_a_pickle_round_trip(self):
+        db = parse_database(CHAIN_DB)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(chain_interp(20).solve(GOAL, db))
+        checkpoint = info.value.checkpoint
+        clone = pickle.loads(pickle.dumps(checkpoint))
+        assert isinstance(clone, Checkpoint)
+        assert clone.frontier_size == checkpoint.frontier_size
+        direct = canon(chain_interp(1_000_000).resume(checkpoint))
+        via_pickle = canon(chain_interp(1_000_000).resume(clone))
+        assert direct == via_pickle
+
+    def test_sort_concurrent_mismatch_is_rejected(self):
+        db = parse_database(CHAIN_DB)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(chain_interp(20).solve(GOAL, db))
+        other = chain_interp(1_000_000, sort_concurrent=False)
+        with pytest.raises(ValueError, match="sort_concurrent"):
+            list(other.resume(info.value.checkpoint))
+
+
+class _SteppingClock:
+    """Deterministic clock: advances one second per reading."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestDeadline:
+    def test_deadline_checkpoint_resumes_to_completion(self):
+        db = parse_database(CHAIN_DB)
+        deadline = Deadline(3.0, clock=_SteppingClock())
+        with pytest.raises(DeadlineExceeded) as info:
+            list(chain_interp(1_000_000).solve(GOAL, db, deadline=deadline))
+        exc = info.value
+        assert exc.elapsed > exc.deadline
+        assert exc.checkpoint is not None
+        resumed = canon(chain_interp(1_000_000).resume(exc.checkpoint))
+        # Everything the interrupted search had not yet emitted arrives
+        # on resume; nothing is emitted twice.
+        full = full_solutions()
+        assert set(map(repr, resumed)) <= set(map(repr, full))
+        assert len(resumed) == len(set(map(repr, resumed)))
+
+    def test_far_deadline_never_fires(self):
+        db = parse_database(CHAIN_DB)
+        sols = list(
+            chain_interp(1_000_000).solve(GOAL, db, deadline=3600.0)
+        )
+        assert canon(sols) == full_solutions()
+
+
+#: Concurrent composition in a rule body forces the full-TD
+#: interpreter backend through ``select_engine``.
+CONC = CHAIN + "main(Y) <- walk(a, Y) | ins.flag(go).\n"
+
+
+class TestEngineFacade:
+    def test_budget_error_crosses_the_facade_with_context(self):
+        program = parse_program(CONC)
+        engine = select_engine(program, max_configs=10)
+        assert isinstance(engine.backend, Interpreter)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(engine.solve("main(Y)", parse_database(CHAIN_DB)))
+        exc = info.value
+        assert exc.goal is not None
+        assert exc.spent is not None and exc.spent > 0
+        assert exc.checkpoint is not None
+
+    def test_engine_resume_finishes_the_interrupted_search(self):
+        program = parse_program(CONC)
+        db = parse_database(CHAIN_DB)
+        small = select_engine(program, max_configs=10)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(small.solve("main(Y)", db))
+        big = select_engine(program, max_configs=2_000_000)
+        resumed = list(big.resume(info.value.checkpoint))
+        assert resumed
+        assert all(isinstance(sol, Solution) for sol in resumed)
+        direct = select_engine(program, max_configs=2_000_000)
+        assert len(canon(resumed)) <= len(canon(direct.solve("main(Y)", db)))
+
+    def test_simulate_deadline_has_no_checkpoint(self):
+        program = parse_program(CONC)
+        engine = select_engine(program, max_configs=1_000_000)
+        deadline = Deadline(2.0, clock=_SteppingClock())
+        with pytest.raises(DeadlineExceeded) as info:
+            engine.simulate("main(Y)", parse_database(CHAIN_DB),
+                            deadline=deadline)
+        exc = info.value
+        assert exc.goal is not None
+        assert exc.checkpoint is None

@@ -1,0 +1,56 @@
+"""The ``tdlog chaos`` subcommand: deterministic output, JSON reports,
+workload listing, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestChaosCommand:
+    def test_output_is_byte_identical_across_invocations(self, capsys):
+        argv = ["chaos", "--plans", "3", "--only", "bank_transfer"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "chaos verdict: OK" in first
+
+    def test_seed_changes_the_report(self, capsys):
+        assert main(["chaos", "--plans", "4", "--only", "bank_transfer"]) == 0
+        default = capsys.readouterr().out
+        assert main(
+            ["chaos", "--plans", "4", "--only", "bank_transfer",
+             "--seed", "77"]
+        ) == 0
+        reseeded = capsys.readouterr().out
+        assert default != reseeded
+
+    def test_json_report_written(self, tmp_path, capsys):
+        out_file = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--plans", "3", "--only", "bank_transfer",
+             "--json", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        assert payload["plans"] == 3
+        (report,) = payload["reports"]
+        assert report["workload"] == "bank_transfer"
+        assert report["violations"] == 0
+        assert len(report["outcomes"]) == 3
+        assert all(o["violation"] is None for o in report["outcomes"])
+
+    def test_list_workloads(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bank_transfer", "genome_iso", "lab_workflow"):
+            assert name in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["chaos", "--only", "nope"]) != 0
+
+    def test_non_positive_plans_rejected(self, capsys):
+        assert main(["chaos", "--plans", "0"]) != 0

@@ -1,0 +1,160 @@
+"""The injector against real searches: drops, outages, adversarial
+order, forced exhaustion -- and full determinism of all of it."""
+
+import pytest
+
+from repro import (
+    Database,
+    DeadlineExceeded,
+    Interpreter,
+    SearchBudgetExceeded,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+from repro.faults import (
+    AdversarialOrder,
+    AgentOutage,
+    Exhaustion,
+    FaultInjector,
+    FaultPlan,
+    StepFault,
+    Window,
+)
+
+
+def solve_under(plan, program_text, goal_text, db_text="", **kw):
+    interp = Interpreter(
+        parse_program(program_text),
+        faults=FaultInjector(plan) if plan is not None else None,
+        **kw,
+    )
+    return list(interp.solve(parse_goal(goal_text), parse_database(db_text)))
+
+
+def canon(solutions):
+    return sorted(
+        (
+            tuple(sorted((str(v), str(t)) for v, t in s.bindings.items())),
+            tuple(sorted(str(f) for f in s.database)),
+        )
+        for s in solutions
+    )
+
+
+class TestStepFaults:
+    def test_matching_insert_is_dropped(self):
+        plan = FaultPlan(0, step_faults=(StepFault("ins", "p", Window(0, 1000)),))
+        assert solve_under(None, "go <- ins.p(a).", "go")
+        assert solve_under(plan, "go <- ins.p(a).", "go") == []
+
+    def test_unrelated_predicate_unaffected(self):
+        plan = FaultPlan(0, step_faults=(StepFault("ins", "zzz", Window(0, 1000)),))
+        assert solve_under(plan, "go <- ins.p(a).", "go")
+
+    def test_window_expiry_reenables_the_step(self):
+        # The goal needs several expansions before reaching ins.p, so a
+        # window that closes at tick 1 has already expired by then.
+        plan = FaultPlan(0, step_faults=(StepFault("ins", "p", Window(0, 1)),))
+        program = "go <- q(a) * q(b) * q(c) * ins.p(a)."
+        db = "q(a). q(b). q(c)."
+        assert solve_under(plan, program, "go", db)
+
+    def test_scan_iso_vetoes_whole_commit(self):
+        plan = FaultPlan(
+            0,
+            step_faults=(
+                StepFault("ins", "p", Window(0, 1000), scan_iso=True),
+            ),
+        )
+        program = "go <- iso(ins.p(a) * ins.q(b))."
+        assert solve_under(None, program, "go")
+        assert solve_under(plan, program, "go") == []
+
+
+class TestAgentOutage:
+    PROGRAM = """
+    claim <- available(ana) * del.available(ana) *
+             ins.done(x) * ins.available(ana).
+    """
+
+    def test_active_outage_blocks_the_claim(self):
+        plan = FaultPlan(0, outages=(AgentOutage("ana", Window(0, 1000)),))
+        assert solve_under(plan, self.PROGRAM, "claim", "available(ana).") == []
+
+    def test_other_agent_unaffected(self):
+        plan = FaultPlan(0, outages=(AgentOutage("raj", Window(0, 1000)),))
+        assert solve_under(plan, self.PROGRAM, "claim", "available(ana).")
+
+
+class TestExhaustion:
+    def test_forced_budget_exhaustion(self):
+        plan = FaultPlan(0, exhaustion=(Exhaustion(0, "budget"),))
+        with pytest.raises(SearchBudgetExceeded) as info:
+            solve_under(plan, "go <- ins.p(a).", "go")
+        assert info.value.injected
+        assert info.value.checkpoint is not None
+
+    def test_forced_deadline_exhaustion(self):
+        plan = FaultPlan(0, exhaustion=(Exhaustion(0, "deadline"),))
+        with pytest.raises(DeadlineExceeded) as info:
+            solve_under(plan, "go <- ins.p(a).", "go")
+        assert info.value.injected
+
+    def test_exhaustion_beyond_search_end_is_harmless(self):
+        plan = FaultPlan(0, exhaustion=(Exhaustion(10**6, "budget"),))
+        assert solve_under(plan, "go <- ins.p(a).", "go")
+
+
+class TestAdversarialOrder:
+    PROGRAM = """
+    go <- step(X) * del.step(X) * ins.used(X) * go.
+    go <- not step(_).
+    """
+    DB = "step(a). step(b). step(c)."
+
+    def test_solutions_preserved_under_reorder(self):
+        plan = FaultPlan(0, adversarial=(AdversarialOrder(Window(0, None)),))
+        plain = solve_under(None, self.PROGRAM, "go", self.DB)
+        shaken = solve_under(plan, self.PROGRAM, "go", self.DB)
+        assert canon(plain) == canon(shaken)
+
+    def test_reorder_counter_advances(self):
+        plan = FaultPlan(0, adversarial=(AdversarialOrder(Window(0, None)),))
+        injector = FaultInjector(plan)
+        interp = Interpreter(parse_program(self.PROGRAM), faults=injector)
+        list(interp.solve(parse_goal("go"), parse_database(self.DB)))
+        assert injector.reordered > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_tick_for_tick(self):
+        plan = FaultPlan(
+            3,
+            step_faults=(StepFault("del", "step", Window(2, 9)),),
+            adversarial=(AdversarialOrder(Window(0, 6)),),
+        )
+        results = []
+        ticks = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            interp = Interpreter(
+                parse_program(TestAdversarialOrder.PROGRAM), faults=injector
+            )
+            results.append(
+                canon(
+                    interp.solve(
+                        parse_goal("go"),
+                        parse_database(TestAdversarialOrder.DB),
+                    )
+                )
+            )
+            ticks.append((injector.tick, injector.dropped, injector.reordered))
+        assert results[0] == results[1]
+        assert ticks[0] == ticks[1]
+
+    def test_injector_holds_no_rng(self):
+        import repro.faults.inject as inject_mod
+
+        source = open(inject_mod.__file__).read()
+        assert "random" not in source

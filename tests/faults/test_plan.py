@@ -1,0 +1,101 @@
+"""Fault plans: seeded determinism, windows, transience, horizon."""
+
+from repro.faults import (
+    AdversarialOrder,
+    AgentOutage,
+    Exhaustion,
+    FaultPlan,
+    StepFault,
+    Window,
+    generate_plan,
+)
+
+
+class TestWindow:
+    def test_half_open_interval(self):
+        w = Window(2, 5)
+        assert not w.active(1)
+        assert w.active(2)
+        assert w.active(4)
+        assert not w.active(5)
+
+    def test_permanent_window_never_closes(self):
+        w = Window(3, None)
+        assert not w.active(2)
+        assert w.active(3)
+        assert w.active(10**9)
+        assert not w.transient
+
+    def test_bounded_window_is_transient(self):
+        assert Window(0, 1).transient
+
+
+class TestFaultPlan:
+    def test_transient_requires_bounded_windows(self):
+        bounded = FaultPlan(0, step_faults=(StepFault("ins", "p", Window(0, 5)),))
+        assert bounded.transient
+        permanent = FaultPlan(
+            0, outages=(AgentOutage("ana", Window(0, None)),)
+        )
+        assert not permanent.transient
+
+    def test_exhaustion_is_never_transient(self):
+        plan = FaultPlan(0, exhaustion=(Exhaustion(10),))
+        assert not plan.transient
+
+    def test_horizon_is_last_window_stop(self):
+        plan = FaultPlan(
+            0,
+            step_faults=(StepFault("del", "q", Window(1, 7)),),
+            outages=(AgentOutage("raj", Window(0, 12)),),
+            adversarial=(AdversarialOrder(Window(2, 4)),),
+        )
+        assert plan.horizon == 12
+        assert FaultPlan(0).horizon == 0
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan(
+            9,
+            step_faults=(StepFault("ins", "p", Window(0, 5)),),
+            exhaustion=(Exhaustion(3, "deadline"),),
+        )
+        text = plan.describe()
+        assert "seed 9" in text
+        assert "ins.p" in text
+        assert "deadline exhaustion at tick 3" in text
+
+
+class TestGeneratePlan:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(predicates=("p", "q"), agents=("ana", "raj"),
+                      allow_exhaustion=True, allow_permanent=True)
+        for seed in range(40):
+            assert generate_plan(seed, **kwargs) == generate_plan(seed, **kwargs)
+
+    def test_different_seeds_differ(self):
+        plans = {generate_plan(s, predicates=("p",), agents=("a",))
+                 for s in range(30)}
+        assert len(plans) > 10
+
+    def test_default_generation_is_transient(self):
+        for seed in range(60):
+            plan = generate_plan(seed, predicates=("p",), agents=("a",))
+            assert plan.transient, plan.describe()
+
+    def test_generation_targets_given_predicates_and_agents(self):
+        for seed in range(60):
+            plan = generate_plan(seed, predicates=("p", "q"), agents=("ana",))
+            for fault in plan.step_faults:
+                assert fault.pred in ("p", "q")
+            for outage in plan.outages:
+                assert outage.agent == "ana"
+
+    def test_exhaustion_only_when_allowed(self):
+        assert all(
+            not generate_plan(s, predicates=("p",)).exhaustion
+            for s in range(60)
+        )
+        assert any(
+            generate_plan(s, predicates=("p",), allow_exhaustion=True).exhaustion
+            for s in range(60)
+        )

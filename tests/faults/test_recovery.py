@@ -1,0 +1,166 @@
+"""Recovery combinators: retry under transient faults, fallback,
+budgeted attempts, compensation -- all compiled to plain TD rules."""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+from repro.core.program import Program
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    StepFault,
+    Window,
+    compensate,
+    fallback,
+    retry,
+    with_budget,
+)
+from repro.faults.recovery import _RECOVERY_PRED
+
+
+def run(recovered, program_text="", db_text="", plan=None, goal=None,
+        max_configs=200_000):
+    program, db = recovered.install(
+        parse_program(program_text), parse_database(db_text)
+    )
+    interp = Interpreter(
+        program,
+        max_configs=max_configs,
+        faults=FaultInjector(plan) if plan is not None else None,
+    )
+    return list(interp.solve(goal or recovered.goal, db))
+
+
+BANK = """
+transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+withdraw(Acct, Amt) <-
+    balance(Acct, Bal) * Bal >= Amt *
+    del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+deposit(Acct, Amt) <-
+    balance(Acct, Bal) *
+    del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+"""
+
+BANK_DB = "balance(a, 100). balance(b, 10)."
+
+
+def app_states(solutions):
+    """Final databases modulo the combinators' bookkeeping tokens.
+
+    Under angelic nondeterminism a retry-wrapped goal has one successful
+    execution per number of tokens burned before the committing attempt,
+    so ``solve`` may enumerate several solutions that differ only in
+    leftover tokens -- the application-visible state must still be
+    unique.
+    """
+    return {
+        frozenset(
+            str(f) for f in s.database if not _RECOVERY_PRED.match(f.pred)
+        )
+        for s in solutions
+    }
+
+
+class TestRetry:
+    def test_rejects_non_positive_attempts(self):
+        with pytest.raises(ValueError):
+            retry("ins.p(a)", 0)
+
+    def test_plain_goal_still_commits(self):
+        sols = run(retry("transfer(a, b, 30)", 3), BANK, BANK_DB)
+        assert app_states(sols) == {
+            frozenset({"balance(a, 70)", "balance(b, 40)"})
+        }
+
+    def test_commits_under_transient_fault(self):
+        # The fault makes every withdraw fail while its window is open;
+        # each failed isolated attempt ticks the injector forward, so a
+        # later attempt lands after the window closes.
+        plan = FaultPlan(
+            0, step_faults=(StepFault("del", "balance", Window(0, 12)),)
+        )
+        sols = run(retry("transfer(a, b, 30)", 20), BANK, BANK_DB, plan=plan)
+        assert app_states(sols) == {
+            frozenset({"balance(a, 70)", "balance(b, 40)"})
+        }
+
+    def test_fails_under_permanent_fault(self):
+        plan = FaultPlan(
+            0, step_faults=(StepFault("del", "balance", Window(0, None)),)
+        )
+        assert run(retry("transfer(a, b, 30)", 5), BANK, BANK_DB, plan=plan) == []
+
+    def test_bindings_flow_out_of_the_committing_attempt(self):
+        recovered = retry("pick(X)", 3)
+        sols = run(recovered, "pick(X) <- item(X) * del.item(X).", "item(a).")
+        assert sols
+        for sol in sols:
+            assert [str(t) for t in sol.bindings.values()] == ["a"]
+
+    def test_counter_fact_matches_the_bookkeeping_regex(self):
+        recovered = retry("ins.p(a)", 4)
+        (counter,) = recovered.facts
+        assert _RECOVERY_PRED.match(counter.pred)
+        assert str(counter.args[0]) == "3"
+        assert not _RECOVERY_PRED.match("balance")
+        assert not _RECOVERY_PRED.match("retry_1")
+
+    def test_single_attempt_needs_no_counter(self):
+        assert retry("ins.p(a)", 1).facts == ()
+
+
+class TestFallback:
+    def test_primary_preferred_by_the_simulator(self):
+        # ``solve`` enumerates both branches (angelic nondeterminism);
+        # the DFS simulator honors program order, so the primary wins.
+        recovered = fallback("ins.p(primary)", "ins.p(backup)")
+        program, db = recovered.install(Program([]), Database())
+        execution = Interpreter(program).simulate(recovered.goal, db)
+        assert any(str(f) == "p(primary)" for f in execution.database)
+
+    def test_alternate_taken_when_primary_fails(self):
+        recovered = fallback("missing(x) * ins.p(primary)", "ins.p(backup)")
+        sols = run(recovered)
+        assert len(sols) == 1
+        assert any(str(f) == "p(backup)" for f in sols[0].database)
+
+
+class TestWithBudget:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            with_budget("ins.p(a)", 0)
+
+    def test_blown_cap_fails_the_attempt_not_the_search(self):
+        # The primary spins through an unbounded state space; the cap
+        # fails that attempt cheaply and the fallback commits.
+        spin = "spin(N) <- N2 is N + 1 * ins.t(N2) * spin(N2)."
+        recovered = fallback(with_budget("spin(0)", 25), "ins.ok(yes)")
+        sols = run(recovered, spin, max_configs=5_000)
+        assert len(sols) == 1
+        assert any(str(f) == "ok(yes)" for f in sols[0].database)
+
+
+class TestCompensate:
+    def test_undo_goal_reverses_the_committed_action(self):
+        recovered = compensate("ins.flag(on)", "del.flag(on)")
+        program, db = recovered.install(Program([]), Database())
+        interp = Interpreter(program)
+        (done,) = interp.solve(recovered.goal, db)
+        assert any(str(f) == "flag(on)" for f in done.database)
+        (undone,) = interp.solve(recovered.undo_goal, done.database)
+        assert not any(str(f) == "flag(on)" for f in undone.database)
+
+
+class TestNesting:
+    def test_retry_of_fallback_carries_rules_and_facts(self):
+        inner = fallback("missing(x)", "ins.p(backup)")
+        outer = retry(inner, 3)
+        assert all(rule in outer.rules for rule in inner.rules)
+        sols = run(outer)
+        assert app_states(sols) == {frozenset({"p(backup)"})}
