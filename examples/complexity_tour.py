@@ -70,13 +70,22 @@ def main() -> None:
         )
 
     banner("4. The RE boundary: divergence is only a budget, never a 'no'")
+    # por=False: show the naive enumeration, which cannot distinguish
+    # divergence from slow acceptance.  (The partial-order reducer
+    # happens to prove *this* machine commit-free in a handful of
+    # configurations -- sound, but it would spoil the demonstration.)
     program, goal, db = counter_to_td(diverging_counter_machine())
-    interp = Interpreter(program, max_configs=5_000)
+    interp = Interpreter(program, max_configs=5_000, por=False)
     try:
         interp.succeeds(goal, db)
         print("  unexpected: the diverging machine halted?!")
     except SearchBudgetExceeded as exc:
         print("  %s" % exc)
+    reduced = Interpreter(program, max_configs=5_000)
+    print(
+        "  (partial-order reduction decides this instance: succeeds=%s)"
+        % reduced.succeeds(goal, db)
+    )
 
     banner("4b. Alternation: QBF through sequential TD")
     from repro.machines import QBF, evaluate_qbf, qbf_to_td

@@ -246,7 +246,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dump(rows, handle, indent=2)
             handle.write("\n")
         print("bench results written to %s" % args.json, file=sys.stderr)
+    if args.out is not None:
+        path = _next_bench_snapshot(args.out)
+        with open(path, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print("bench snapshot written to %s" % path)
     return 0
+
+
+def _next_bench_snapshot(out_dir: str) -> str:
+    """The next free ``BENCH_<n>.json`` path in *out_dir* (1-based).
+
+    Numbered snapshots accumulate instead of overwriting, so successive
+    local runs -- or CI artifacts from successive builds -- can be
+    compared side by side.
+    """
+    import os
+    import re
+
+    os.makedirs(out_dir, exist_ok=True)
+    taken = []
+    for name in os.listdir(out_dir):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if match:
+            taken.append(int(match.group(1)))
+    return os.path.join(out_dir, "BENCH_%d.json" % (max(taken, default=0) + 1))
 
 
 def _cmd_profile_baseline(args: argparse.Namespace) -> int:
@@ -472,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--json", metavar="FILE",
         help="also write the timing rows as JSON to FILE",
+    )
+    p_bench.add_argument(
+        "--out", metavar="DIR",
+        help="snapshot mode: write the rows to the next free "
+        "BENCH_<n>.json under DIR (numbered snapshots accumulate; "
+        "CI uploads them as build artifacts)",
     )
     p_bench.set_defaults(fn=_cmd_bench)
 

@@ -63,6 +63,7 @@ from .database import Database
 from .errors import AttemptBudgetExceeded, DeadlineExceeded, SearchBudgetExceeded
 from .formulas import Formula, apply_subst, formula_variables
 from .parser import as_goal
+from .por import PartialOrderReducer
 from .program import Program
 from .terms import Term, Variable
 from .transitions import (
@@ -118,6 +119,12 @@ class Checkpoint:
     Resume with :meth:`Interpreter.resume`; a checkpoint taken under one
     ``sort_concurrent`` setting can only be resumed under the same one
     (the visited summary is keyed by canonical form).
+
+    Deliberately *not* stored: the frontier's queued-key subsumption
+    set.  It is a pure function of the frontier configurations, so
+    resumption re-derives it from the pickled configurations -- a
+    pickled copy could go stale if the key computation ever changes
+    between checkpoint and resume.
     """
 
     goal: Formula
@@ -240,6 +247,16 @@ class Interpreter:
     sort_concurrent:
         Canonicalize configurations by sorting concurrent branches
         (better memoization; switchable for the ablation benchmark).
+    por:
+        Enable partial-order reduction (default).  Commuting schedules
+        of independent concurrent branches collapse to one
+        representative; the reachable (answers, final database) pairs
+        are unchanged (see :mod:`repro.core.por` for the argument and
+        ``tests/core/test_transitions_diff.py`` for the differential).
+        Automatically disabled while a fault injector is attached --
+        the injector perturbs *schedules*, so every schedule must be
+        enumerated to be perturbable.  ``por=False`` restores the full
+        interleaving enumeration (the oracle for the differential).
     faults:
         Optional fault injector: any object with a
         ``perturb(process, database, steps)`` method returning an
@@ -257,11 +274,28 @@ class Interpreter:
         max_configs: int = 200_000,
         sort_concurrent: bool = True,
         faults=None,
+        por: bool = True,
     ):
         self.program = program
         self.max_configs = max_configs
         self.sort_concurrent = sort_concurrent
         self.faults = faults
+        self.por = por
+        self._reducer = PartialOrderReducer(program) if por else None
+
+    def _enabled_steps(self, proc, db, isol_runner, obs: Instrumentation):
+        """The transition relation this search uses: partial-order
+        reduced when enabled and no fault injector is attached, the
+        full enumeration otherwise."""
+        reducer = self._reducer if self.faults is None else None
+        return enabled_steps(
+            self.program,
+            proc,
+            db,
+            isol_runner,
+            reducer=reducer,
+            metrics=obs.metrics if obs.enabled else None,
+        )
 
     def _make_budget(self, obs: Optional[Instrumentation] = None) -> "_Budget":
         """A fresh step budget (used by the verifier, which drives the
@@ -458,24 +492,38 @@ class Interpreter:
         state: Optional[Checkpoint] = None,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
+        # The frontier is bucketed by canonical key: alongside the FIFO
+        # queue of (configuration, key) pairs, ``queued`` holds the keys
+        # currently awaiting expansion and ``seen`` the keys already
+        # expanded (or emitted).  A successor whose key is already
+        # queued is *subsumed* -- a second schedule reached the same
+        # canonical configuration before the first copy was expanded --
+        # and dropped without occupying a frontier slot, which is what
+        # bounds ``search.frontier_peak`` on diamond-shaped interleaving
+        # lattices.  ``queued`` is always derived from the frontier
+        # itself (never checkpointed), so :meth:`resume` rebuilds it
+        # from the pickled configurations instead of trusting a stale
+        # pickle of the subsumption set.
         if state is None:
             start = Configuration(goal, db, tuple(goal_vars))
             start_key = self._key(start)
-            frontier = deque([start])
-            seen = {start_key}
+            frontier = deque([(start, start_key)])
+            seen = set()
             traces: Dict[object, Tuple[Action, ...]] = {start_key: ()}
             emitted = set()
         else:
-            frontier = deque(state.frontier)
+            frontier = deque((c, self._key(c)) for c in state.frontier)
             seen = set(state.seen)
             traces = dict(state.traces) if state.traces is not None else {}
             emitted = set(state.emitted)
+        queued = {key for _, key in frontier}
         enabled = obs.enabled
         faults = self.faults
 
         while frontier:
-            config = frontier.popleft()
-            config_key = self._key(config)
+            config, config_key = frontier.popleft()
+            queued.discard(config_key)
+            seen.add(config_key)
             if is_final(config.process):
                 result = (config.answers, config.database)
                 if result not in emitted:
@@ -489,11 +537,11 @@ class Interpreter:
             try:
                 if deadline is not None:
                     deadline.check()
-                steps = enabled_steps(
-                    self.program,
+                steps = self._enabled_steps(
                     config.process,
                     config.database,
                     self._isol_runner(budget, obs, deadline),
+                    obs,
                 )
                 if faults is not None:
                     steps = faults.perturb(config.process, config.database, steps)
@@ -505,12 +553,16 @@ class Interpreter:
                     new_answers = tuple(walk(t, step.subst) for t in config.answers)
                     succ = Configuration(new_proc, step.database, new_answers)
                     key = self._key(succ)
+                    if key in queued:
+                        if enabled:
+                            obs.metrics.inc("frontier.subsumed")
+                        continue
                     if key in seen:
                         continue
-                    seen.add(key)
+                    queued.add(key)
                     if want_trace:
                         traces[key] = traces.get(config_key, ()) + (step.action,)
-                    frontier.append(succ)
+                    frontier.append((succ, key))
                     if enabled:
                         obs.metrics.gauge_max("search.frontier_peak", len(frontier))
             except (SearchBudgetExceeded, DeadlineExceeded) as exc:
@@ -521,12 +573,12 @@ class Interpreter:
                 # layer runs this same handler as the exception
                 # propagates, so the outermost (user-goal) checkpoint
                 # wins.
-                frontier.appendleft(config)
+                frontier.appendleft((config, config_key))
                 exc.goal = goal
                 exc.checkpoint = Checkpoint(
                     goal=goal,
                     goal_vars=tuple(goal_vars),
-                    frontier=tuple(frontier),
+                    frontier=tuple(c for c, _ in frontier),
                     seen=frozenset(seen),
                     emitted=frozenset(emitted),
                     traces=dict(traces) if want_trace else None,
@@ -594,8 +646,8 @@ class Interpreter:
                 obs.metrics.inc("search.configs_expanded")
             if deadline is not None:
                 deadline.check()
-            steps = enabled_steps(
-                self.program, proc, state, self._isol_runner(budget, obs, deadline)
+            steps = self._enabled_steps(
+                proc, state, self._isol_runner(budget, obs, deadline), obs
             )
             if faults is not None:
                 steps = faults.perturb(proc, state, steps)
@@ -624,6 +676,11 @@ class Interpreter:
         # executions.
         start_key = (canonical_key(goal, self.sort_concurrent), db)
         stack: List[list] = [[start_key, expand(goal, db), tuple(goal_vars), 0]]
+        enabled = obs.enabled
+        if enabled:
+            # The DFS twin of the BFS ``search.frontier_peak`` gauge:
+            # deepest point the backtracking stack reaches.
+            obs.metrics.gauge_max("search.depth_peak", len(stack))
 
         while stack:
             if not use_memo and getattr(faults, "dormant", False):
@@ -647,6 +704,8 @@ class Interpreter:
                 stack.append(
                     [new_key, expand(new_proc, step.database), new_answers, limit_hits]
                 )
+                if enabled:
+                    obs.metrics.gauge_max("search.depth_peak", len(stack))
                 advanced = True
                 break
             if not advanced:

@@ -1,0 +1,374 @@
+"""Partial-order reduction for the full-TD search engines.
+
+Concurrent composition ``a | b`` is interleaving semantics: the naive
+transition relation explores every schedule of elementary steps, even
+though the paper's semantics only distinguishes executions by their
+effect on the database and the answer bindings.  When two branches
+touch disjoint parts of the store, all their interleavings commute and
+reach the same final configurations -- so expanding *one* representative
+schedule suffices.
+
+This module implements an ample-set reducer over the same transition
+relation as :func:`repro.core.transitions.enabled_steps`:
+
+* Every formula node gets a **footprint** -- the predicates it may read
+  (tuple tests, absence tests), insert, and delete, with calls expanded
+  through the program's call graph (a per-signature closure cached on
+  the program, like :meth:`Program.update_footprint`).  This extends
+  the ``_never_steps`` freeness summaries from the indexed enumerator:
+  where those decide *whether* a redex can step, footprints decide
+  *what* the step can touch.
+* At a concurrent node, a branch is **ample** when its frontier
+  footprint cannot conflict with anything its siblings (or any
+  concurrent competitor higher in the process tree) may ever do, and it
+  shares no variables with them.  Conflict means read-vs-write overlap
+  or insert-vs-delete on the same predicate; two inserts (or two
+  deletes) of the same predicate commute under set semantics, which is
+  what makes the paper's insert-only workflow fragment reduce so well.
+* If an ample branch exists, only *its* steps are expanded; the sibling
+  schedules are pruned (counted by ``por.steps_pruned``).  Otherwise
+  every branch is expanded as before, with the sibling footprints
+  joining the competitor set for nested concurrent nodes.
+
+Soundness (why pruning loses no solutions): let ``t`` be the ample
+branch of ``C = t | s1 | ... | sk`` (possibly nested under further
+composition).  Any complete execution from ``C`` must eventually step
+in ``t`` (concurrent parts are never ``true``; an execution that never
+runs ``t`` never terminates).  Take the first ``t``-step ``s`` in such
+an execution.  The competitor steps before ``s`` cannot change ``t``'s
+enabled step set: they bind no variable of ``t`` (variable condition)
+and write no predicate ``t``'s frontier reads (footprint condition) --
+so ``s`` is already enabled at ``C``.  Conversely ``s`` binds no
+competitor variable and its writes neither invalidate a competitor
+read nor anti-commute with a competitor write, so executing ``s``
+*first* and the prefix after it reaches the same configuration.  By
+induction on execution length, every reachable (answers, final
+database) pair of the full graph is reachable in the reduced graph at
+the same or smaller depth -- BFS stays a fair semi-decision procedure
+and the DFS failure memo stays sound.  The same argument covers the
+two degenerate ample cases: a branch whose frontier can never fire
+(nothing a disjoint competitor does can unblock it, so the whole
+configuration is deadlocked and yielding nothing prunes it correctly),
+and an isolated body (its frontier footprint is the body's full
+closure, so a currently-failing ``iso`` attempt stays failing).
+
+The reducer is *not* used when a fault injector is attached (the
+injector perturbs schedules per tick, so every schedule must exist to
+be perturbed -- this keeps ``tdlog chaos`` byte-identical) and not by
+the state-space verifier (which counts the full graph by design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .database import Database
+from .formulas import (
+    Builtin,
+    Call,
+    Conc,
+    Del,
+    Formula,
+    Ins,
+    Isol,
+    Neg,
+    Seq,
+    Test,
+    Truth,
+    conc,
+    free_variables,
+    seq,
+    walk_formulas,
+)
+from .program import Program
+from .terms import Signature
+from .transitions import IsolRunner, Step, _never_steps, _steps
+
+__all__ = [
+    "Footprint",
+    "PartialOrderReducer",
+    "footprint",
+    "frontier_footprint",
+    "signature_footprints",
+]
+
+_EMPTY: frozenset = frozenset()
+
+#: (reads, inserts, deletes) -- predicate names a (sub)process may touch.
+Footprint = Tuple[frozenset, frozenset, frozenset]
+
+EMPTY_FOOTPRINT: Footprint = (_EMPTY, _EMPTY, _EMPTY)
+
+
+def signature_footprints(program: Program) -> Dict[Signature, Footprint]:
+    """Per-derived-signature footprint closure, cached on the program.
+
+    The direct footprint of each rule body is closed over the call
+    graph by fixpoint iteration, so ``footprints[sig]`` covers every
+    predicate any unfolding of ``sig`` may ever read, insert, or
+    delete.  Programs are immutable, so the closure is computed once.
+    """
+    cached = getattr(program, "_por_signature_footprints", None)
+    if cached is not None:
+        return cached
+    direct: Dict[Signature, Tuple[set, set, set]] = {}
+    calls: Dict[Signature, set] = {}
+    for rule in program.rules:
+        sig = rule.head.signature
+        reads, ins, dels = direct.setdefault(sig, (set(), set(), set()))
+        callees = calls.setdefault(sig, set())
+        for sub in walk_formulas(rule.body):
+            if isinstance(sub, (Test, Neg)):
+                reads.add(sub.atom.pred)
+            elif isinstance(sub, Ins):
+                ins.add(sub.atom.pred)
+            elif isinstance(sub, Del):
+                dels.add(sub.atom.pred)
+            elif isinstance(sub, Call):
+                callees.add(sub.atom.signature)
+    changed = True
+    while changed:
+        changed = False
+        for sig, callees in calls.items():
+            acc = direct[sig]
+            for callee in callees:
+                sub_fp = direct.get(callee)
+                if sub_fp is None:
+                    continue  # undefined call: the engine raises on it
+                for mine, theirs in zip(acc, sub_fp):
+                    if not theirs <= mine:
+                        mine |= theirs
+                        changed = True
+    result = {
+        sig: (frozenset(r), frozenset(i), frozenset(d))
+        for sig, (r, i, d) in direct.items()
+    }
+    setattr(program, "_por_signature_footprints", result)
+    return result
+
+
+def footprint(program: Program, f: Formula) -> Footprint:
+    """Everything *f* may ever read / insert / delete (call closure
+    included).  Cached on the node, tagged with the program it was
+    computed against (nodes belong to one program in practice; the tag
+    keeps a stale cache from ever being reused)."""
+    cached = getattr(f, "_por_fp", None)
+    if cached is not None and cached[0] is program:
+        return cached[1]
+    if isinstance(f, (Test, Neg)):
+        fp: Footprint = (frozenset((f.atom.pred,)), _EMPTY, _EMPTY)
+    elif isinstance(f, Ins):
+        fp = (_EMPTY, frozenset((f.atom.pred,)), _EMPTY)
+    elif isinstance(f, Del):
+        fp = (_EMPTY, _EMPTY, frozenset((f.atom.pred,)))
+    elif isinstance(f, Call):
+        fp = signature_footprints(program).get(f.atom.signature, EMPTY_FOOTPRINT)
+    elif isinstance(f, (Seq, Conc)):
+        fp = EMPTY_FOOTPRINT
+        for p in f.parts:
+            fp = _union(fp, footprint(program, p))
+    elif isinstance(f, Isol):
+        fp = footprint(program, f.body)
+    else:  # Truth, Builtin: no database footprint
+        fp = EMPTY_FOOTPRINT
+    object.__setattr__(f, "_por_fp", (program, fp))
+    return fp
+
+
+def frontier_footprint(program: Program, f: Formula) -> Footprint:
+    """What the *first* steps of *f* may touch.
+
+    A bare call unfolds without touching the database (rule choice is
+    preserved by the reduction, so an ample call branch still explores
+    every rule).  An isolated body executes atomically *now*, so its
+    frontier is the body's full closure.  Sequential composition
+    contributes only its head; concurrent composition the union of its
+    branches' frontiers (including currently-blocked redexes, whose
+    eventual effects are conservatively charged to the frontier).
+    """
+    cached = getattr(f, "_por_ffp", None)
+    if cached is not None and cached[0] is program:
+        return cached[1]
+    if isinstance(f, Call):
+        fp = EMPTY_FOOTPRINT
+    elif isinstance(f, Seq):
+        fp = (
+            frontier_footprint(program, f.parts[0])
+            if f.parts
+            else EMPTY_FOOTPRINT
+        )
+    elif isinstance(f, Conc):
+        fp = EMPTY_FOOTPRINT
+        for p in f.parts:
+            fp = _union(fp, frontier_footprint(program, p))
+    elif isinstance(f, Isol):
+        fp = footprint(program, f.body)
+    else:
+        fp = footprint(program, f)
+    object.__setattr__(f, "_por_ffp", (program, fp))
+    return fp
+
+
+def _union(a: Footprint, b: Footprint) -> Footprint:
+    if a is EMPTY_FOOTPRINT:
+        return b
+    if b is EMPTY_FOOTPRINT:
+        return a
+    return (a[0] | b[0], a[1] | b[1], a[2] | b[2])
+
+
+def _conflicts(frontier: Footprint, future: Footprint) -> bool:
+    """Can a frontier step and any future competitor step fail to
+    commute?  Read-vs-write in either direction, or insert-vs-delete of
+    the same predicate.  Insert/insert and delete/delete commute under
+    set semantics."""
+    fr, fi, fd = frontier
+    tr, ti, td = future
+    if fr and (not fr.isdisjoint(ti) or not fr.isdisjoint(td)):
+        return True
+    if tr and (not tr.isdisjoint(fi) or not tr.isdisjoint(fd)):
+        return True
+    if not fi.isdisjoint(td):
+        return True
+    if not fd.isdisjoint(ti):
+        return True
+    return False
+
+
+class PartialOrderReducer:
+    """Ample-set pruned drop-in for the indexed step enumerator.
+
+    ``steps`` yields a sound subset of
+    :func:`repro.core.transitions.enabled_steps`: at each concurrent
+    node it expands only the leftmost *ample* branch when one exists.
+    Selection is purely static per configuration (footprints and
+    variable sharing), so the reduced relation is deterministic and the
+    naive enumeration remains the differential oracle.
+    """
+
+    __slots__ = ("program",)
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def steps(
+        self,
+        proc: Formula,
+        db: Database,
+        isol_runner: IsolRunner,
+        metrics=None,
+    ) -> Iterator[Step]:
+        return self._reduced(
+            proc, db, isol_runner, EMPTY_FOOTPRINT, _EMPTY, metrics
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _reduced(
+        self,
+        proc: Formula,
+        db: Database,
+        isol_runner: IsolRunner,
+        comp_fp: Footprint,
+        comp_vars: frozenset,
+        metrics,
+    ) -> Iterator[Step]:
+        if isinstance(proc, Truth) or _never_steps(proc):
+            return
+        if isinstance(proc, Seq):
+            head, rest = proc.parts[0], proc.parts[1:]
+            for step in self._reduced(
+                head, db, isol_runner, comp_fp, comp_vars, metrics
+            ):
+                yield Step(
+                    step.action,
+                    step.subst,
+                    seq(step.residual, *rest),
+                    step.database,
+                    step.local,
+                )
+            return
+        if isinstance(proc, Conc):
+            parts = proc.parts
+            idx = self._ample_index(parts, comp_fp, comp_vars)
+            if idx is not None:
+                if metrics is not None:
+                    pruned = sum(
+                        1
+                        for j, p in enumerate(parts)
+                        if j != idx and not _never_steps(p)
+                    )
+                    metrics.inc("por.ample_configs")
+                    if pruned:
+                        metrics.inc("por.steps_pruned", pruned)
+                branch = parts[idx]
+                before, after = parts[:idx], parts[idx + 1 :]
+                for step in self._reduced(
+                    branch, db, isol_runner, comp_fp, comp_vars, metrics
+                ):
+                    yield Step(
+                        step.action,
+                        step.subst,
+                        conc(*before, step.residual, *after),
+                        step.database,
+                        step.local,
+                    )
+                return
+            # No ample branch: expand all, and let nested concurrent
+            # nodes prove independence against the siblings too.
+            program = self.program
+            fps = [footprint(program, p) for p in parts]
+            fvs = [free_variables(p) for p in parts]
+            for i, branch in enumerate(parts):
+                if _never_steps(branch):
+                    continue
+                sib_fp = comp_fp
+                sib_vars = comp_vars
+                for j in range(len(parts)):
+                    if j != i:
+                        sib_fp = _union(sib_fp, fps[j])
+                        sib_vars = sib_vars | fvs[j]
+                before, after = parts[:i], parts[i + 1 :]
+                for step in self._reduced(
+                    branch, db, isol_runner, sib_fp, sib_vars, metrics
+                ):
+                    yield Step(
+                        step.action,
+                        step.subst,
+                        conc(*before, step.residual, *after),
+                        step.database,
+                        step.local,
+                    )
+            return
+        # Elementary redexes, calls, and iso: no concurrency below here.
+        yield from _steps(self.program, proc, db, isol_runner)
+
+    def _ample_index(
+        self,
+        parts: Tuple[Formula, ...],
+        comp_fp: Footprint,
+        comp_vars: frozenset,
+    ) -> Optional[int]:
+        """Leftmost branch whose frontier is independent of every
+        sibling's full closure and of the inherited competitors."""
+        program = self.program
+        for i, branch in enumerate(parts):
+            bvars = free_variables(branch)
+            if comp_vars and not bvars.isdisjoint(comp_vars):
+                continue
+            ffp = frontier_footprint(program, branch)
+            if _conflicts(ffp, comp_fp):
+                continue
+            ok = True
+            for j, sibling in enumerate(parts):
+                if j == i:
+                    continue
+                if bvars and not bvars.isdisjoint(free_variables(sibling)):
+                    ok = False
+                    break
+                if _conflicts(ffp, footprint(program, sibling)):
+                    ok = False
+                    break
+            if ok:
+                return i
+        return None

@@ -94,9 +94,21 @@ class SequentialEngine:
     with no siblings to interleave, isolation is a no-op.
     """
 
-    def __init__(self, program: Program, max_rounds: int = 10_000_000):
+    def __init__(
+        self,
+        program: Program,
+        max_rounds: int = 10_000_000,
+        join_order: bool = True,
+    ):
         self.program = program
         self.max_rounds = max_rounds
+        #: Reorder maximal runs of consecutive tuple tests inside each
+        #: sequence by bound-argument selectivity before evaluating.
+        #: Sound because tests read but never write: a contiguous test
+        #: run is a conjunctive query, and any join order enumerates the
+        #: same substitutions.  Updates, negation, and builtins are
+        #: never moved.  Disable to pin the textual order.
+        self.join_order = join_order
         self._check_sequential()
         # Persistent across queries: the table only ever grows, and its
         # entries are valid independently of which goal asked for them.
@@ -294,7 +306,10 @@ class SequentialEngine:
                 yield out, db
             return
         if isinstance(f, Seq):
-            yield from self._eval_seq(f.parts, 0, db, theta)
+            parts = f.parts
+            if self.join_order:
+                parts = self._plan_seq(parts, db, theta)
+            yield from self._eval_seq(parts, 0, db, theta)
             return
         if isinstance(f, Isol):
             # Sequential execution has no siblings; isolation is identity.
@@ -308,6 +323,82 @@ class SequentialEngine:
                 "concurrent composition reached the sequential evaluator"
             )
         raise TypeError("cannot evaluate formula %r" % type(f).__name__)
+
+    def _plan_seq(
+        self, parts: Tuple[Formula, ...], db: Database, theta: Substitution
+    ) -> Tuple[Formula, ...]:
+        """Join-order each maximal run of consecutive ``Test`` parts.
+
+        Only tests are moved, and only within their contiguous run: a
+        test neither updates the database nor can fail for safety
+        reasons, so the run is a conjunctive query whose answer set is
+        order-independent.  Negation stays put (its meaning depends on
+        which variables the *preceding* conjuncts bound) and so do
+        builtins (which raise :class:`SafetyError` on unbound input).
+        Selectivity uses the database at sequence entry -- a heuristic
+        only; correctness never depends on the plan.
+        """
+        out: List[Formula] = []
+        changed = False
+        i, n = 0, len(parts)
+        while i < n:
+            j = i
+            while j < n and isinstance(parts[j], Test):
+                j += 1
+            if j - i > 1:
+                run = list(parts[i:j])
+                ordered = self._order_tests(run, db, theta)
+                if ordered != run:
+                    changed = True
+                out.extend(ordered)
+                i = j
+            elif j > i:
+                out.append(parts[i])
+                i = j
+            else:
+                out.append(parts[i])
+                i += 1
+        if not changed:
+            return parts
+        if self._obs.enabled:
+            self._obs.metrics.inc("join.reorders")
+        return tuple(out)
+
+    def _order_tests(
+        self, run: List[Formula], db: Database, theta: Substitution
+    ) -> List[Formula]:
+        """Greedy selectivity order for a contiguous test run: fewest
+        still-unbound variable arguments first (bound arguments probe the
+        per-position index), ties by relation size, then textual
+        position."""
+        bound: Set[Variable] = set()
+
+        def unbound(test: Formula) -> int:
+            count = 0
+            for arg in test.atom.args:
+                resolved = walk(arg, theta)
+                if isinstance(resolved, Variable) and resolved not in bound:
+                    count += 1
+            return count
+
+        remaining = list(enumerate(run))
+        chosen: List[Formula] = []
+        while remaining:
+            pos, test = min(
+                remaining,
+                key=lambda item: (
+                    unbound(item[1]),
+                    len(db.facts(item[1].atom.pred)),
+                    item[0],
+                ),
+            )
+            remaining.remove((pos, test))
+            chosen.append(test)
+            for arg in test.atom.args:
+                resolved = walk(arg, theta)
+                if isinstance(resolved, Variable):
+                    bound.add(resolved)
+        return chosen
 
     def _eval_seq(
         self, parts: Tuple[Formula, ...], idx: int, db: Database, theta: Substitution

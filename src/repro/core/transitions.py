@@ -212,6 +212,8 @@ def enabled_steps(
     isol_runner: IsolRunner,
     *,
     optimized: bool = True,
+    reducer=None,
+    metrics=None,
 ) -> Iterator[Step]:
     """Yield every transition enabled in ``(proc, db)``.
 
@@ -224,8 +226,17 @@ def enabled_steps(
     skips provably blocked branches and dispatches calls through the
     program's per-signature rule index.  Both enumerate the same steps
     -- the naive path exists as the oracle for the differential test.
+
+    ``reducer`` (a :class:`repro.core.por.PartialOrderReducer`) selects
+    the partial-order-reduced enumeration instead: a sound *subset* of
+    the full step set that preserves every reachable (answers, final
+    database) pair.  ``metrics`` (a :class:`repro.obs.metrics.Metrics`)
+    lets the reducer report ``por.*`` counters; it is ignored on the
+    unreduced paths.
     """
-    if optimized:
+    if reducer is not None:
+        yield from reducer.steps(proc, db, isol_runner, metrics)
+    elif optimized:
         yield from _steps(program, proc, db, isol_runner)
     else:
         yield from _steps_naive(program, proc, db, isol_runner)

@@ -122,8 +122,15 @@ def match_atom(
     """One-way matching: bind variables of *pattern* so it equals *fact*.
 
     *fact* must be ground (database facts always are).  This is the tuple
-    test primitive: matching a query atom against a stored fact.
+    test primitive: matching a query atom against a stored fact, and
+    therefore the unification fan-out the join-ordering and
+    partial-order-reduction optimizations exist to shrink -- it counts
+    into ``unify.attempts`` alongside full rule-head unification (which
+    the per-shape match cache already made search-size independent).
     """
+    inst = _obs._ACTIVE
+    if inst is not None:
+        inst.metrics.inc("unify.attempts")
     if pattern.pred != fact.pred or len(pattern.args) != len(fact.args):
         return None
     out: Dict[Variable, Term] = dict(subst)

@@ -161,6 +161,27 @@ def _run_lab_workflow() -> None:
     assert len(result.completed("analyze")) == 3
 
 
+_FANOUT_TD = """
+spawn <- item(I) * del.item(I) * (job(I) | spawn).
+spawn <- not item(_).
+job(I) <- ins.started(I) * ins.finished(I).
+"""
+
+
+def _run_conc_fanout() -> None:
+    # Concurrent fan-out stressor for the partial-order reducer: each
+    # work item spawns an insert-only job branch that runs alongside the
+    # recursive spawner.  The job branches commute with everything, so
+    # the ample-set pruner serializes them; without reduction the BFS
+    # enumerates every interleaving (docs/PERFORMANCE.md).  Ground start
+    # keeps the counters hash-seed deterministic.
+    from ..core import parse_database, parse_goal, parse_program, select_engine
+
+    engine = select_engine(parse_program(_FANOUT_TD), "spawn")
+    db = parse_database("item(j1). item(j2). item(j3). item(j4). item(j5).")
+    assert len(list(engine.solve(parse_goal("spawn"), db))) == 1
+
+
 def _run_chaos_faults() -> None:
     # A small, fixed slice of the chaos suite (docs/ROBUSTNESS.md).  The
     # injector is seed-deterministic and holds no RNG of its own, so the
@@ -205,6 +226,11 @@ def profile_suite() -> List[ProfileConfig]:
             "lab_workflow_batch3",
             "compiled genome-lab workflow, batch of 3 (workflow simulator)",
             _run_lab_workflow,
+        ),
+        ProfileConfig(
+            "conc_fanout",
+            "5-item concurrent fan-out (full-TD BFS, partial-order reduction)",
+            _run_conc_fanout,
         ),
         ProfileConfig(
             "chaos_faults",

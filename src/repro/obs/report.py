@@ -25,6 +25,9 @@ _ALWAYS_SHOW_COUNTERS = (
     "unify.attempts",
     "table.hits",
     "table.misses",
+    "por.steps_pruned",
+    "frontier.subsumed",
+    "join.reorders",
 )
 _ALWAYS_SHOW_GAUGES = (
     "budget.spent",

@@ -1,0 +1,150 @@
+"""The canonical-key-bucketed BFS frontier (Interpreter._bfs).
+
+A successor whose canonical key is already awaiting expansion is
+*subsumed* -- dropped without occupying a frontier slot and counted in
+``frontier.subsumed`` -- which is what bounds ``search.frontier_peak``
+on diamond-shaped interleaving lattices.  These tests pin the edge
+cases: commuting concurrent branches that reconverge (reordering ties),
+identical iso-wrapped branches, and the checkpoint round-trip, where
+the subsumption set is deliberately absent from the pickle and
+:meth:`Interpreter.resume` re-derives it from the frontier
+configurations.
+
+The reducer is switched off in most tests: partial-order reduction
+collapses commuting schedules *before* they reach the frontier, and
+these tests target the frontier's own dedup of whatever still arrives.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import Database, Interpreter, parse_database, parse_program
+from repro.core.errors import SearchBudgetExceeded
+from repro.core.interpreter import Checkpoint
+from repro.obs import Instrumentation, instrumented
+
+#: Three commuting inserts: the naive interleaving lattice is the cube
+#: {a}x{b}x{c}, and every path reconverges on the same configurations.
+DIAMOND = "go <- ins.a | ins.b | ins.c."
+
+
+def solve_with_metrics(program_text, goal, db, **interp_kw):
+    inst = Instrumentation.create()
+    with instrumented(inst):
+        interp = Interpreter(parse_program(program_text), **interp_kw)
+        solutions = list(interp.solve(goal, db))
+    return solutions, inst.metrics
+
+
+class TestReorderingTies:
+    def test_diamond_reconvergence_is_subsumed(self):
+        solutions, metrics = solve_with_metrics(
+            DIAMOND, "go", Database(), por=False
+        )
+        assert len(solutions) == 1
+        assert solutions[0].database == parse_database("a. b. c.")
+        # Level by level: the three two-insert states are each reached
+        # twice more while still queued, the full state twice more.
+        assert metrics.counter("frontier.subsumed") == 5
+        # Subsumption keeps the frontier near the lattice width (one
+        # slot per distinct state, briefly two adjacent levels) rather
+        # than the number of schedules: without it the peak would carry
+        # every duplicate arrival.
+        assert metrics.gauge("search.frontier_peak") <= 4
+
+    def test_branch_order_tie_collapses_under_sorting(self):
+        # Distinct schedules leave the surviving branches in different
+        # textual orders; canonicalization sorts concurrent parts, so
+        # the configurations tie and the frontier keeps one copy.
+        text = "go <- (ins.a * ins.z) | (ins.b * ins.z)."
+        solutions, metrics = solve_with_metrics(
+            text, "go", Database(), por=False
+        )
+        assert len(solutions) == 1
+        assert solutions[0].database == parse_database("a. b. z.")
+        assert metrics.counter("frontier.subsumed") > 0
+
+    def test_subsumption_is_invisible_in_the_answers(self):
+        # Same workload with the reducer on: fewer schedules reach the
+        # frontier, identical solutions.
+        reduced, _ = solve_with_metrics(DIAMOND, "go", Database(), por=True)
+        naive, _ = solve_with_metrics(DIAMOND, "go", Database(), por=False)
+        assert [s.database for s in reduced] == [s.database for s in naive]
+
+
+class TestIsoWrappedDuplicates:
+    def test_identical_iso_branches_subsume(self):
+        # Each iso branch commits atomically, so both first steps land
+        # on literally the same configuration (one iso left, db {a});
+        # the second arrival must be subsumed, not re-queued.
+        text = "go <- iso(ins.a) | iso(ins.a)."
+        solutions, metrics = solve_with_metrics(
+            text, "go", Database(), por=False
+        )
+        assert len(solutions) == 1
+        assert solutions[0].database == parse_database("a.")
+        assert metrics.counter("frontier.subsumed") == 1
+
+    def test_iso_ties_modulo_branch_sorting(self):
+        # The duplicate is only visible modulo concurrent-branch
+        # sorting once the surviving branches differ in position.
+        text = "go <- iso(ins.a) | iso(ins.b) | iso(ins.a)."
+        solutions, metrics = solve_with_metrics(
+            text, "go", Database(), por=False
+        )
+        assert len(solutions) == 1
+        assert solutions[0].database == parse_database("a. b.")
+        assert metrics.counter("frontier.subsumed") > 0
+
+
+class TestCheckpointRoundTrip:
+    def test_checkpoint_does_not_store_the_subsumption_set(self):
+        # The queued-key set is a pure function of the frontier
+        # configurations; pickling it would go stale if the key
+        # computation ever changed between checkpoint and resume.
+        assert "queued" not in {
+            f.name for f in dataclasses.fields(Checkpoint)
+        }
+
+    def _interrupt(self, max_configs):
+        interp = Interpreter(
+            parse_program(DIAMOND), max_configs=max_configs, por=False
+        )
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(interp.solve("go", Database()))
+        assert info.value.checkpoint is not None
+        return info.value.checkpoint
+
+    def test_resume_re_derives_subsumption_from_pickled_frontier(self):
+        # Interrupt mid-lattice, round-trip the checkpoint through
+        # pickle, and finish under instrumentation: the resumed search
+        # must still subsume the reconverging schedules, proving the
+        # queued set was rebuilt from the configurations.
+        checkpoint = pickle.loads(pickle.dumps(self._interrupt(4)))
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            resumed = list(
+                Interpreter(
+                    parse_program(DIAMOND), por=False
+                ).resume(checkpoint)
+            )
+        assert [s.database for s in resumed] == [parse_database("a. b. c.")]
+        assert inst.metrics.counter("frontier.subsumed") > 0
+
+    def test_every_interruption_point_agrees_with_the_full_run(self):
+        full = [
+            s.database
+            for s in Interpreter(
+                parse_program(DIAMOND), por=False
+            ).solve("go", Database())
+        ]
+        for cap in range(1, 12):
+            checkpoint = pickle.loads(pickle.dumps(self._interrupt(cap)))
+            resumed = list(
+                Interpreter(
+                    parse_program(DIAMOND), por=False
+                ).resume(checkpoint)
+            )
+            assert [s.database for s in resumed] == full, "cap %d" % cap

@@ -15,6 +15,13 @@ successor database)`` -- exactly the parts renaming cannot touch.
 
 The workloads are the five profile-suite configs (the programs the
 counter gate pins), explored breadth-first to a state cap.
+
+A second differential covers the partial-order reducer: unlike the
+naive-enumeration oracle, reduction deliberately changes which
+configurations are *visited*, so the equivalence is at the solution
+level -- identical answer sets and identical final databases with the
+reducer on and off, over the profile-suite configs and the six chaos
+workloads.
 """
 
 import re
@@ -26,7 +33,13 @@ from repro import Database, parse_database, parse_goal, parse_program
 from repro.core.formulas import apply_subst
 from repro.core.interpreter import Interpreter, _Budget
 from repro.core.transitions import canonical_key, enabled_steps
-from repro.obs.analyze import _BANK_TD, _GENOME_FACTS, _GENOME_TD, _PATH_TD
+from repro.obs.analyze import (
+    _BANK_TD,
+    _FANOUT_TD,
+    _GENOME_FACTS,
+    _GENOME_TD,
+    _PATH_TD,
+)
 
 
 #: Fresh-variable suffixes (``B2#3``) in action text; atoms are already
@@ -150,3 +163,168 @@ class TestTargetedShapes:
             "go <- not stop * ins.mark * stop2.\nstop2 <- mark."
         )
         assert_enumeration_equivalent(program, parse_goal("go"), Database())
+
+
+# -- partial-order reduction: solution-level differential ---------------------
+
+
+def _solution_set(interp, goal, db):
+    return {
+        (
+            tuple(sorted((str(v), str(t)) for v, t in sol.bindings.items())),
+            sol.database,
+        )
+        for sol in interp.solve(goal, db)
+    }
+
+
+def assert_por_invisible(program, goal, db, max_configs=400_000):
+    """The reducer must change only the work, never the result: same
+    answer sets, same set of final databases, with ``por`` on and off."""
+    goal = program.resolve_goal(goal)
+    reduced = _solution_set(
+        Interpreter(program, max_configs=max_configs), goal, db
+    )
+    naive = _solution_set(
+        Interpreter(program, max_configs=max_configs, por=False), goal, db
+    )
+    assert reduced == naive
+    assert reduced  # every workload here has at least one solution
+
+
+#: One-sample genome database: the reducer-off enumeration of the full
+#: two-sample profile db takes tens of seconds, and one sample already
+#: exercises every rule (it is exactly the genome_statespace config db).
+_GENOME_ONE = (
+    "workitem(dna01). available(ana). available(raj). "
+    "qualified(ana, tech). qualified(raj, tech). qualified(raj, reader)."
+)
+
+
+class TestPartialOrderReductionInvisible:
+    """POR on/off: identical answer sets and final databases."""
+
+    def test_bank_transfer(self):
+        assert_por_invisible(
+            parse_program(_BANK_TD),
+            parse_goal("transfer(a, b, 30)"),
+            parse_database("balance(a, 100). balance(b, 10)."),
+        )
+
+    def test_path_tabled(self):
+        assert_por_invisible(
+            parse_program(_PATH_TD),
+            parse_goal("path(a, X)"),
+            parse_database("e(a, b). e(b, c). e(c, d). e(d, e). e(e, f)."),
+        )
+
+    def test_genome_simulate(self):
+        assert_por_invisible(
+            parse_program(_GENOME_TD), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_conc_fanout(self):
+        assert_por_invisible(
+            parse_program(_FANOUT_TD), parse_goal("spawn"),
+            parse_database("item(j1). item(j2). item(j3). item(j4). item(j5)."),
+        )
+
+    def test_lab_workflow(self):
+        from repro.core.formulas import Call
+        from repro.core.terms import atom
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator()
+        assert_por_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+
+class TestPorInvisibleOnChaosWorkloads:
+    """The six chaos workloads' programs (docs/ROBUSTNESS.md), unfaulted:
+    the reducer must be invisible on the very shapes the chaos gate
+    perturbs.  (Under fault injection the interpreter bypasses the
+    reducer entirely -- see TestPorDisabledUnderFaults.)"""
+
+    def test_bank_transfer(self):
+        from repro.faults.chaos import _BANK_DB, _BANK_TD as BANK
+
+        assert_por_invisible(
+            parse_program(BANK),
+            parse_goal("transfer(a, b, 30)"),
+            parse_database(_BANK_DB),
+        )
+
+    def test_path_query(self):
+        from repro.faults.chaos import _PATH_DB, _PATH_TD as PATH
+
+        assert_por_invisible(
+            parse_program(PATH),
+            parse_goal("path(a, Y) * ins.reached(Y)"),
+            parse_database(_PATH_DB),
+        )
+
+    def test_genome_simulate(self):
+        from repro.faults.chaos import _GENOME_TD as GENOME
+
+        assert_por_invisible(
+            parse_program(GENOME), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_genome_iso(self):
+        from repro.faults.chaos import _GENOME_ISO_TD
+
+        assert_por_invisible(
+            parse_program(_GENOME_ISO_TD), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_lab_workflow(self):
+        from repro.core.formulas import Call
+        from repro.core.terms import atom
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator(iterate=False)
+        assert_por_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+    def test_lab_iterate(self):
+        from repro.core.formulas import Call
+        from repro.core.terms import atom
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator(iterate=True)
+        assert_por_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+
+class TestPorDisabledUnderFaults:
+    def test_reducer_bypassed_when_faults_attached(self, monkeypatch):
+        # Fault plans target individual interleavings, so the chaos
+        # harness must see the unreduced enumeration: tdlog chaos output
+        # stays byte-identical whatever the reducer does.  If the
+        # interpreter consulted the reducer here, this run would raise.
+        from repro.core import por as por_module
+        from repro.faults import FaultInjector, generate_plan
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("reducer consulted under fault injection")
+
+        monkeypatch.setattr(por_module.PartialOrderReducer, "steps", boom)
+        program = parse_program(_BANK_TD)
+        plan = generate_plan(seed=3, predicates=("balance",), agents=())
+        interp = Interpreter(program, faults=FaultInjector(plan))
+        interp.simulate(
+            parse_goal("transfer(a, b, 30)"),
+            parse_database("balance(a, 100). balance(b, 10)."),
+        )

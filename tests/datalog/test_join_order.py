@@ -1,0 +1,169 @@
+"""Join ordering in the seminaive Datalog evaluator.
+
+``_plan_body`` greedily orders a rule's positive literals by
+bound-argument selectivity (fewest still-unbound variables, ties by
+relation size, then textual position), keeping negative literals last
+so stratified safety is untouched.  Any order over the positive
+conjuncts enumerates the same substitutions, so the plan may only
+change the *work* -- pinned here by differentials against the textual
+order and against :func:`evaluate_naive`, plus counter assertions that
+the reorder actually fires and actually pays.
+"""
+
+from repro import Database
+from repro.core.terms import Atom, Variable, atom
+from repro.datalog import (
+    DatalogProgram,
+    DatalogRule,
+    Literal,
+    evaluate,
+    evaluate_naive,
+)
+from repro.datalog.engine import _plan_body
+from repro.obs import Instrumentation, instrumented
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+#: A skewed join: ``big`` holds 30 pairs, ``key`` a single unary fact.
+#: Textually ``big`` comes first, so the unplanned join scans all of it;
+#: the planned join probes ``key`` first and reaches ``big`` with its
+#: first argument bound (an index probe).
+def skewed_program():
+    return DatalogProgram([
+        DatalogRule(
+            Atom("q", (X, Y)),
+            (Literal(Atom("big", (X, Y))), Literal(Atom("key", (X,)))),
+        ),
+    ])
+
+
+def skewed_edb():
+    facts = [atom("big", i, i + 100) for i in range(30)]
+    facts.append(atom("key", 7))
+    return Database(facts)
+
+
+class TestPlanBody:
+    def test_selective_literal_moves_first(self):
+        body = skewed_program().rules[0].body
+        plan = _plan_body(body, skewed_edb())
+        assert [l.atom.pred for l in plan] == ["key", "big"]
+
+    def test_reorder_false_pins_textual_order(self):
+        body = skewed_program().rules[0].body
+        plan = _plan_body(body, skewed_edb(), reorder=False)
+        assert [l.atom.pred for l in plan] == ["big", "key"]
+
+    def test_negatives_stay_last(self):
+        # Even a maximally selective negative literal must not move
+        # ahead of the positives that ground its variables.
+        body = (
+            Literal(Atom("big", (X, Y))),
+            Literal(Atom("blocked", (X,)), False),
+            Literal(Atom("key", (X,))),
+        )
+        plan = _plan_body(body, skewed_edb())
+        assert [l.atom.pred for l in plan] == ["key", "big", "blocked"]
+        assert not plan[-1].positive
+
+    def test_ties_break_by_relation_size_then_position(self):
+        body = (
+            Literal(Atom("wide", (X,))),
+            Literal(Atom("narrow", (X,))),
+        )
+        edb = Database(
+            [atom("wide", i) for i in range(5)] + [atom("narrow", 0)]
+        )
+        plan = _plan_body(body, edb)
+        assert [l.atom.pred for l in plan] == ["narrow", "wide"]
+        # Identical relations: textual order is preserved (no churn).
+        even = Database([atom("wide", 0), atom("narrow", 0)])
+        assert [l.atom.pred for l in _plan_body(body, even)] == [
+            "wide", "narrow",
+        ]
+
+
+def tc_program():
+    return DatalogProgram([
+        DatalogRule(Atom("path", (X, Y)), (Literal(Atom("e", (X, Y))),)),
+        DatalogRule(
+            Atom("path", (X, Y)),
+            (Literal(Atom("path", (Z, Y))), Literal(Atom("e", (X, Z)))),
+        ),
+    ])
+
+
+def negation_program():
+    return DatalogProgram([
+        DatalogRule(Atom("reach", (X,)), (Literal(Atom("src", (X,))),)),
+        DatalogRule(
+            Atom("reach", (Y,)),
+            (Literal(Atom("reach", (X,))), Literal(Atom("e", (X, Y)))),
+        ),
+        DatalogRule(
+            Atom("cut", (X,)),
+            (
+                Literal(Atom("node", (X,))),
+                Literal(Atom("reach", (X,)), False),
+            ),
+        ),
+    ])
+
+
+class TestDifferential:
+    def test_skewed_join_answers_are_plan_independent(self):
+        program, edb = skewed_program(), skewed_edb()
+        planned = evaluate(program, edb)
+        textual = evaluate(program, edb, reorder=False)
+        naive = evaluate_naive(program, edb)
+        assert planned == textual == naive
+        assert atom("q", 7, 107) in planned
+        assert len(planned.facts("q")) == 1
+
+    def test_recursive_closure_is_plan_independent(self):
+        # The recursive rule is written delta-hostile (recursive literal
+        # first): planning may move it, seminaive delta positions are
+        # computed against the plan, and the fixpoint must not care.
+        edb = Database([atom("e", i, i + 1) for i in range(6)])
+        program = tc_program()
+        planned = evaluate(program, edb)
+        assert planned == evaluate(program, edb, reorder=False)
+        assert planned == evaluate_naive(program, edb)
+        assert len(planned.facts("path")) == 21
+
+    def test_stratified_negation_is_plan_independent(self):
+        edb = Database([
+            atom("src", "a"), atom("e", "a", "b"), atom("e", "b", "c"),
+            atom("node", "a"), atom("node", "c"), atom("node", "z"),
+        ])
+        program = negation_program()
+        planned = evaluate(program, edb)
+        assert planned == evaluate(program, edb, reorder=False)
+        assert planned == evaluate_naive(program, edb)
+        assert atom("cut", "z") in planned
+        assert atom("cut", "c") not in planned
+
+
+class TestCounters:
+    def _measure(self, reorder):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            result = evaluate(skewed_program(), skewed_edb(), reorder=reorder)
+        return result, inst.metrics
+
+    def test_reorder_counter_fires_only_when_the_plan_changes(self):
+        _, planned = self._measure(True)
+        _, textual = self._measure(False)
+        assert planned.counter("join.reorders") > 0
+        assert textual.counter("join.reorders") == 0
+
+    def test_planned_join_attempts_fewer_matches(self):
+        # The textual order scans all 30 ``big`` facts per pass; the
+        # planned order probes ``key`` and then ``big`` bound on X.
+        planned_db, planned = self._measure(True)
+        textual_db, textual = self._measure(False)
+        assert planned_db == textual_db
+        assert planned.counter("unify.attempts") * 2 <= textual.counter(
+            "unify.attempts"
+        )

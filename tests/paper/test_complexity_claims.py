@@ -43,10 +43,25 @@ class TestC1FullTDisRE:
             assert got == m.accepts(c0=n)
 
     def test_divergence_hits_budget(self):
+        # por=False: this claim is about the *naive* interleaving
+        # enumeration.  The partial-order reducer happens to decide this
+        # particular machine finitely (counter 1's consume-inc body is
+        # forever blocked -- nothing writes inc1 -- so every schedule is
+        # provably commit-free), which does not contradict RE-ness: no
+        # reducer decides every encoding.
         program, goal, db = counter_to_td(diverging_counter_machine())
-        interp = Interpreter(program, max_configs=3_000)
+        interp = Interpreter(program, max_configs=3_000, por=False)
         with pytest.raises(SearchBudgetExceeded):
             interp.succeeds(goal, db)
+
+    def test_divergence_reducer_may_decide_an_instance(self):
+        # The flip side: with the reducer on, the same encoding fails
+        # finitely (and correctly -- the machine never accepts).  Sound
+        # pruning may shrink an infinite fruitless search to a finite
+        # one; it must never change the verdict when one is reached.
+        program, goal, db = counter_to_td(diverging_counter_machine())
+        interp = Interpreter(program, max_configs=3_000)
+        assert interp.succeeds(goal, db) is False
 
     def test_database_never_grows_with_runtime(self):
         program, goal, db = counter_to_td(parity_program(), c0=4)
