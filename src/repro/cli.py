@@ -6,7 +6,11 @@ Usage examples::
     tdlog solve workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog run workflow.td --goal 'simulate' --db lab.facts --seed 7
     tdlog analyze --demo-lab 4
+    tdlog explain workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
+    tdlog explain workflow.td --goal 'transfer(a, b, 999)' --db bank.facts --why-not
+    tdlog explain --audit-por
     tdlog bench --repeat 5
+    tdlog bench trend
     tdlog profile baseline
     tdlog profile diff
     tdlog profile export-otlp workflow.td --goal 'simulate' --out otlp.json
@@ -17,8 +21,12 @@ Usage examples::
 trace and final database; ``solve`` enumerates all solutions (bindings +
 final state); ``classify`` prints the sublanguage analysis.  ``analyze``
 computes workflow analytics (per-task latency, agent utilization, queue
-wait, critical path) from an event log or a demo simulation; ``bench``
-times the profile-suite workloads (wall clock, best/mean over repeats);
+wait, critical path) from an event log or a demo simulation; ``explain``
+records derivation provenance and renders proof trees, why-not failure
+summaries, and the partial-order-reduction pruning audit; ``bench``
+times the profile-suite workloads (wall clock, best/mean over repeats;
+``bench trend`` diffs the latest snapshot against the committed
+trajectory);
 ``profile`` manages counter baselines (``baseline``/``diff``, the CI
 regression gate) and exports traces/metrics as OTLP JSON
 (``export-otlp``); ``chaos`` runs the differential fault-injection
@@ -199,6 +207,68 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Answer explanation: proof trees, why-not reports, pruning audit.
+
+    Three modes (see docs/OBSERVABILITY.md, "Explaining answers"):
+
+    * ``explain PROGRAM --goal G``: run the goal with a provenance
+      recorder attached and print the proof tree of each solution.
+    * ``explain PROGRAM --goal G --why-not``: print the failure-side
+      summary instead (also the automatic fallback when the goal has no
+      solution).
+    * ``explain --audit-por [--suite NAME]``: re-verify every recorded
+      ample-set pruning decision against its witness and replay with
+      reduction off; with a PROGRAM and --goal the audit runs on that
+      goal instead of the committed profile suite.
+    """
+    from .obs import explain as _explain
+
+    if args.audit_por:
+        audits = []
+        if args.program and args.goal:
+            program = _load_program(args.program)
+            db = _load_db(args.db)
+            audits.append(
+                _explain.audit_por_goal(
+                    program, args.goal, db, max_configs=args.max_configs
+                )
+            )
+        else:
+            from .obs.analyze import profile_suite
+
+            names = args.suite or [c.name for c in profile_suite()]
+            if "all" in names:
+                names = [c.name for c in profile_suite()]
+            audits.extend(_explain.audit_profile_config(name) for name in names)
+        for audit in audits:
+            print(audit.render())
+        return 0 if all(a.ok for a in audits) else 1
+
+    if not args.program or not args.goal:
+        print("error: explain needs a PROGRAM and --goal (or --audit-por)",
+              file=sys.stderr)
+        return 2
+    program = _load_program(args.program)
+    db = _load_db(args.db)
+    recorder, solutions = _explain.explain_goal(
+        program, args.goal, db, mode=args.mode, max_configs=args.max_configs
+    )
+    if args.json:
+        recorder.write_jsonl(args.json)
+        print("provenance written to %s" % args.json, file=sys.stderr)
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(_explain.to_dot(recorder) + "\n")
+        print("derivation DAG written to %s" % args.dot, file=sys.stderr)
+    if args.why_not or not solutions:
+        print(_explain.why_not_report(recorder, top_k=args.top))
+        return 0 if solutions else 1
+    print("%d solution(s); proof tree:" % len(solutions))
+    print(_explain.render_proof_tree(recorder))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Wall-clock timings over the profile-suite workloads.
 
@@ -210,6 +280,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from .obs.analyze import profile_suite, suite_config
+
+    if args.action == "trend":
+        return _bench_trend(args.out or "benchmarks/trajectory")
 
     configs = (
         [suite_config(name) for name in args.only] if args.only else profile_suite()
@@ -272,6 +345,63 @@ def _next_bench_snapshot(out_dir: str) -> str:
         if match:
             taken.append(int(match.group(1)))
     return os.path.join(out_dir, "BENCH_%d.json" % (max(taken, default=0) + 1))
+
+
+def _bench_trend(trend_dir: str) -> int:
+    """Diff the latest bench snapshot against the committed series.
+
+    Reads every ``BENCH_<n>.json`` under *trend_dir* in numeric order
+    and reports, per config, the latest best-of timing against the
+    best and mean of the earlier snapshots.  Timings are machine-local:
+    the trend is for spotting one build's regression against its own
+    history, not for cross-machine comparison.
+    """
+    import os
+    import re
+
+    if not os.path.isdir(trend_dir):
+        print("error: no bench trajectory at %s (run `tdlog bench --out %s` "
+              "first)" % (trend_dir, trend_dir), file=sys.stderr)
+        return 2
+    snapshots = []
+    for name in sorted(os.listdir(trend_dir)):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if match:
+            with open(os.path.join(trend_dir, name)) as handle:
+                snapshots.append((int(match.group(1)), json.load(handle)))
+    snapshots.sort()
+    if not snapshots:
+        print("error: no BENCH_<n>.json snapshots in %s" % trend_dir,
+              file=sys.stderr)
+        return 2
+    latest_n, latest = snapshots[-1]
+    earlier = snapshots[:-1]
+    print("bench trend: %d snapshot(s), latest BENCH_%d" % (len(snapshots), latest_n))
+    width = max(len(str(row["config"])) for row in latest)
+    if not earlier:
+        print("%-*s  %12s" % (width, "config", "latest (ms)"))
+        for row in latest:
+            print("%-*s  %12.2f" % (width, row["config"], row["best_ms"]))
+        print("(single snapshot; run `tdlog bench --out` again to get a trend)")
+        return 0
+    history = {}
+    for _, rows in earlier:
+        for row in rows:
+            history.setdefault(row["config"], []).append(float(row["best_ms"]))
+    print("%-*s  %12s  %12s  %12s  %8s" % (
+        width, "config", "latest (ms)", "series best", "series mean", "delta"))
+    for row in latest:
+        series = history.get(row["config"])
+        if not series:
+            print("%-*s  %12.2f  %12s  %12s  %8s"
+                  % (width, row["config"], row["best_ms"], "-", "-", "new"))
+            continue
+        best = min(series)
+        mean = sum(series) / len(series)
+        delta = (float(row["best_ms"]) - best) / best * 100.0 if best else 0.0
+        print("%-*s  %12.2f  %12.2f  %12.2f  %+7.1f%%"
+              % (width, row["config"], row["best_ms"], best, mean, delta))
+    return 0
 
 
 def _cmd_profile_baseline(args: argparse.Namespace) -> int:
@@ -483,8 +613,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.set_defaults(fn=_cmd_analyze)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="proof trees, why-not reports, and the POR pruning audit",
+    )
+    p_explain.add_argument(
+        "program", nargs="?",
+        help="path to a .td program file (omit with --audit-por to audit "
+             "the committed profile suite)",
+    )
+    p_explain.add_argument("--goal", help="goal to explain")
+    p_explain.add_argument("--db", help="path to an initial-database facts file")
+    p_explain.add_argument("--max-configs", type=int, default=200_000)
+    p_explain.add_argument(
+        "--mode", choices=["auto", "bfs", "dfs"], default="auto",
+        help="auto routes by sublanguage; bfs/dfs force the small-step "
+             "interpreter's fair search / backtracking scheduler",
+    )
+    p_explain.add_argument(
+        "--why-not", action="store_true",
+        help="summarize the failure side instead of the proof tree "
+             "(automatic when the goal has no solution)",
+    )
+    p_explain.add_argument(
+        "--audit-por", action="store_true",
+        help="re-verify recorded ample-set prunes and replay with "
+             "reduction off",
+    )
+    p_explain.add_argument(
+        "--suite", action="append", metavar="CONFIG",
+        help="with --audit-por: profile config to audit (repeatable; "
+             "'all' or omitted = every config)",
+    )
+    p_explain.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="deepest partial derivations to show in --why-not (default 5)",
+    )
+    p_explain.add_argument(
+        "--dot", metavar="FILE",
+        help="write the derivation DAG as Graphviz DOT to FILE",
+    )
+    p_explain.add_argument(
+        "--json", metavar="FILE",
+        help="write the provenance log as JSON lines to FILE "
+             "(round-trips through the span model / OTLP export)",
+    )
+    p_explain.set_defaults(fn=_cmd_explain)
+
     p_bench = sub.add_parser(
         "bench", help="wall-clock timings for the profile-suite workloads"
+    )
+    p_bench.add_argument(
+        "action", nargs="?", choices=["trend"],
+        help="'trend': diff the latest BENCH_<n>.json snapshot against "
+             "the series (default dir benchmarks/trajectory, or --out DIR)",
     )
     p_bench.add_argument(
         "--repeat", type=int, default=5, metavar="N",
@@ -599,7 +781,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.set_defaults(fn=_cmd_chaos)
 
     for command in (
-        p_classify, p_solve, p_run, p_graph, p_diag, p_repl, p_analyze, p_chaos,
+        p_classify, p_solve, p_run, p_graph, p_diag, p_repl, p_analyze,
+        p_explain, p_chaos,
     ):
         _add_obs_flags(command)
 

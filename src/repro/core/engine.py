@@ -166,7 +166,10 @@ class Engine:
         interp = (
             self.backend
             if isinstance(self.backend, Interpreter)
-            else Interpreter(self.program)
+            else Interpreter(
+                self.program,
+                provenance=getattr(self.backend, "provenance", None),
+            )
         )
         return interp.resume(checkpoint, **kwargs)
 
@@ -199,7 +202,10 @@ class Engine:
         interp = (
             self.backend
             if isinstance(self.backend, Interpreter)
-            else Interpreter(self.program)
+            else Interpreter(
+                self.program,
+                provenance=getattr(self.backend, "provenance", None),
+            )
         )
         obs = self._describe()
         try:
@@ -222,14 +228,17 @@ def select_engine(
     goal: Union[str, Formula, None] = None,
     *legacy,
     max_configs: int = 200_000,
+    provenance=None,
 ) -> Engine:
     """Classify *program* (and *goal*, if given) and build the matching
     engine.
 
     ``max_configs`` bounds the small-step searches (full and fully
     bounded TD); the big-step evaluators ignore it, as they terminate
-    unconditionally.  Options after ``goal`` are keyword-only; positional
-    ``max_configs`` keeps working for one deprecation cycle.
+    unconditionally.  ``provenance`` attaches a derivation recorder (see
+    :mod:`repro.obs.provenance`) to whichever backend is selected.
+    Options after ``goal`` are keyword-only; positional ``max_configs``
+    keeps working for one deprecation cycle.
     """
     if legacy:
         if len(legacy) > 1:
@@ -250,11 +259,13 @@ def select_engine(
     sub = analysis.classify()
     backend: _Backend
     if sub in (Sublanguage.QUERY_ONLY, Sublanguage.SEQUENTIAL):
-        backend = SequentialEngine(program)
+        backend = SequentialEngine(program, provenance=provenance)
     elif sub is Sublanguage.NONRECURSIVE:
-        backend = NonrecursiveEngine(program)
+        backend = NonrecursiveEngine(program, provenance=provenance)
     else:
-        backend = Interpreter(program, max_configs=max_configs)
+        backend = Interpreter(
+            program, max_configs=max_configs, provenance=provenance
+        )
     return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)
 
 
@@ -264,6 +275,7 @@ def solve(
     db: Database,
     *,
     max_configs: int = 200_000,
+    provenance=None,
 ) -> Iterator[Solution]:
     """The blessed one-call entry point: classify, pick an engine, solve.
 
@@ -271,5 +283,7 @@ def solve(
     *goal* may be a formula or concrete syntax.  Use :func:`select_engine`
     directly when reusing one engine across many goals or databases.
     """
-    engine = select_engine(program, goal, max_configs=max_configs)
+    engine = select_engine(
+        program, goal, max_configs=max_configs, provenance=provenance
+    )
     return engine.solve(goal, db)

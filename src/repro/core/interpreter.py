@@ -59,11 +59,12 @@ from typing import (
 )
 
 from ..obs.context import Instrumentation, NOOP, active
+from ..obs.provenance import active_recorder, config_digest
 from .database import Database
 from .errors import AttemptBudgetExceeded, DeadlineExceeded, SearchBudgetExceeded
 from .formulas import Formula, apply_subst, formula_variables
 from .parser import as_goal
-from .por import PartialOrderReducer
+from .por import PartialOrderReducer, por_forced_off
 from .program import Program
 from .terms import Term, Variable
 from .transitions import (
@@ -92,11 +93,19 @@ class Solution:
 
 @dataclass(frozen=True)
 class Execution:
-    """A complete successful execution: solution plus the action trace."""
+    """A complete successful execution: solution plus the action trace.
+
+    ``action_times`` (set only by instrumented :meth:`Interpreter.
+    simulate` runs) gives one ``time.perf_counter()`` stamp per trace
+    action -- the moment the scheduler committed to it -- so consumers
+    like the workflow scheduler can reconstruct exact per-task spans.
+    ``None`` on uninstrumented runs and on BFS executions.
+    """
 
     bindings: Substitution
     database: Database
     trace: Tuple[Action, ...]
+    action_times: Optional[Tuple[float, ...]] = None
 
     @property
     def events(self) -> Tuple[str, ...]:
@@ -275,26 +284,45 @@ class Interpreter:
         sort_concurrent: bool = True,
         faults=None,
         por: bool = True,
+        provenance=None,
     ):
         self.program = program
         self.max_configs = max_configs
         self.sort_concurrent = sort_concurrent
         self.faults = faults
         self.por = por
-        self._reducer = PartialOrderReducer(program) if por else None
+        #: Optional :class:`repro.obs.provenance.ProvenanceRecorder`.
+        #: ``None`` (the default) also consults the ambient recorder at
+        #: each entry point (see :func:`repro.obs.provenance.recording`);
+        #: with neither attached the hot loops pay one ``is None`` check.
+        self.provenance = provenance
+        self._reducer = (
+            PartialOrderReducer(program) if (por and not por_forced_off()) else None
+        )
 
-    def _enabled_steps(self, proc, db, isol_runner, obs: Instrumentation):
+    def _prov(self):
+        """The recorder for this search: explicit beats ambient."""
+        return self.provenance if self.provenance is not None else active_recorder()
+
+    def _enabled_steps(
+        self, proc, db, isol_runner, obs: Instrumentation, prov=None, parent=None
+    ):
         """The transition relation this search uses: partial-order
         reduced when enabled and no fault injector is attached, the
-        full enumeration otherwise."""
+        full enumeration otherwise.  ``prov``/``parent`` flow to the
+        reducer so ample-set decisions land in the derivation record."""
         reducer = self._reducer if self.faults is None else None
+        enabled = obs.enabled
         return enabled_steps(
             self.program,
             proc,
             db,
             isol_runner,
             reducer=reducer,
-            metrics=obs.metrics if obs.enabled else None,
+            metrics=obs.metrics if enabled else None,
+            tracer=obs.tracer if enabled else None,
+            prov=prov,
+            prov_parent=parent,
         )
 
     def _make_budget(self, obs: Optional[Instrumentation] = None) -> "_Budget":
@@ -336,6 +364,7 @@ class Interpreter:
                     want_trace=False,
                     obs=obs,
                     deadline=_as_deadline(deadline),
+                    prov=self._prov(),
                 ):
                     yield Solution(dict(zip(goal_vars, answers)), final_db)
             finally:
@@ -373,6 +402,7 @@ class Interpreter:
                     want_trace=True,
                     obs=obs,
                     deadline=_as_deadline(deadline),
+                    prov=self._prov(),
                 ):
                     yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
             finally:
@@ -423,6 +453,7 @@ class Interpreter:
                     obs=obs,
                     deadline=_as_deadline(deadline),
                     state=checkpoint,
+                    prov=self._prov(),
                 ):
                     bindings = dict(zip(goal_vars, answers))
                     if checkpoint.want_trace:
@@ -467,6 +498,7 @@ class Interpreter:
                     max_depth,
                     obs=obs,
                     deadline=_as_deadline(deadline),
+                    prov=self._prov(),
                 )
             except (SearchBudgetExceeded, DeadlineExceeded) as exc:
                 exc.goal = goal
@@ -475,8 +507,8 @@ class Interpreter:
                 _note_budget(obs, budget)
         if result is None:
             return None
-        answers, final_db, trace = result
-        return Execution(dict(zip(goal_vars, answers)), final_db, trace)
+        answers, final_db, trace, times = result
+        return Execution(dict(zip(goal_vars, answers)), final_db, trace, times)
 
     # -- BFS core ---------------------------------------------------------------
 
@@ -490,6 +522,7 @@ class Interpreter:
         obs: Instrumentation = NOOP,
         deadline: Optional[Deadline] = None,
         state: Optional[Checkpoint] = None,
+        prov=None,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
         # The frontier is bucketed by canonical key: alongside the FIFO
@@ -519,6 +552,23 @@ class Interpreter:
         queued = {key for _, key in frontier}
         enabled = obs.enabled
         faults = self.faults
+        # Provenance bookkeeping maps canonical config keys to node ids
+        # in the derivation DAG; ``prov`` is None on uninstrumented runs
+        # (and for the inner searches of ``iso``), so every touch below
+        # is guarded by a single ``prov is not None`` check.
+        node_ids: Dict[object, Optional[int]] = {}
+        if prov is not None:
+            if state is None:
+                root = prov.record("config", str(goal), disposition="root")
+                node_ids[frontier[0][1]] = root
+            else:
+                root = prov.record(
+                    "config", "(resume) " + str(goal), disposition="root"
+                )
+                for c, key in frontier:
+                    node_ids[key] = prov.record(
+                        "config", "(resumed) " + str(c.process), parent=root
+                    )
 
         while frontier:
             config, config_key = frontier.popleft()
@@ -530,10 +580,20 @@ class Interpreter:
                     emitted.add(result)
                     if enabled:
                         obs.metrics.inc("search.solutions")
+                    if prov is not None:
+                        prov.mark(
+                            node_ids.get(config_key),
+                            "solution",
+                            witness={
+                                "answers": [str(a) for a in config.answers]
+                            },
+                        )
                     yield config.answers, config.database, traces.get(config_key, ())
                 continue
             if enabled:
                 obs.metrics.inc("search.configs_expanded")
+            parent = node_ids.get(config_key) if prov is not None else None
+            stepped = False
             try:
                 if deadline is not None:
                     deadline.check()
@@ -542,13 +602,18 @@ class Interpreter:
                     config.database,
                     self._isol_runner(budget, obs, deadline),
                     obs,
+                    prov,
+                    parent,
                 )
                 if faults is not None:
                     steps = faults.perturb(config.process, config.database, steps)
                 for step in steps:
                     budget.spend()
+                    stepped = True
                     new_proc = apply_subst(step.residual, step.subst)
                     if dead_config(new_proc, step.database, insertable, deletable):
+                        if prov is not None:
+                            prov.record_step(step, parent, "dead-config")
                         continue
                     new_answers = tuple(walk(t, step.subst) for t in config.answers)
                     succ = Configuration(new_proc, step.database, new_answers)
@@ -556,15 +621,50 @@ class Interpreter:
                     if key in queued:
                         if enabled:
                             obs.metrics.inc("frontier.subsumed")
+                            obs.tracer.event(
+                                "frontier.subsumed",
+                                config=str(new_proc),
+                                by="queued",
+                            )
+                        if prov is not None:
+                            prov.record_step(
+                                step,
+                                parent,
+                                "frontier-subsumed",
+                                witness={
+                                    "subsumed_by": node_ids.get(key),
+                                    "where": "queued",
+                                    "config": config_digest(
+                                        new_proc, step.database
+                                    ),
+                                },
+                            )
                         continue
                     if key in seen:
+                        if prov is not None:
+                            prov.record_step(
+                                step,
+                                parent,
+                                "frontier-subsumed",
+                                witness={
+                                    "subsumed_by": node_ids.get(key),
+                                    "where": "seen",
+                                    "config": config_digest(
+                                        new_proc, step.database
+                                    ),
+                                },
+                            )
                         continue
                     queued.add(key)
+                    if prov is not None:
+                        node_ids[key] = prov.record_step(step, parent)
                     if want_trace:
                         traces[key] = traces.get(config_key, ()) + (step.action,)
                     frontier.append((succ, key))
                     if enabled:
                         obs.metrics.gauge_max("search.frontier_peak", len(frontier))
+                if prov is not None and not stepped:
+                    prov.mark(node_ids.get(config_key), "failed-unify")
             except (SearchBudgetExceeded, DeadlineExceeded) as exc:
                 # Interrupted mid-expansion: re-queue the current
                 # configuration (successors already discovered stay in
@@ -588,6 +688,13 @@ class Interpreter:
                 )
                 if enabled:
                     obs.metrics.inc("search.checkpoints")
+                if prov is not None:
+                    prov.mark(
+                        node_ids.get(config_key),
+                        "budget-exhausted"
+                        if isinstance(exc, SearchBudgetExceeded)
+                        else "deadline-exhausted",
+                    )
                 raise
 
     def _key(self, config: Configuration):
@@ -611,7 +718,8 @@ class Interpreter:
         max_depth: int,
         obs: Instrumentation = NOOP,
         deadline: Optional[Deadline] = None,
-    ) -> Optional[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
+        prov=None,
+    ) -> Optional[tuple]:
         insertable, deletable = update_footprint(self.program, goal)
         failed: Set[object] = set()
         # The failed-state memo is keyed on (process, database) alone,
@@ -625,9 +733,13 @@ class Interpreter:
         use_memo = self.faults is None
         limit_hits = 0  # depth-truncation events (blocks unsound fail-memo)
         trace: List[Action] = []
+        # Wall-clock stamps per committed action, mirrored with ``trace``
+        # push-for-push and pop-for-pop; only collected on instrumented
+        # runs so the hot loop stays clean.
+        times: Optional[List[float]] = [] if obs.enabled else None
         faults = self.faults
 
-        def expand(proc: Formula, state: Database):
+        def expand(proc: Formula, state: Database, pnode=None):
             """Successor (step, residual process) pairs, pruned of dead
             configurations and ordered so that children whose frontier is
             immediately enabled come before blocked ones (see
@@ -647,7 +759,7 @@ class Interpreter:
             if deadline is not None:
                 deadline.check()
             steps = self._enabled_steps(
-                proc, state, self._isol_runner(budget, obs, deadline), obs
+                proc, state, self._isol_runner(budget, obs, deadline), obs, prov, pnode
             )
             if faults is not None:
                 steps = faults.perturb(proc, state, steps)
@@ -657,6 +769,8 @@ class Interpreter:
                 budget.spend()
                 new_proc = apply_subst(step.residual, step.subst)
                 if dead_config(new_proc, step.database, insertable, deletable):
+                    if prov is not None:
+                        prov.record_step(step, pnode, "dead-config")
                     continue
                 local = apply_subst(step.local, step.subst)
                 if frontier_blocked(local, step.database):
@@ -671,11 +785,18 @@ class Interpreter:
                 yield from ready
             yield from deferred
 
-        # Each frame: (key, step iterator, answers, hits_before).  The
-        # explicit stack avoids Python recursion limits on long workflow
-        # executions.
+        # Each frame: [key, step iterator, answers, hits_before, prov
+        # node, stepped].  The explicit stack avoids Python recursion
+        # limits on long workflow executions.
+        root = (
+            prov.record("config", str(goal), disposition="root")
+            if prov is not None
+            else None
+        )
         start_key = (canonical_key(goal, self.sort_concurrent), db)
-        stack: List[list] = [[start_key, expand(goal, db), tuple(goal_vars), 0]]
+        stack: List[list] = [
+            [start_key, expand(goal, db, root), tuple(goal_vars), 0, root, False]
+        ]
         enabled = obs.enabled
         if enabled:
             # The DFS twin of the BFS ``search.frontier_peak`` gauge:
@@ -686,23 +807,59 @@ class Interpreter:
             if not use_memo and getattr(faults, "dormant", False):
                 use_memo = True
             frame = stack[-1]
-            key, steps, answers, hits_before = frame
+            key, steps, answers, hits_before, fnode, _ = frame
             advanced = False
             for step, new_proc in steps:
                 new_answers = tuple(walk(t, step.subst) for t in answers)
                 trace.append(step.action)
+                if times is not None:
+                    times.append(time.perf_counter())
+                child = None
+                if prov is not None:
+                    child = prov.record_step(step, fnode)
+                    frame[5] = True
                 if is_final(new_proc):
-                    return new_answers, step.database, tuple(trace)
+                    if prov is not None:
+                        prov.mark(
+                            child,
+                            "solution",
+                            witness={"answers": [str(a) for a in new_answers]},
+                        )
+                    return (
+                        new_answers,
+                        step.database,
+                        tuple(trace),
+                        tuple(times) if times is not None else None,
+                    )
                 if len(stack) >= max_depth:
                     limit_hits += 1
                     trace.pop()
+                    if times is not None:
+                        times.pop()
+                    if prov is not None:
+                        prov.mark(child, "depth-limit")
                     continue
                 new_key = (canonical_key(new_proc, self.sort_concurrent), step.database)
                 if use_memo and new_key in failed:
                     trace.pop()
+                    if times is not None:
+                        times.pop()
+                    if prov is not None:
+                        prov.mark(
+                            child,
+                            "frontier-subsumed",
+                            witness={"where": "failed-memo"},
+                        )
                     continue
                 stack.append(
-                    [new_key, expand(new_proc, step.database), new_answers, limit_hits]
+                    [
+                        new_key,
+                        expand(new_proc, step.database, child),
+                        new_answers,
+                        limit_hits,
+                        child,
+                        False,
+                    ]
                 )
                 if enabled:
                     obs.metrics.gauge_max("search.depth_peak", len(stack))
@@ -713,9 +870,15 @@ class Interpreter:
                 # was truncated by the depth limit (soundness of the memo).
                 if use_memo and limit_hits == hits_before:
                     failed.add(key)
+                if prov is not None:
+                    prov.mark(
+                        fnode, "backtracked" if frame[5] else "failed-unify"
+                    )
                 stack.pop()
                 if trace:
                     trace.pop()
+                    if times is not None and times:
+                        times.pop()
         return None
 
     # -- isolation ----------------------------------------------------------------

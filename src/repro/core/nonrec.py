@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Set, Tuple
 
 from ..obs.context import Instrumentation, NOOP, active
+from ..obs.provenance import active_recorder, db_delta, render_bindings
 from .database import Database
 from .errors import SafetyError, UnsupportedProgramError
 from .formulas import (
@@ -56,28 +57,46 @@ class NonrecursiveEngine:
     on recursive programs like any top-down evaluator.
     """
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, provenance=None):
         self.program = program
+        #: Derivation recorder (see :mod:`repro.obs.provenance`); falls
+        #: back to the ambient recorder when unset.
+        self.provenance = provenance
         self._has_conc = any(
             isinstance(sub, Conc)
             for rule in program.rules
             for sub in walk_formulas(rule.body)
         )
-        self._fallback = Interpreter(program) if self._has_conc else None
+        self._fallback = (
+            Interpreter(program, provenance=provenance) if self._has_conc else None
+        )
         # Memo: (canonical call atom, db) -> list of (values, db_out).
         self._memo: Dict[Tuple[Atom, Database], List] = {}
         # Instrumentation for the current solve (NOOP when inactive).
         self._obs: Instrumentation = NOOP
+        # Provenance scratch for the current solve.
+        self._prov_rec = None
+        self._prov_root = None
 
     def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
         goal = self.program.resolve_goal(as_goal(goal))
         goal_has_conc = any(isinstance(s, Conc) for s in walk_formulas(goal))
         if self._fallback is not None or goal_has_conc:
-            fallback = self._fallback or Interpreter(self.program)
+            fallback = self._fallback or Interpreter(
+                self.program, provenance=self.provenance
+            )
             yield from fallback.solve(goal, db)
             return
         goal_vars = _ordered_vars(goal)
         obs = self._obs = active()
+        prov = self._prov_rec = (
+            self.provenance if self.provenance is not None else active_recorder()
+        )
+        self._prov_root = (
+            prov.record("config", str(goal), disposition="root")
+            if prov is not None
+            else None
+        )
         with obs.span("solve", engine="nonrec", goal=str(goal)):
             emitted = set()
             for theta, final_db in self._eval(goal, db, {}):
@@ -87,6 +106,24 @@ class NonrecursiveEngine:
                     emitted.add(key)
                     if obs.enabled:
                         obs.metrics.inc("search.solutions")
+                    if prov is not None:
+                        ins, dels = db_delta(db, final_db)
+                        # Answer labels carry the bindings applied (see
+                        # the same rendering choice in seqeval.solve).
+                        label = (
+                            str(apply_atom(goal.atom, bindings))
+                            if isinstance(goal, Call)
+                            else str(goal)
+                        )
+                        prov.record(
+                            "answer",
+                            label,
+                            parent=self._prov_root,
+                            disposition="solution",
+                            bindings=render_bindings(bindings),
+                            inserted=ins,
+                            deleted=dels,
+                        )
                     yield Solution(bindings, final_db)
             if obs.enabled:
                 obs.metrics.set_gauge("table.keys", len(self._memo))
@@ -164,9 +201,23 @@ class NonrecursiveEngine:
         key = (canon_atom, db)
         answers = self._memo.get(key)
         obs = self._obs
+        prov = self._prov_rec
         if obs.enabled:
             obs.metrics.inc("table.misses" if answers is None else "table.hits")
         if answers is None:
+            call_node = None
+            if prov is not None:
+                parent = prov.current_parent
+                call_node = prov.record(
+                    "call",
+                    str(canon_atom),
+                    parent=parent if parent is not None else self._prov_root,
+                    witness={"table": "miss"},
+                )
+                # The compute section below runs to completion inside
+                # this generator's first ``next()``, so push/pop nesting
+                # is well-bracketed even across lazy consumers.
+                prov.push(call_node)
             answers = []
             seen = set()
             canon_vars: List[Variable] = []
@@ -175,20 +226,42 @@ class NonrecursiveEngine:
                 if isinstance(t, Variable):
                     seen_vars.setdefault(t, None)
             canon_vars = list(seen_vars)
-            # Indexed dispatch: head matching for this canonical call
-            # shape is memoized on the program (see Program.match_rules).
-            for rule, theta0 in self.program.match_rules(canon_atom):
-                for theta1, db_out in self._eval(rule.body, db, theta0):
-                    values = tuple(walk(v, theta1) for v in canon_vars)
-                    if any(isinstance(v, Variable) for v in values):
-                        raise SafetyError(
-                            "rule for %s does not bind all head variables"
-                            % (canon_atom,)
-                        )
-                    entry = (values, db_out)
-                    if entry not in seen:
-                        seen.add(entry)
-                        answers.append(entry)
+            try:
+                # Indexed dispatch: head matching for this canonical call
+                # shape is memoized on the program (see Program.match_rules).
+                for rule, theta0 in self.program.match_rules(canon_atom):
+                    for theta1, db_out in self._eval(rule.body, db, theta0):
+                        values = tuple(walk(v, theta1) for v in canon_vars)
+                        if any(isinstance(v, Variable) for v in values):
+                            raise SafetyError(
+                                "rule for %s does not bind all head variables"
+                                % (canon_atom,)
+                            )
+                        entry = (values, db_out)
+                        if entry not in seen:
+                            seen.add(entry)
+                            answers.append(entry)
+                            if prov is not None:
+                                ins, dels = db_delta(db, db_out)
+                                prov.record(
+                                    "answer",
+                                    str(
+                                        apply_atom(
+                                            canon_atom,
+                                            dict(zip(canon_vars, values)),
+                                        )
+                                    ),
+                                    parent=call_node,
+                                    bindings=render_bindings(
+                                        dict(zip(canon_vars, values))
+                                    ),
+                                    inserted=ins,
+                                    deleted=dels,
+                                    witness={"rule": str(rule.head)},
+                                )
+            finally:
+                if prov is not None:
+                    prov.pop()
             self._memo[key] = answers
         for values, db_out in answers:
             out = dict(theta)

@@ -60,6 +60,7 @@ the state-space verifier (which counts the full graph by design).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from .database import Database
@@ -89,8 +90,43 @@ __all__ = [
     "PartialOrderReducer",
     "footprint",
     "frontier_footprint",
+    "por_disabled",
+    "por_forced_off",
     "signature_footprints",
 ]
+
+#: When set, every :class:`repro.core.interpreter.Interpreter`
+#: constructed ignores ``por=True``.  This is how the pruning audit
+#: (``tdlog explain --audit-por``) replays a *fixed* workload -- one
+#: that builds its own interpreters internally -- against the
+#: full-interleaving oracle without threading a flag through it.
+_FORCE_DISABLED = False
+
+
+def por_forced_off() -> bool:
+    """True while inside a :func:`por_disabled` block."""
+    return _FORCE_DISABLED
+
+
+@contextmanager
+def por_disabled() -> Iterator[None]:
+    """Force ``por=False`` on every interpreter built in this block."""
+    global _FORCE_DISABLED
+    previous = _FORCE_DISABLED
+    _FORCE_DISABLED = True
+    try:
+        yield
+    finally:
+        _FORCE_DISABLED = previous
+
+
+def _fp_lists(fp: "Footprint") -> Dict[str, list]:
+    """A footprint as sorted lists (JSON-stable witness form)."""
+    return {
+        "reads": sorted(fp[0]),
+        "inserts": sorted(fp[1]),
+        "deletes": sorted(fp[2]),
+    }
 
 _EMPTY: frozenset = frozenset()
 
@@ -257,9 +293,27 @@ class PartialOrderReducer:
         db: Database,
         isol_runner: IsolRunner,
         metrics=None,
+        tracer=None,
+        prov=None,
+        prov_parent=None,
     ) -> Iterator[Step]:
+        """The reduced step set.  ``tracer`` (when attached) receives
+        one ``por.pruned`` event per ample decision that actually
+        deferred siblings; ``prov``/``prov_parent`` (a
+        :class:`repro.obs.provenance.ProvenanceRecorder` and the node
+        of the configuration being expanded) additionally record the
+        full ample-set witness -- frontier and closure footprints,
+        shared variables -- that ``explain --audit-por`` cross-checks."""
         return self._reduced(
-            proc, db, isol_runner, EMPTY_FOOTPRINT, _EMPTY, metrics
+            proc,
+            db,
+            isol_runner,
+            EMPTY_FOOTPRINT,
+            _EMPTY,
+            metrics,
+            tracer,
+            prov,
+            prov_parent,
         )
 
     # -- internals ------------------------------------------------------------
@@ -272,13 +326,17 @@ class PartialOrderReducer:
         comp_fp: Footprint,
         comp_vars: frozenset,
         metrics,
+        tracer=None,
+        prov=None,
+        prov_parent=None,
     ) -> Iterator[Step]:
         if isinstance(proc, Truth) or _never_steps(proc):
             return
         if isinstance(proc, Seq):
             head, rest = proc.parts[0], proc.parts[1:]
             for step in self._reduced(
-                head, db, isol_runner, comp_fp, comp_vars, metrics
+                head, db, isol_runner, comp_fp, comp_vars, metrics,
+                tracer, prov, prov_parent,
             ):
                 yield Step(
                     step.action,
@@ -292,19 +350,16 @@ class PartialOrderReducer:
             parts = proc.parts
             idx = self._ample_index(parts, comp_fp, comp_vars)
             if idx is not None:
-                if metrics is not None:
-                    pruned = sum(
-                        1
-                        for j, p in enumerate(parts)
-                        if j != idx and not _never_steps(p)
+                if metrics is not None or tracer is not None or prov is not None:
+                    self._note_ample(
+                        parts, idx, comp_fp, comp_vars,
+                        metrics, tracer, prov, prov_parent,
                     )
-                    metrics.inc("por.ample_configs")
-                    if pruned:
-                        metrics.inc("por.steps_pruned", pruned)
                 branch = parts[idx]
                 before, after = parts[:idx], parts[idx + 1 :]
                 for step in self._reduced(
-                    branch, db, isol_runner, comp_fp, comp_vars, metrics
+                    branch, db, isol_runner, comp_fp, comp_vars, metrics,
+                    tracer, prov, prov_parent,
                 ):
                     yield Step(
                         step.action,
@@ -330,7 +385,8 @@ class PartialOrderReducer:
                         sib_vars = sib_vars | fvs[j]
                 before, after = parts[:i], parts[i + 1 :]
                 for step in self._reduced(
-                    branch, db, isol_runner, sib_fp, sib_vars, metrics
+                    branch, db, isol_runner, sib_fp, sib_vars, metrics,
+                    tracer, prov, prov_parent,
                 ):
                     yield Step(
                         step.action,
@@ -342,6 +398,65 @@ class PartialOrderReducer:
             return
         # Elementary redexes, calls, and iso: no concurrency below here.
         yield from _steps(self.program, proc, db, isol_runner)
+
+    def _note_ample(
+        self,
+        parts: Tuple[Formula, ...],
+        idx: int,
+        comp_fp: Footprint,
+        comp_vars: frozenset,
+        metrics,
+        tracer,
+        prov,
+        prov_parent,
+    ) -> None:
+        """Report one ample-set decision: counters, an instant tracer
+        event, and (with provenance attached) the full witness the
+        pruning audit re-verifies.  Counter semantics are unchanged
+        from before the witness existed: ``por.ample_configs`` per
+        decision, ``por.steps_pruned`` by the number of step-capable
+        siblings deferred."""
+        pruned = [
+            p for j, p in enumerate(parts) if j != idx and not _never_steps(p)
+        ]
+        if metrics is not None:
+            metrics.inc("por.ample_configs")
+            if pruned:
+                metrics.inc("por.steps_pruned", len(pruned))
+        if not pruned:
+            return
+        ample = parts[idx]
+        if tracer is not None:
+            tracer.event("por.pruned", ample=str(ample), pruned=len(pruned))
+        if prov is not None:
+            program = self.program
+            ample_vars = free_variables(ample)
+            witness: Dict[str, object] = {
+                "ample": str(ample),
+                "ample_frontier": _fp_lists(frontier_footprint(program, ample)),
+                "competitors": _fp_lists(comp_fp),
+                "competitor_shared_vars": sorted(
+                    str(v) for v in (ample_vars & comp_vars)
+                ),
+                "pruned": [
+                    {
+                        "branch": str(p),
+                        "closure": _fp_lists(footprint(program, p)),
+                        "shared_vars": sorted(
+                            str(v) for v in (ample_vars & free_variables(p))
+                        ),
+                    }
+                    for p in pruned
+                ],
+            }
+            prov.record(
+                "por",
+                "por: ample %s defers %d sibling branch(es)"
+                % (ample, len(pruned)),
+                parent=prov_parent,
+                disposition="por-pruned",
+                witness=witness,
+            )
 
     def _ample_index(
         self,

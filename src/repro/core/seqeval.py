@@ -34,6 +34,7 @@ import itertools
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..obs.context import Instrumentation, NOOP, active
+from ..obs.provenance import active_recorder, db_delta, render_bindings
 from .database import Database
 from .errors import SafetyError, UnsupportedProgramError
 from .formulas import (
@@ -99,9 +100,14 @@ class SequentialEngine:
         program: Program,
         max_rounds: int = 10_000_000,
         join_order: bool = True,
+        provenance=None,
     ):
         self.program = program
         self.max_rounds = max_rounds
+        #: Derivation recorder (see :mod:`repro.obs.provenance`); falls
+        #: back to the ambient recorder when unset, costs nothing when
+        #: neither is attached.
+        self.provenance = provenance
         #: Reorder maximal runs of consecutive tuple tests inside each
         #: sequence by bound-argument selectivity before evaluating.
         #: Sound because tests read but never write: a contiguous test
@@ -123,6 +129,10 @@ class SequentialEngine:
         self._new_keys: List[_Key] = []
         # Instrumentation for the current solve (NOOP when inactive).
         self._obs: Instrumentation = NOOP
+        # Provenance scratch for the current solve.
+        self._prov_rec = None
+        self._prov_root: Optional[int] = None
+        self._prov_key_nodes: Dict[_Key, Optional[int]] = {}
 
     def _check_sequential(self) -> None:
         for rule in self.program.rules:
@@ -150,6 +160,17 @@ class SequentialEngine:
                 )
         goal_vars = _ordered_vars(goal)
         obs = self._obs = active()
+        prov = self._prov_rec = (
+            self.provenance if self.provenance is not None else active_recorder()
+        )
+        self._prov_root = (
+            prov.record("config", str(goal), disposition="root")
+            if prov is not None
+            else None
+        )
+        # Key nodes are per-recorder; the table persists across solves
+        # but node ids do not.
+        self._prov_key_nodes = {}
         with obs.span("solve", engine="seqeval", goal=str(goal)):
             with obs.span("table-fixpoint"):
                 self._run_fixpoint(goal, db)
@@ -165,6 +186,25 @@ class SequentialEngine:
                     emitted.add(key)
                     if obs.enabled:
                         obs.metrics.inc("search.solutions")
+                    if prov is not None:
+                        ins, dels = db_delta(db, final_db)
+                        # Label the answer with the bindings applied, so
+                        # the proof reads `path(a, b)` rather than the
+                        # open goal `path(a, X)`.
+                        label = (
+                            str(apply_atom(goal.atom, bindings))
+                            if isinstance(goal, Call)
+                            else str(goal)
+                        )
+                        prov.record(
+                            "answer",
+                            label,
+                            parent=self._prov_root,
+                            disposition="solution",
+                            bindings=render_bindings(bindings),
+                            inserted=ins,
+                            deleted=dels,
+                        )
                     yield Solution(bindings, final_db)
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
@@ -245,6 +285,14 @@ class SequentialEngine:
             self._obs.metrics.inc("table.recomputes")
         canon_atom, db_in = key
         answers = self._table[key]
+        prov = self._prov_rec
+        call_node: Optional[int] = None
+        if prov is not None:
+            if key not in self._prov_key_nodes:
+                self._prov_key_nodes[key] = prov.record(
+                    "call", str(canon_atom), parent=self._prov_root
+                )
+            call_node = self._prov_key_nodes[key]
         canon_vars = [t for t in canon_atom.args if isinstance(t, Variable)]
         # Deduplicate canonical variables preserving order.
         seen: Dict[Variable, None] = {}
@@ -268,7 +316,21 @@ class SequentialEngine:
                         "rule for %s does not bind all head variables"
                         % (canon_atom,)
                     )
-                answers.add((tuple(values), db_out))
+                entry = (tuple(values), db_out)
+                if entry in answers:
+                    continue
+                answers.add(entry)
+                if prov is not None:
+                    ins, dels = db_delta(db_in, db_out)
+                    prov.record(
+                        "answer",
+                        str(apply_atom(canon_atom, dict(zip(canon_vars, values)))),
+                        parent=call_node,
+                        bindings=render_bindings(dict(zip(canon_vars, values))),
+                        inserted=ins,
+                        deleted=dels,
+                        witness={"rule": str(rule.head)},
+                    )
 
     # -- big-step evaluation ---------------------------------------------------------
 

@@ -214,6 +214,9 @@ def enabled_steps(
     optimized: bool = True,
     reducer=None,
     metrics=None,
+    tracer=None,
+    prov=None,
+    prov_parent=None,
 ) -> Iterator[Step]:
     """Yield every transition enabled in ``(proc, db)``.
 
@@ -231,11 +234,16 @@ def enabled_steps(
     the partial-order-reduced enumeration instead: a sound *subset* of
     the full step set that preserves every reachable (answers, final
     database) pair.  ``metrics`` (a :class:`repro.obs.metrics.Metrics`)
-    lets the reducer report ``por.*`` counters; it is ignored on the
-    unreduced paths.
+    lets the reducer report ``por.*`` counters; ``tracer`` additionally
+    receives one ``por.pruned`` event per deferring ample decision and
+    ``prov``/``prov_parent`` (a provenance recorder plus the node of
+    the configuration under expansion) the full ample-set witness.
+    All three are ignored on the unreduced paths.
     """
     if reducer is not None:
-        yield from reducer.steps(proc, db, isol_runner, metrics)
+        yield from reducer.steps(
+            proc, db, isol_runner, metrics, tracer, prov, prov_parent
+        )
     elif optimized:
         yield from _steps(program, proc, db, isol_runner)
     else:

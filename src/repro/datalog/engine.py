@@ -18,6 +18,7 @@ from ..core.program import Program
 from ..core.terms import Atom, Variable
 from ..core.unify import Substitution, apply_atom, match_atom, unify_atoms
 from ..obs import context as _obs
+from ..obs.provenance import active_recorder
 from .ast import DatalogProgram, DatalogRule, Literal
 
 __all__ = ["evaluate", "evaluate_naive", "query", "from_td"]
@@ -144,7 +145,7 @@ def evaluate_naive(program: DatalogProgram, edb: Database) -> Database:
 
 
 def evaluate(
-    program: DatalogProgram, edb: Database, reorder: bool = True
+    program: DatalogProgram, edb: Database, reorder: bool = True, provenance=None
 ) -> Database:
     """Seminaive stratified evaluation (the production evaluator).
 
@@ -153,7 +154,40 @@ def evaluate(
     round because selectivity shifts as relations grow.  Pass
     ``reorder=False`` to pin the textual order (the differential tests
     compare the two, and both against :func:`evaluate_naive`).
+
+    *provenance* (or the ambient recorder, see
+    :mod:`repro.obs.provenance`) records one ``fact`` node per derived
+    IDB fact, parented on the first derived positive premise of its
+    first derivation, with the instantiated rule as witness.
     """
+    prov = provenance if provenance is not None else active_recorder()
+    fact_nodes: Dict[Atom, Optional[int]] = {}
+    prov_root = (
+        prov.record("config", "datalog fixpoint", disposition="root")
+        if prov is not None
+        else None
+    )
+
+    def note(rule: DatalogRule, theta: Substitution, fact: Atom) -> None:
+        premises = [
+            apply_atom(lit.atom, theta) for lit in rule.body if lit.positive
+        ]
+        parent = prov_root
+        for premise in premises:
+            node = fact_nodes.get(premise)
+            if node is not None:
+                parent = node
+                break
+        fact_nodes[fact] = prov.record(
+            "fact",
+            str(fact),
+            parent=parent,
+            witness={
+                "rule": str(rule.head),
+                "premises": [str(p) for p in premises],
+            },
+        )
+
     facts = edb
     for stratum in program.strata:
         rules = program.rules_for_stratum(stratum)
@@ -166,6 +200,8 @@ def evaluate(
             for theta in _join(rule.body, facts, plan=plan):
                 fact = apply_atom(rule.head, theta)
                 if fact not in facts:
+                    if prov is not None and fact not in delta:
+                        note(rule, theta, fact)
                     delta.add(fact)
         facts = facts.insert_all(delta)
 
@@ -188,6 +224,8 @@ def evaluate(
                     ):
                         fact = apply_atom(rule.head, theta)
                         if fact not in facts and fact not in new_delta:
+                            if prov is not None:
+                                note(rule, theta, fact)
                             new_delta.add(fact)
             facts = facts.insert_all(new_delta)
             delta = new_delta

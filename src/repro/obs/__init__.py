@@ -31,21 +31,30 @@ and ``--trace-out FILE`` (dump the span log as JSON lines).
 
 from .context import Instrumentation, NOOP, active, instrumented
 from .metrics import Metrics
+from .provenance import ProvNode, ProvenanceRecorder, active_recorder, recording
 from .report import render_report
 from .tracer import Span, Tracer, read_jsonl
 from .otlp import export_otlp, metrics_to_otlp, spans_to_otlp, write_otlp
+
+# NOTE: repro.obs.explain is deliberately NOT imported here -- it depends
+# on the core engines, which in turn import this package.  Import it
+# directly: ``from repro.obs import explain``.
 
 __all__ = [
     "Instrumentation",
     "Metrics",
     "NOOP",
+    "ProvNode",
+    "ProvenanceRecorder",
     "Span",
     "Tracer",
     "active",
+    "active_recorder",
     "export_otlp",
     "instrumented",
     "metrics_to_otlp",
     "read_jsonl",
+    "recording",
     "render_report",
     "spans_to_otlp",
     "write_otlp",

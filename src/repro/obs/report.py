@@ -28,6 +28,8 @@ _ALWAYS_SHOW_COUNTERS = (
     "por.steps_pruned",
     "frontier.subsumed",
     "join.reorders",
+    "prov.nodes",
+    "prov.dropped",
 )
 _ALWAYS_SHOW_GAUGES = (
     "budget.spent",

@@ -21,6 +21,15 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 __all__ = ["Span", "Tracer", "read_jsonl"]
 
+#: Event attribute clip length: events record *which* config/branch was
+#: affected, and a prefix identifies it; full renderings belong to the
+#: provenance log.
+_CLIP = 160
+
+
+def _clip(text: str, limit: int = _CLIP) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
 
 class Span:
     """One traced region.  ``end`` is ``None`` while the span is open."""
@@ -109,6 +118,52 @@ class Tracer:
     def current_span_id(self) -> Optional[str]:
         """Id of the innermost open span (correlation hook)."""
         return self._open[-1].span_id if self._open else None
+
+    def event(self, name: str, **attrs: object) -> Span:
+        """Record an instant (zero-duration) span under the innermost
+        open span.
+
+        This is the debug-trace hook for per-occurrence facts the
+        counters only aggregate -- which configuration was subsumed,
+        which branches a reduction pruned -- so a trace log and a
+        provenance log agree even when only one of them is attached.
+        Long string attributes are clipped; events are data points, not
+        documents.
+        """
+        self._next_id += 1
+        parent = self._open[-1].span_id if self._open else None
+        clipped = {
+            key: _clip(value) if isinstance(value, str) else value
+            for key, value in attrs.items()
+        }
+        now = self._clock()
+        span = Span("s%d" % self._next_id, parent, name, clipped, now)
+        span.end = now
+        self.spans.append(span)
+        return span
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[str] = None,
+        **attrs: object,
+    ) -> Span:
+        """Record an already-measured span with explicit endpoints.
+
+        For retrospective spans whose boundaries were captured outside
+        the tracer -- e.g. the workflow scheduler stamping one span per
+        task execution from the simulation's action timestamps, after
+        the run finished.  The parent is given explicitly (the open
+        stack is in the wrong state by the time the caller knows the
+        boundaries).
+        """
+        self._next_id += 1
+        span = Span("s%d" % self._next_id, parent_id, name, attrs, start)
+        span.end = end
+        self.spans.append(span)
+        return span
 
     # -- analysis / serialization ---------------------------------------------
 

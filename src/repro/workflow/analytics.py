@@ -22,7 +22,11 @@ Time unit: the event log is *logical* -- one tick per recorded event
 (``seq``).  The simulator interleaves concurrent instances step by
 step, so tick intervals are a faithful measure of relative cost and are
 deterministic, which the tests rely on.  Wall-clock numbers only enter
-through the span join, and are labelled as estimates.
+through the span join: instrumented runs stamp one measured
+``workflow.task`` span per completed execution (exact, labelled
+``wall``); older traces without them fall back to dividing the
+enclosing span proportionally to logical latency (labelled
+``est. wall``).
 """
 
 from __future__ import annotations
@@ -354,33 +358,99 @@ def _span_fields(span: _SpanLike) -> Tuple[str, float]:
     return str(getattr(span, "span_id")), float(getattr(span, "duration", 0.0))
 
 
-def attribute_wall_clock(
-    source: _Records, spans: Sequence[_SpanLike]
-) -> Dict[str, float]:
-    """Estimated wall seconds per task, via the span correlation id.
+def _span_info(span: _SpanLike) -> Tuple[str, Mapping, float]:
+    if isinstance(span, Mapping):
+        return (
+            str(span.get("name", "")),
+            span.get("attrs") or {},
+            float(span.get("duration") or 0.0),
+        )
+    return (
+        str(getattr(span, "name", "")),
+        getattr(span, "attrs", None) or {},
+        float(getattr(span, "duration", 0.0)),
+    )
 
-    Event records stamped with a ``span_id`` (instrumented runs) are
-    joined against the engine trace -- :class:`repro.obs.Span` objects
-    or the dicts ``read_jsonl`` returns -- and the enclosing span's
-    measured duration is divided over tasks proportionally to their
-    logical latency.  Returns an empty dict when the log carries no
-    span id or the trace has no matching span.
+
+def _exact_task_durations(
+    spans: Sequence[_SpanLike],
+) -> Dict[Tuple[str, str, int], float]:
+    """Measured seconds per ``(task, item, occurrence)`` from the
+    ``workflow.task`` spans an instrumented scheduler run stamps."""
+    out: Dict[Tuple[str, str, int], float] = {}
+    for span in spans:
+        name, attrs, duration = _span_info(span)
+        if name != "workflow.task":
+            continue
+        key = (
+            str(attrs.get("task")),
+            str(attrs.get("item")),
+            int(attrs.get("occurrence") or 0),
+        )
+        out[key] = duration
+    return out
+
+
+def _attribute(
+    executions: Sequence[TaskExecution], spans: Sequence[_SpanLike]
+) -> Tuple[Dict[str, float], bool]:
+    """Wall seconds per task plus whether the numbers are exact.
+
+    Prefers the per-execution ``workflow.task`` spans (joined FIFO by
+    ``(task, item, occurrence)`` -- executions arrive in done order,
+    matching the scheduler's occurrence counter); falls back to scaling
+    the enclosing span's duration by logical latency when no task span
+    matches.
     """
-    executions = task_executions(source)
+    exact = _exact_task_durations(spans)
+    if exact:
+        occurrences: Dict[Tuple[str, str], int] = defaultdict(int)
+        measured: Dict[str, float] = defaultdict(float)
+        matched = False
+        for execution in executions:
+            key = (execution.task, execution.item)
+            occ = occurrences[key]
+            occurrences[key] = occ + 1
+            duration = exact.get((execution.task, execution.item, occ))
+            if duration is None:
+                continue
+            matched = True
+            measured[execution.task] += duration
+        if matched:
+            return dict(measured), True
     span_ids = {e.span_id for e in executions if e.span_id is not None}
     if not span_ids:
-        return {}
+        return {}, False
     durations = dict(_span_fields(span) for span in spans)
     total_ticks = sum(e.latency for e in executions)
     if not total_ticks:
-        return {}
+        return {}, False
     out: Dict[str, float] = defaultdict(float)
     for execution in executions:
         duration = durations.get(execution.span_id or "")
         if duration is None:
             continue
         out[execution.task] += duration * (execution.latency / total_ticks)
-    return dict(out)
+    return dict(out), False
+
+
+def attribute_wall_clock(
+    source: _Records, spans: Sequence[_SpanLike]
+) -> Dict[str, float]:
+    """Wall seconds per task, via the span correlation.
+
+    When the trace carries the scheduler's per-execution
+    ``workflow.task`` spans (instrumented runs), each execution gets its
+    *measured* duration, joined by ``(task, item, occurrence)``.
+    Otherwise event records stamped with a ``span_id`` are joined
+    against the engine trace -- :class:`repro.obs.Span` objects or the
+    dicts ``read_jsonl`` returns -- and the enclosing span's measured
+    duration is divided over tasks proportionally to their logical
+    latency (an estimate).  Returns an empty dict when the log carries
+    no span id or the trace has no matching span.
+    """
+    wall, _ = _attribute(task_executions(source), spans)
+    return wall
 
 
 # -- rendering ----------------------------------------------------------------
@@ -397,14 +467,17 @@ def render_analytics(
     records = _records(source)
     lines: List[str] = []
     stats = latency_by_task(records)
-    wall = attribute_wall_clock(records, spans) if spans else {}
+    if spans:
+        wall, wall_exact = _attribute(task_executions(records), spans)
+    else:
+        wall, wall_exact = {}, False
 
     lines.append("per-task latency (logical ticks):")
     if stats:
         width = max(len(t) for t in stats)
         header = "  %-*s  %5s  %7s  %5s  %5s" % (width, "task", "runs", "mean", "min", "max")
         if wall:
-            header += "  %10s" % "est. wall"
+            header += "  %10s" % ("wall" if wall_exact else "est. wall")
         lines.append(header)
         for task in sorted(stats, key=lambda t: -stats[t].total):
             s = stats[task]

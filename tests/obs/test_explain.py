@@ -1,0 +1,215 @@
+"""Answer explanation: proof trees, why-not reports, and the POR audit."""
+
+import pytest
+
+from repro import parse_database, parse_goal, parse_program
+from repro.obs import ProvenanceRecorder
+from repro.obs.analyze import profile_suite
+from repro.obs.explain import (
+    audit_por_goal,
+    audit_profile_config,
+    check_ample_witness,
+    explain_goal,
+    render_proof_tree,
+    to_dot,
+    verify_execution,
+    why_not_report,
+)
+
+PROFILE_NAMES = [c.name for c in profile_suite()]
+
+
+class TestProofTrees:
+    """One workload per sublanguage gets a correct, non-empty proof."""
+
+    def test_serial_update_transaction(self, bank_program, bank_db):
+        recorder, solutions = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db
+        )
+        assert len(solutions) == 1
+        tree = render_proof_tree(recorder)
+        assert "transfer(a, b, 30)" in tree
+        # The committed derivation shows the transfer's net updates.
+        assert "+balance(a, 70)" in tree and "-balance(a, 100)" in tree
+        assert "+balance(b, 40)" in tree
+        assert "[solution]" in tree
+
+    def test_tabled_recursive_query(self, tc_program, chain_db):
+        recorder, solutions = explain_goal(tc_program, "path(a, X)", chain_db)
+        assert len(solutions) == 3  # b, c, d
+        tree = render_proof_tree(recorder)
+        for answer in ("path(a, b)", "path(a, c)", "path(a, d)"):
+            assert answer in tree
+        # Tabled proofs chain answers through subgoal call nodes.
+        assert any(n.kind == "call" for n in recorder.nodes)
+
+    def test_concurrent_simulation(self, simulate_program):
+        db = parse_database("workitem(w1). workitem(w2).")
+        recorder, solutions = explain_goal(
+            simulate_program, "simulate", db, mode="bfs"
+        )
+        assert solutions
+        tree = render_proof_tree(recorder)
+        assert "+done(w1)" in tree and "+done(w2)" in tree
+
+    def test_datalog_fact_provenance(self, tc_program, chain_db):
+        from repro.core.terms import atom
+        from repro.datalog import evaluate, from_td
+
+        recorder = ProvenanceRecorder()
+        facts = evaluate(from_td(tc_program), chain_db, provenance=recorder)
+        assert atom("path", "a", "d") in facts
+        derived = [n for n in recorder.nodes if n.kind == "fact"]
+        assert derived
+        by_label = {n.label: n for n in derived}
+        # path(a, d) is derived from a premise recorded earlier in the DAG.
+        assert "path(a, d)" in by_label
+        witness = by_label["path(a, d)"].witness
+        assert witness.get("premises"), "derived fact must name its premises"
+
+    def test_bfs_and_dfs_agree(self, bank_program, bank_db):
+        rec_bfs, bfs = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db, mode="bfs"
+        )
+        rec_dfs, dfs = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db, mode="dfs"
+        )
+        assert len(bfs) == 1 and len(dfs) == 1
+        assert bfs[0].database == dfs[0].database
+        assert rec_bfs.solutions() and rec_dfs.solutions()
+
+    def test_dfs_trace_is_a_checkable_certificate(self, bank_program, bank_db):
+        _, solutions = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db, mode="dfs"
+        )
+        assert verify_execution(solutions[0], bank_db)
+        # Tampering with the claimed final state must fail the check.
+        import dataclasses
+
+        from repro.core.terms import atom
+
+        forged = solutions[0].database.insert(atom("balance", "c", 1))
+        tampered = dataclasses.replace(solutions[0], database=forged)
+        assert not verify_execution(tampered, bank_db)
+
+    def test_bad_mode_rejected(self, bank_program, bank_db):
+        with pytest.raises(ValueError):
+            explain_goal(bank_program, "transfer(a, b, 30)", bank_db, mode="x")
+
+
+class TestWhyNot:
+    def test_failed_goal_reports_dead_branches(self, bank_program, bank_db):
+        recorder, solutions = explain_goal(
+            bank_program, "transfer(a, b, 999)", bank_db
+        )
+        assert solutions == []
+        assert "no solution recorded" in render_proof_tree(recorder)
+        report = why_not_report(recorder)
+        assert "dispositions:" in report
+        assert "derivation nodes:" in report
+
+    def test_small_step_why_not_shows_deepest_paths(self, bank_program, bank_db):
+        recorder, solutions = explain_goal(
+            bank_program, "transfer(a, b, 999)", bank_db, mode="bfs"
+        )
+        assert solutions == []
+        report = why_not_report(recorder)
+        assert "dead branches" in report
+        assert "deepest partial derivations:" in report
+        # The search got as far as the balance test before dying.
+        assert "withdraw" in report or "transfer" in report
+
+    def test_succeeding_goal_notes_solutions(self, bank_program, bank_db):
+        recorder, _ = explain_goal(bank_program, "transfer(a, b, 30)", bank_db)
+        report = why_not_report(recorder)
+        assert "solution(s) exist" in report
+
+
+class TestDot:
+    def test_dot_output_shape(self, bank_program, bank_db):
+        recorder, _ = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db, mode="bfs"
+        )
+        dot = to_dot(recorder)
+        assert dot.startswith("digraph provenance {") and dot.endswith("}")
+        assert "palegreen" in dot  # the solution node is highlighted
+        assert "->" in dot
+
+    def test_dot_truncation_keeps_solution_ancestry(self, bank_program, bank_db):
+        recorder, _ = explain_goal(
+            bank_program, "transfer(a, b, 30)", bank_db, mode="bfs"
+        )
+        dot = to_dot(recorder, max_nodes=5)
+        assert "palegreen" in dot
+
+
+class TestWitnessCheck:
+    def test_missing_witness_is_a_problem(self):
+        assert check_ample_witness(None) is not None
+        assert check_ample_witness({}) is not None
+
+    def test_commuting_witness_passes(self):
+        witness = {
+            "ample": "env",
+            "ample_frontier": {"reads": ["pending"], "inserts": [], "deletes": []},
+            "competitors": {"reads": [], "inserts": [], "deletes": []},
+            "competitor_shared_vars": [],
+            "pruned": [
+                {
+                    "branch": "other",
+                    "closure": {
+                        "reads": ["workitem"],
+                        "inserts": ["done"],
+                        "deletes": ["workitem"],
+                    },
+                    "shared_vars": [],
+                }
+            ],
+        }
+        assert check_ample_witness(witness) is None
+
+    def test_read_write_conflict_detected(self):
+        witness = {
+            "ample_frontier": {"reads": ["x"], "inserts": [], "deletes": []},
+            "competitors": {"reads": [], "inserts": [], "deletes": []},
+            "competitor_shared_vars": [],
+            "pruned": [
+                {
+                    "branch": "b",
+                    "closure": {"reads": [], "inserts": ["x"], "deletes": []},
+                    "shared_vars": [],
+                }
+            ],
+        }
+        problem = check_ample_witness(witness)
+        assert problem is not None and "conflicts" in problem
+
+    def test_shared_variables_detected(self):
+        witness = {
+            "ample_frontier": {"reads": [], "inserts": [], "deletes": []},
+            "competitors": {"reads": [], "inserts": [], "deletes": []},
+            "competitor_shared_vars": ["W"],
+            "pruned": [],
+        }
+        problem = check_ample_witness(witness)
+        assert problem is not None and "variables" in problem
+
+
+class TestPorAudit:
+    def test_goal_audit_on_bank(self, bank_program, bank_db):
+        audit = audit_por_goal(bank_program, "transfer(a, b, 30)", bank_db)
+        assert audit.ok, audit.render()
+        assert audit.solutions_reduced == audit.solutions_full == 1
+        assert "OK" in audit.render()
+
+    def test_goal_audit_on_concurrent_program(self, simulate_program):
+        db = parse_database("workitem(w1). workitem(w2). workitem(w3).")
+        audit = audit_por_goal(simulate_program, "simulate", db)
+        assert audit.ok, audit.render()
+        assert audit.pruned > 0, "fanout must exercise the reducer"
+        assert audit.solutions_reduced == audit.solutions_full
+
+    @pytest.mark.parametrize("name", PROFILE_NAMES)
+    def test_profile_suite_audits_clean(self, name):
+        audit = audit_profile_config(name)
+        assert audit.ok, audit.render()

@@ -182,8 +182,26 @@ class TestRealSimulation:
         result, inst = run
         wall = attribute_wall_clock(result, inst.tracer.spans)
         assert set(wall) == {t.name for t in gel_pipeline().tasks}
+        # Instrumented runs carry exact per-task spans: every duration is
+        # measured, positive, and bounded by the enclosing simulate span.
         sim_span = next(s for s in inst.tracer.spans if s.name == "workflow.simulate")
-        assert sum(wall.values()) == pytest.approx(sim_span.duration)
+        assert all(v > 0 for v in wall.values())
+        assert sum(wall.values()) <= sim_span.duration * len(wall)
+
+    def test_exact_spans_preferred_over_estimation(self, run):
+        result, inst = run
+        task_spans = [s for s in inst.tracer.spans if s.name == "workflow.task"]
+        assert task_spans  # scheduler stamped one per completed execution
+        assert len(task_spans) == len(task_executions(result))
+        wall = attribute_wall_clock(result, inst.tracer.spans)
+        # Exact join: per-task wall is the sum of that task's span durations.
+        by_task = {}
+        for span in task_spans:
+            by_task[span.attrs["task"]] = (
+                by_task.get(span.attrs["task"], 0.0) + span.duration
+            )
+        for task, total in by_task.items():
+            assert wall[task] == pytest.approx(total)
 
     def test_critical_path_on_genome_pipeline(self, run):
         result, _ = run
@@ -199,7 +217,8 @@ class TestRealSimulation:
             result, spec=gel_pipeline(iterate=False), spans=inst.tracer.spans
         )
         assert "per-task latency" in text
-        assert "est. wall" in text
+        # Instrumented run -> exact task spans -> measured, not estimated.
+        assert "wall" in text and "est. wall" not in text
         assert "agent utilization" in text
         assert "queue wait vs. service" in text
         assert "critical path" in text
@@ -213,7 +232,8 @@ class TestAnalyzeCli:
         assert "per-task latency" in out
         assert "critical path" in out
         assert "receive" in out and "analyze" in out
-        assert "est. wall" in out  # demo runs instrumented
+        # Demo runs instrumented, so wall times are exact task spans.
+        assert "wall" in out and "est. wall" not in out
 
     def test_eventlog_file_mode_with_trace_join(self, tmp_path, capsys):
         from repro.workflow.eventlog import to_json
@@ -229,7 +249,8 @@ class TestAnalyzeCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "per-task latency" in out
-        assert "est. wall" in out
+        # The serialized trace round-trips workflow.task spans as dicts.
+        assert "wall" in out and "est. wall" not in out
 
     def test_eventlog_file_mode_without_trace(self, tmp_path, capsys):
         log = [

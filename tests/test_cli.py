@@ -190,3 +190,101 @@ class TestBench:
     def test_unknown_config_raises(self):
         with pytest.raises(KeyError):
             main(["bench", "--only", "not_a_config", "--repeat", "1"])
+
+
+class TestBenchTrend:
+    def test_trend_needs_snapshots(self, tmp_path, capsys):
+        assert main(["bench", "trend", "--out", str(tmp_path / "none")]) == 2
+        captured = capsys.readouterr()
+        assert "no bench trajectory" in captured.out + captured.err
+
+    def test_single_snapshot_lists_latest(self, tmp_path, capsys):
+        snapdir = tmp_path / "snaps"
+        base = ["bench", "--only", "bank_transfer", "--repeat", "1",
+                "--out", str(snapdir)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(["bench", "trend", "--out", str(snapdir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 snapshot(s)" in out
+        assert "bank_transfer" in out
+
+    def test_trend_compares_latest_against_series(self, tmp_path, capsys):
+        snapdir = tmp_path / "snaps"
+        base = ["bench", "--only", "bank_transfer", "--repeat", "1",
+                "--out", str(snapdir)]
+        assert main(base) == 0
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(["bench", "trend", "--out", str(snapdir)]) == 0
+        out = capsys.readouterr().out
+        assert "latest BENCH_2" in out
+        assert "bank_transfer" in out
+        assert "%" in out  # delta column against the series best
+
+    def test_committed_trajectory_parses(self):
+        # The repo ships its own trajectory; trend must accept it.
+        assert main(["bench", "trend"]) == 0
+
+
+class TestExplainCli:
+    def test_proof_tree_printed(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["explain", program, "--goal", "transfer(a, b, 30)",
+                     "--db", db])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 solution(s); proof tree:" in out
+        assert "+balance(a, 70)" in out
+
+    def test_why_not_on_failure(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["explain", program, "--goal", "transfer(b, a, 999)",
+                     "--db", db])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dispositions:" in out
+
+    def test_why_not_flag_on_success(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["explain", program, "--goal", "transfer(a, b, 30)",
+                     "--db", db, "--why-not"])
+        assert code == 0
+        assert "solution(s) exist" in capsys.readouterr().out
+
+    def test_json_and_dot_outputs(self, bank_files, tmp_path, capsys):
+        program, db = bank_files
+        prov = tmp_path / "prov.jsonl"
+        dot = tmp_path / "prov.dot"
+        code = main(["explain", program, "--goal", "transfer(a, b, 30)",
+                     "--db", db, "--json", str(prov), "--dot", str(dot)])
+        assert code == 0
+        from repro.obs import ProvenanceRecorder
+
+        reloaded = ProvenanceRecorder.from_jsonl(prov.read_text())
+        assert reloaded.solutions()
+        assert dot.read_text().startswith("digraph provenance {")
+
+    def test_mode_flag(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["explain", program, "--goal", "transfer(a, b, 30)",
+                     "--db", db, "--mode", "dfs"])
+        assert code == 0
+        assert "proof tree:" in capsys.readouterr().out
+
+    def test_requires_program_and_goal(self, capsys):
+        assert main(["explain"]) == 2
+
+    def test_audit_suite(self, capsys):
+        code = main(["explain", "--audit-por", "--suite", "bank_transfer"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit bank_transfer" in out and "OK" in out
+
+    def test_audit_goal(self, bank_files, capsys):
+        program, db = bank_files
+        code = main(["explain", program, "--goal", "transfer(a, b, 30)",
+                     "--db", db, "--audit-por"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "1 reduced vs 1 unreduced" in out
