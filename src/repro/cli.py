@@ -9,10 +9,13 @@ Usage examples::
     tdlog explain workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog explain workflow.td --goal 'transfer(a, b, 999)' --db bank.facts --why-not
     tdlog explain --audit-por
+    tdlog solve workflow.td --goal 'simulate' --db lab.facts --progress 2
     tdlog bench --repeat 5
     tdlog bench trend
+    tdlog bench trend --check --threshold 1.0
     tdlog profile baseline
     tdlog profile diff
+    tdlog profile hotspots --top 10 --speedscope profile.speedscope.json
     tdlog profile export-otlp workflow.td --goal 'simulate' --out otlp.json
     tdlog chaos --plans 50 --seed 0
     tdlog chaos --only bank_transfer --json chaos.json
@@ -80,23 +83,38 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     program = _load_program(args.program)
     db = _load_db(args.db)
     engine = select_engine(program, args.goal, max_configs=args.max_configs)
     count = 0
-    for solution in engine.solve(args.goal, db):
-        count += 1
-        if solution.bindings:
-            bindings = ", ".join(
-                "%s = %s" % (v, t) for v, t in sorted(solution.bindings.items())
+    with ExitStack() as stack:
+        if getattr(args, "progress", 0):
+            # The heartbeat reads the engines' own counters; make sure a
+            # registry is active even without --profile/--trace-out.
+            from .obs import active, instrumented
+            from .obs.progress import ProgressReporter
+
+            obs = active()
+            if not obs.enabled:
+                obs = stack.enter_context(instrumented())
+            stack.enter_context(
+                ProgressReporter(obs.metrics, interval=args.progress)
             )
-            print("solution %d: %s" % (count, bindings))
-        else:
-            print("solution %d." % count)
-        print(format_database(solution.database) or "  (empty database)")
-        print()
-        if args.limit and count >= args.limit:
-            break
+        for solution in engine.solve(args.goal, db):
+            count += 1
+            if solution.bindings:
+                bindings = ", ".join(
+                    "%s = %s" % (v, t) for v, t in sorted(solution.bindings.items())
+                )
+                print("solution %d: %s" % (count, bindings))
+            else:
+                print("solution %d." % count)
+            print(format_database(solution.database) or "  (empty database)")
+            print()
+            if args.limit and count >= args.limit:
+                break
     if count == 0:
         print("no solution: the transaction cannot commit")
         return 1
@@ -249,11 +267,18 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print("error: explain needs a PROGRAM and --goal (or --audit-por)",
               file=sys.stderr)
         return 2
+    from .obs.hotspots import CostAttributor, attributing
+
     program = _load_program(args.program)
     db = _load_db(args.db)
-    recorder, solutions = _explain.explain_goal(
-        program, args.goal, db, mode=args.mode, max_configs=args.max_configs
-    )
+    # Run with a cost attributor alongside the recorder so the why-not
+    # report can say not just *where* branches died but what they cost.
+    attr = CostAttributor()
+    with attributing(attr):
+        recorder, solutions = _explain.explain_goal(
+            program, args.goal, db, mode=args.mode, max_configs=args.max_configs
+        )
+    attr.mark()
     if args.json:
         recorder.write_jsonl(args.json)
         print("provenance written to %s" % args.json, file=sys.stderr)
@@ -262,7 +287,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             handle.write(_explain.to_dot(recorder) + "\n")
         print("derivation DAG written to %s" % args.dot, file=sys.stderr)
     if args.why_not or not solutions:
-        print(_explain.why_not_report(recorder, top_k=args.top))
+        print(
+            _explain.why_not_report(
+                recorder, top_k=args.top, costs=attr.predicate_rollup()
+            )
+        )
         return 0 if solutions else 1
     print("%d solution(s); proof tree:" % len(solutions))
     print(_explain.render_proof_tree(recorder))
@@ -282,7 +311,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs.analyze import profile_suite, suite_config
 
     if args.action == "trend":
-        return _bench_trend(args.out or "benchmarks/trajectory")
+        from .obs.analyze import parse_tolerance_overrides
+
+        try:
+            overrides = parse_tolerance_overrides(args.threshold_for or [])
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        return _bench_trend(
+            args.out or "benchmarks/trajectory",
+            check=args.check,
+            threshold=args.threshold,
+            overrides=overrides,
+        )
 
     configs = (
         [suite_config(name) for name in args.only] if args.only else profile_suite()
@@ -347,7 +388,12 @@ def _next_bench_snapshot(out_dir: str) -> str:
     return os.path.join(out_dir, "BENCH_%d.json" % (max(taken, default=0) + 1))
 
 
-def _bench_trend(trend_dir: str) -> int:
+def _bench_trend(
+    trend_dir: str,
+    check: bool = False,
+    threshold: float = 1.0,
+    overrides=None,
+) -> int:
     """Diff the latest bench snapshot against the committed series.
 
     Reads every ``BENCH_<n>.json`` under *trend_dir* in numeric order
@@ -355,9 +401,19 @@ def _bench_trend(trend_dir: str) -> int:
     best and mean of the earlier snapshots.  Timings are machine-local:
     the trend is for spotting one build's regression against its own
     history, not for cross-machine comparison.
+
+    With *check*, a config whose latest best-of exceeds its series best
+    by more than *threshold* (a fraction: 1.0 = 100% slower) fails the
+    gate and the command exits nonzero.  The default is deliberately
+    generous -- wall clock on shared CI is noisy; the counter baselines
+    (``profile diff``) are the precise gate, this one only catches
+    gross timing cliffs.  *overrides* maps config names to per-config
+    thresholds (``--threshold-for NAME=FRAC``).
     """
     import os
     import re
+
+    overrides = overrides or {}
 
     if not os.path.isdir(trend_dir):
         print("error: no bench trajectory at %s (run `tdlog bench --out %s` "
@@ -368,7 +424,15 @@ def _bench_trend(trend_dir: str) -> int:
         match = re.fullmatch(r"BENCH_(\d+)\.json", name)
         if match:
             with open(os.path.join(trend_dir, name)) as handle:
-                snapshots.append((int(match.group(1)), json.load(handle)))
+                rows = json.load(handle)
+            if not isinstance(rows, list) or not all(
+                isinstance(r, dict) and "config" in r and "best_ms" in r
+                for r in rows
+            ):
+                print("error: %s is not a bench snapshot (expected a list of "
+                      "rows with config/best_ms)" % name, file=sys.stderr)
+                return 2
+            snapshots.append((int(match.group(1)), rows))
     snapshots.sort()
     if not snapshots:
         print("error: no BENCH_<n>.json snapshots in %s" % trend_dir,
@@ -383,6 +447,8 @@ def _bench_trend(trend_dir: str) -> int:
         for row in latest:
             print("%-*s  %12.2f" % (width, row["config"], row["best_ms"]))
         print("(single snapshot; run `tdlog bench --out` again to get a trend)")
+        if check:
+            print("bench trend check: ok (single snapshot, nothing to compare)")
         return 0
     history = {}
     for _, rows in earlier:
@@ -390,6 +456,7 @@ def _bench_trend(trend_dir: str) -> int:
             history.setdefault(row["config"], []).append(float(row["best_ms"]))
     print("%-*s  %12s  %12s  %12s  %8s" % (
         width, "config", "latest (ms)", "series best", "series mean", "delta"))
+    regressions = []
     for row in latest:
         series = history.get(row["config"])
         if not series:
@@ -399,8 +466,24 @@ def _bench_trend(trend_dir: str) -> int:
         best = min(series)
         mean = sum(series) / len(series)
         delta = (float(row["best_ms"]) - best) / best * 100.0 if best else 0.0
-        print("%-*s  %12.2f  %12.2f  %12.2f  %+7.1f%%"
-              % (width, row["config"], row["best_ms"], best, mean, delta))
+        allowed = overrides.get(str(row["config"]), threshold)
+        flag = ""
+        if check and best and delta > allowed * 100.0:
+            flag = "  REGRESSED (> +%.0f%%)" % (allowed * 100.0)
+            regressions.append(
+                "%s: %.2fms vs series best %.2fms (%+.1f%%, threshold +%.0f%%)"
+                % (row["config"], row["best_ms"], best, delta, allowed * 100.0)
+            )
+        print("%-*s  %12.2f  %12.2f  %12.2f  %+7.1f%%%s"
+              % (width, row["config"], row["best_ms"], best, mean, delta, flag))
+    if check:
+        if regressions:
+            print("bench trend check: %d regression(s)" % len(regressions),
+                  file=sys.stderr)
+            for line in regressions:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print("bench trend check: ok (threshold +%.0f%%)" % (threshold * 100.0))
     return 0
 
 
@@ -428,6 +511,104 @@ def _cmd_profile_diff(args: argparse.Namespace) -> int:
     )
     print(render_diff(reports, problems, verbose=args.verbose))
     return 0 if all(r.ok for r in reports) and not problems else 1
+
+
+def _cmd_profile_hotspots(args: argparse.Namespace) -> int:
+    """Attributed cost profile of the suite workloads (or one of them).
+
+    Each config runs with a fresh :class:`CostAttributor` *and* fresh
+    instrumentation, inside a root frame named after the config, so all
+    wall time falls under a named phase.  Per config the command prints
+    coverage and the unify cross-check (attributed unify charges vs the
+    deterministic ``unify.attempts`` counter -- the two must agree
+    exactly); the ranked table and the folded/speedscope exports are
+    rendered from the merged attributor so flame totals equal table
+    totals by construction.
+    """
+    from .obs import Instrumentation, instrumented
+    from .obs.analyze import profile_suite, suite_config
+    from .obs.hotspots import CostAttributor, attributing
+
+    configs = (
+        [suite_config(name) for name in args.only] if args.only else profile_suite()
+    )
+    merged = CostAttributor()
+    per_config = []
+    failures = []
+    for config in configs:
+        attr = CostAttributor()
+        inst = Instrumentation.create()
+        with attributing(attr), instrumented(inst), \
+                attr.frame(phase=config.name):
+            config.run()
+        attr.mark()  # settle trailing wall time before reading aggregates
+        counter_unify = inst.metrics.counter("unify.attempts")
+        attributed_unify = attr.totals().get("unify.attempts", 0.0)
+        coverage = attr.coverage()
+        per_config.append(
+            {
+                "config": config.name,
+                "totals": attr.totals(),
+                "coverage": coverage,
+                "unify_counter": counter_unify,
+                "unify_attributed": attributed_unify,
+            }
+        )
+        if int(attributed_unify) != counter_unify:
+            failures.append(
+                "%s: attributed unify %d != counter %d"
+                % (config.name, int(attributed_unify), counter_unify)
+            )
+        if coverage["time"] < 0.95 or coverage["unify.attempts"] < 0.95:
+            failures.append(
+                "%s: coverage below 95%% (time %.1f%%, unify %.1f%%)"
+                % (
+                    config.name,
+                    coverage["time"] * 100.0,
+                    coverage["unify.attempts"] * 100.0,
+                )
+            )
+        merged.merge(attr)
+
+    width = max(len(row["config"]) for row in per_config)
+    print("%-*s  %9s  %9s  %10s  %10s" % (
+        width, "config", "time-cov", "unify-cov", "unify-attr", "unify-ctr"))
+    for row in per_config:
+        print("%-*s  %8.1f%%  %8.1f%%  %10d  %10d" % (
+            width,
+            row["config"],
+            row["coverage"]["time"] * 100.0,
+            row["coverage"]["unify.attempts"] * 100.0,
+            int(row["unify_attributed"]),
+            row["unify_counter"],
+        ))
+    print()
+    print(merged.table(top=args.top))
+
+    if args.json:
+        payload = {
+            "configs": per_config,
+            "merged": merged.as_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("hotspot profile written to %s" % args.json, file=sys.stderr)
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(merged.folded(kind=args.weight))
+        print("folded stacks written to %s (flamegraph.pl compatible)"
+              % args.folded, file=sys.stderr)
+    if args.speedscope:
+        with open(args.speedscope, "w") as handle:
+            handle.write(merged.speedscope_json(kind=args.weight))
+            handle.write("\n")
+        print("speedscope profile written to %s" % args.speedscope,
+              file=sys.stderr)
+
+    for failure in failures:
+        print("hotspots: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_profile_export_otlp(args: argparse.Namespace) -> int:
@@ -558,6 +739,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--db", help="path to an initial-database facts file")
     p_solve.add_argument("--limit", type=int, default=0, help="stop after N solutions")
     p_solve.add_argument("--max-configs", type=int, default=200_000)
+    p_solve.add_argument(
+        "--progress", type=float, default=0, metavar="SECONDS",
+        help="print a live progress heartbeat (steps, frontier, depth, "
+             "solutions, elapsed) to stderr every SECONDS seconds "
+             "(default: off)",
+    )
     p_solve.set_defaults(fn=_cmd_solve)
 
     p_run = sub.add_parser("run", help="simulate one successful execution")
@@ -686,6 +873,22 @@ def build_parser() -> argparse.ArgumentParser:
         "BENCH_<n>.json under DIR (numbered snapshots accumulate; "
         "CI uploads them as build artifacts)",
     )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="with 'trend': exit nonzero when a config's latest best-of "
+             "exceeds its series best by more than the threshold",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=1.0, metavar="FRAC",
+        help="with 'trend --check': allowed relative slowdown vs the "
+             "series best (default 1.0 = 100%%; wall clock is noisy, "
+             "the counter gate is the precise one)",
+    )
+    p_bench.add_argument(
+        "--threshold-for", action="append", metavar="CONFIG=FRAC",
+        help="with 'trend --check': per-config threshold override "
+             "(repeatable)",
+    )
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_profile = sub.add_parser(
@@ -730,6 +933,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="show matching values too, not just drift",
     )
     p_diff.set_defaults(fn=_cmd_profile_diff)
+
+    p_hot = profile_sub.add_parser(
+        "hotspots",
+        help="attributed cost profile: ranked per-rule/per-predicate "
+             "hotspots, flamegraph export",
+    )
+    p_hot.add_argument(
+        "--only", action="append", metavar="CONFIG",
+        help="restrict to one suite config (repeatable)",
+    )
+    p_hot.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows per ranking section (default 20)",
+    )
+    p_hot.add_argument(
+        "--json", metavar="FILE",
+        help="write per-config and merged attribution as JSON to FILE",
+    )
+    p_hot.add_argument(
+        "--folded", metavar="FILE",
+        help="write folded stacks to FILE (feed to flamegraph.pl)",
+    )
+    p_hot.add_argument(
+        "--speedscope", metavar="FILE",
+        help="write a speedscope.app profile JSON to FILE",
+    )
+    p_hot.add_argument(
+        "--weight", default="time",
+        choices=["time", "unify.attempts", "steps.expansions", "db.delta"],
+        help="weight dimension for --folded/--speedscope (default time)",
+    )
+    p_hot.set_defaults(fn=_cmd_profile_hotspots)
 
     p_export = profile_sub.add_parser(
         "export-otlp", help="export a run's spans and metrics as OTLP JSON"

@@ -169,6 +169,7 @@ class Engine:
             else Interpreter(
                 self.program,
                 provenance=getattr(self.backend, "provenance", None),
+                attribution=getattr(self.backend, "attribution", None),
             )
         )
         return interp.resume(checkpoint, **kwargs)
@@ -205,6 +206,7 @@ class Engine:
             else Interpreter(
                 self.program,
                 provenance=getattr(self.backend, "provenance", None),
+                attribution=getattr(self.backend, "attribution", None),
             )
         )
         obs = self._describe()
@@ -229,6 +231,7 @@ def select_engine(
     *legacy,
     max_configs: int = 200_000,
     provenance=None,
+    attribution=None,
 ) -> Engine:
     """Classify *program* (and *goal*, if given) and build the matching
     engine.
@@ -236,7 +239,8 @@ def select_engine(
     ``max_configs`` bounds the small-step searches (full and fully
     bounded TD); the big-step evaluators ignore it, as they terminate
     unconditionally.  ``provenance`` attaches a derivation recorder (see
-    :mod:`repro.obs.provenance`) to whichever backend is selected.
+    :mod:`repro.obs.provenance`) and ``attribution`` a cost attributor
+    (see :mod:`repro.obs.hotspots`) to whichever backend is selected.
     Options after ``goal`` are keyword-only; positional ``max_configs``
     keeps working for one deprecation cycle.
     """
@@ -259,12 +263,19 @@ def select_engine(
     sub = analysis.classify()
     backend: _Backend
     if sub in (Sublanguage.QUERY_ONLY, Sublanguage.SEQUENTIAL):
-        backend = SequentialEngine(program, provenance=provenance)
+        backend = SequentialEngine(
+            program, provenance=provenance, attribution=attribution
+        )
     elif sub is Sublanguage.NONRECURSIVE:
-        backend = NonrecursiveEngine(program, provenance=provenance)
+        backend = NonrecursiveEngine(
+            program, provenance=provenance, attribution=attribution
+        )
     else:
         backend = Interpreter(
-            program, max_configs=max_configs, provenance=provenance
+            program,
+            max_configs=max_configs,
+            provenance=provenance,
+            attribution=attribution,
         )
     return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)
 

@@ -58,6 +58,7 @@ from typing import (
     Union,
 )
 
+from ..obs import hotspots as _hot
 from ..obs.context import Instrumentation, NOOP, active
 from ..obs.provenance import active_recorder, config_digest
 from .database import Database
@@ -285,6 +286,7 @@ class Interpreter:
         faults=None,
         por: bool = True,
         provenance=None,
+        attribution=None,
     ):
         self.program = program
         self.max_configs = max_configs
@@ -296,6 +298,11 @@ class Interpreter:
         #: each entry point (see :func:`repro.obs.provenance.recording`);
         #: with neither attached the hot loops pay one ``is None`` check.
         self.provenance = provenance
+        #: Optional :class:`repro.obs.hotspots.CostAttributor`, same
+        #: discipline as ``provenance``: explicit beats the ambient one
+        #: installed by :func:`repro.obs.hotspots.attributing`, off by
+        #: default, and the engine counters are byte-identical when off.
+        self.attribution = attribution
         self._reducer = (
             PartialOrderReducer(program) if (por and not por_forced_off()) else None
         )
@@ -303,6 +310,14 @@ class Interpreter:
     def _prov(self):
         """The recorder for this search: explicit beats ambient."""
         return self.provenance if self.provenance is not None else active_recorder()
+
+    def _attr(self):
+        """The cost attributor for this search: explicit beats ambient."""
+        return (
+            self.attribution
+            if self.attribution is not None
+            else _hot.active_attributor()
+        )
 
     def _enabled_steps(
         self, proc, db, isol_runner, obs: Instrumentation, prov=None, parent=None
@@ -354,21 +369,27 @@ class Interpreter:
         obs = active()
         budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
-        with obs.span("solve", engine="interpreter", goal=str(goal)):
-            try:
-                for answers, final_db, _ in self._bfs(
-                    goal,
-                    db,
-                    goal_vars,
-                    budget,
-                    want_trace=False,
-                    obs=obs,
-                    deadline=_as_deadline(deadline),
-                    prov=self._prov(),
-                ):
-                    yield Solution(dict(zip(goal_vars, answers)), final_db)
-            finally:
-                _note_budget(obs, budget)
+        attr = self._attr()
+
+        def _search():
+            with obs.span("solve", engine="interpreter", goal=str(goal)):
+                try:
+                    for answers, final_db, _ in self._bfs(
+                        goal,
+                        db,
+                        goal_vars,
+                        budget,
+                        want_trace=False,
+                        obs=obs,
+                        deadline=_as_deadline(deadline),
+                        prov=self._prov(),
+                        attr=attr,
+                    ):
+                        yield Solution(dict(zip(goal_vars, answers)), final_db)
+                finally:
+                    _note_budget(obs, budget)
+
+        yield from _hot.meter_engine(attr, _search(), "bfs")
 
     def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
         """True iff some execution of *goal* from *db* commits."""
@@ -392,21 +413,31 @@ class Interpreter:
         obs = active()
         budget = _Budget(self.max_configs, obs)
         goal_vars = _ordered_vars(goal)
-        with obs.span("solve", engine="interpreter", mode="run", goal=str(goal)):
-            try:
-                for answers, final_db, trace in self._bfs(
-                    goal,
-                    db,
-                    goal_vars,
-                    budget,
-                    want_trace=True,
-                    obs=obs,
-                    deadline=_as_deadline(deadline),
-                    prov=self._prov(),
-                ):
-                    yield Execution(dict(zip(goal_vars, answers)), final_db, trace)
-            finally:
-                _note_budget(obs, budget)
+        attr = self._attr()
+
+        def _search():
+            with obs.span(
+                "solve", engine="interpreter", mode="run", goal=str(goal)
+            ):
+                try:
+                    for answers, final_db, trace in self._bfs(
+                        goal,
+                        db,
+                        goal_vars,
+                        budget,
+                        want_trace=True,
+                        obs=obs,
+                        deadline=_as_deadline(deadline),
+                        prov=self._prov(),
+                        attr=attr,
+                    ):
+                        yield Execution(
+                            dict(zip(goal_vars, answers)), final_db, trace
+                        )
+                finally:
+                    _note_budget(obs, budget)
+
+        yield from _hot.meter_engine(attr, _search(), "bfs")
 
     def resume(
         self,
@@ -437,31 +468,37 @@ class Interpreter:
         obs = active()
         budget = _Budget(self.max_configs, obs)
         goal_vars = list(checkpoint.goal_vars)
-        with obs.span(
-            "resume",
-            engine="interpreter",
-            goal=str(checkpoint.goal),
-            frontier=str(checkpoint.frontier_size),
-        ):
-            try:
-                for answers, final_db, trace in self._bfs(
-                    checkpoint.goal,
-                    None,
-                    goal_vars,
-                    budget,
-                    want_trace=checkpoint.want_trace,
-                    obs=obs,
-                    deadline=_as_deadline(deadline),
-                    state=checkpoint,
-                    prov=self._prov(),
-                ):
-                    bindings = dict(zip(goal_vars, answers))
-                    if checkpoint.want_trace:
-                        yield Execution(bindings, final_db, trace)
-                    else:
-                        yield Solution(bindings, final_db)
-            finally:
-                _note_budget(obs, budget)
+        attr = self._attr()
+
+        def _search():
+            with obs.span(
+                "resume",
+                engine="interpreter",
+                goal=str(checkpoint.goal),
+                frontier=str(checkpoint.frontier_size),
+            ):
+                try:
+                    for answers, final_db, trace in self._bfs(
+                        checkpoint.goal,
+                        None,
+                        goal_vars,
+                        budget,
+                        want_trace=checkpoint.want_trace,
+                        obs=obs,
+                        deadline=_as_deadline(deadline),
+                        state=checkpoint,
+                        prov=self._prov(),
+                        attr=attr,
+                    ):
+                        bindings = dict(zip(goal_vars, answers))
+                        if checkpoint.want_trace:
+                            yield Execution(bindings, final_db, trace)
+                        else:
+                            yield Solution(bindings, final_db)
+                finally:
+                    _note_budget(obs, budget)
+
+        yield from _hot.meter_engine(attr, _search(), "bfs")
 
     def simulate(
         self,
@@ -487,7 +524,9 @@ class Interpreter:
         budget = _Budget(self.max_configs, obs)
         rng = random.Random(seed) if seed is not None else None
         goal_vars = _ordered_vars(goal)
-        with obs.span("simulate", engine="interpreter", goal=str(goal)):
+        attr = self._attr()
+        with obs.span("simulate", engine="interpreter", goal=str(goal)), \
+                _hot.engine_frame(attr, "dfs"):
             try:
                 result = self._dfs(
                     goal,
@@ -499,6 +538,7 @@ class Interpreter:
                     obs=obs,
                     deadline=_as_deadline(deadline),
                     prov=self._prov(),
+                    attr=attr,
                 )
             except (SearchBudgetExceeded, DeadlineExceeded) as exc:
                 exc.goal = goal
@@ -523,6 +563,7 @@ class Interpreter:
         deadline: Optional[Deadline] = None,
         state: Optional[Checkpoint] = None,
         prov=None,
+        attr=None,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
         # The frontier is bucketed by canonical key: alongside the FIFO
@@ -600,13 +641,15 @@ class Interpreter:
                 steps = self._enabled_steps(
                     config.process,
                     config.database,
-                    self._isol_runner(budget, obs, deadline),
+                    self._isol_runner(budget, obs, deadline, attr),
                     obs,
                     prov,
                     parent,
                 )
                 if faults is not None:
                     steps = faults.perturb(config.process, config.database, steps)
+                if attr is not None:
+                    steps = attr.meter_steps(steps)
                 for step in steps:
                     budget.spend()
                     stepped = True
@@ -719,6 +762,7 @@ class Interpreter:
         obs: Instrumentation = NOOP,
         deadline: Optional[Deadline] = None,
         prov=None,
+        attr=None,
     ) -> Optional[tuple]:
         insertable, deletable = update_footprint(self.program, goal)
         failed: Set[object] = set()
@@ -759,10 +803,17 @@ class Interpreter:
             if deadline is not None:
                 deadline.check()
             steps = self._enabled_steps(
-                proc, state, self._isol_runner(budget, obs, deadline), obs, prov, pnode
+                proc,
+                state,
+                self._isol_runner(budget, obs, deadline, attr),
+                obs,
+                prov,
+                pnode,
             )
             if faults is not None:
                 steps = faults.perturb(proc, state, steps)
+            if attr is not None:
+                steps = attr.meter_steps(steps)
             ready = []
             deferred = []
             for step in steps:
@@ -888,6 +939,7 @@ class Interpreter:
         budget,
         obs: Instrumentation = NOOP,
         deadline: Optional[Deadline] = None,
+        attr=None,
     ):
         def executions(body: Formula, db: Database, sub_budget):
             body_vars = _ordered_vars(body)
@@ -899,6 +951,7 @@ class Interpreter:
                 want_trace=True,
                 obs=obs,
                 deadline=deadline,
+                attr=attr,
             ):
                 theta = {
                     v: t
@@ -907,16 +960,26 @@ class Interpreter:
                 }
                 yield theta, final_db, trace
 
+        def attempts(body: Formula, db: Database, sub_budget):
+            # Production time of each isolated execution lands under an
+            # "iso" phase frame; the frame is popped while the outer
+            # search consumes the step (see meter_phase), so a suspended
+            # sub-search never bleeds over its consumer's attribution.
+            gen = executions(body, db, sub_budget)
+            if attr is not None:
+                gen = attr.meter_phase(gen, "iso")
+            yield from gen
+
         def run_isolated(body: Formula, db: Database, cap: Optional[int] = None):
             sub_budget = budget if cap is None else _CappedBudget(budget, cap)
             try:
                 if not obs.enabled:
-                    yield from executions(body, db, sub_budget)
+                    yield from attempts(body, db, sub_budget)
                     return
                 obs.enter_iso()
                 try:
                     with obs.span("iso-subsearch", body=str(body)):
-                        yield from executions(body, db, sub_budget)
+                        yield from attempts(body, db, sub_budget)
                 finally:
                     obs.exit_iso()
             except AttemptBudgetExceeded as exc:

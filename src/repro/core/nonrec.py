@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
+from ..obs import hotspots as _hot
 from ..obs.context import Instrumentation, NOOP, active
 from ..obs.provenance import active_recorder, db_delta, render_bindings
 from .database import Database
@@ -57,18 +58,23 @@ class NonrecursiveEngine:
     on recursive programs like any top-down evaluator.
     """
 
-    def __init__(self, program: Program, provenance=None):
+    def __init__(self, program: Program, provenance=None, attribution=None):
         self.program = program
         #: Derivation recorder (see :mod:`repro.obs.provenance`); falls
         #: back to the ambient recorder when unset.
         self.provenance = provenance
+        #: Cost attributor (see :mod:`repro.obs.hotspots`); same
+        #: explicit-beats-ambient resolution as ``provenance``.
+        self.attribution = attribution
         self._has_conc = any(
             isinstance(sub, Conc)
             for rule in program.rules
             for sub in walk_formulas(rule.body)
         )
         self._fallback = (
-            Interpreter(program, provenance=provenance) if self._has_conc else None
+            Interpreter(program, provenance=provenance, attribution=attribution)
+            if self._has_conc
+            else None
         )
         # Memo: (canonical call atom, db) -> list of (values, db_out).
         self._memo: Dict[Tuple[Atom, Database], List] = {}
@@ -77,13 +83,17 @@ class NonrecursiveEngine:
         # Provenance scratch for the current solve.
         self._prov_rec = None
         self._prov_root = None
+        # Cost attributor scratch for the current solve (None when off).
+        self._attr_cur = None
 
     def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
         goal = self.program.resolve_goal(as_goal(goal))
         goal_has_conc = any(isinstance(s, Conc) for s in walk_formulas(goal))
         if self._fallback is not None or goal_has_conc:
             fallback = self._fallback or Interpreter(
-                self.program, provenance=self.provenance
+                self.program,
+                provenance=self.provenance,
+                attribution=self.attribution,
             )
             yield from fallback.solve(goal, db)
             return
@@ -92,44 +102,53 @@ class NonrecursiveEngine:
         prov = self._prov_rec = (
             self.provenance if self.provenance is not None else active_recorder()
         )
+        attr = self._attr_cur = (
+            self.attribution
+            if self.attribution is not None
+            else _hot.active_attributor()
+        )
         self._prov_root = (
             prov.record("config", str(goal), disposition="root")
             if prov is not None
             else None
         )
-        with obs.span("solve", engine="nonrec", goal=str(goal)):
-            emitted = set()
-            for theta, final_db in self._eval(goal, db, {}):
-                bindings = {v: walk(v, theta) for v in goal_vars}
-                key = (tuple(sorted(bindings.items())), final_db)
-                if key not in emitted:
-                    emitted.add(key)
-                    if obs.enabled:
-                        obs.metrics.inc("search.solutions")
-                    if prov is not None:
-                        ins, dels = db_delta(db, final_db)
-                        # Answer labels carry the bindings applied (see
-                        # the same rendering choice in seqeval.solve).
-                        label = (
-                            str(apply_atom(goal.atom, bindings))
-                            if isinstance(goal, Call)
-                            else str(goal)
-                        )
-                        prov.record(
-                            "answer",
-                            label,
-                            parent=self._prov_root,
-                            disposition="solution",
-                            bindings=render_bindings(bindings),
-                            inserted=ins,
-                            deleted=dels,
-                        )
-                    yield Solution(bindings, final_db)
-            if obs.enabled:
-                obs.metrics.set_gauge("table.keys", len(self._memo))
-                obs.metrics.set_gauge(
-                    "table.answers", sum(len(v) for v in self._memo.values())
-                )
+
+        def _search():
+            with obs.span("solve", engine="nonrec", goal=str(goal)):
+                emitted = set()
+                for theta, final_db in self._eval(goal, db, {}):
+                    bindings = {v: walk(v, theta) for v in goal_vars}
+                    key = (tuple(sorted(bindings.items())), final_db)
+                    if key not in emitted:
+                        emitted.add(key)
+                        if obs.enabled:
+                            obs.metrics.inc("search.solutions")
+                        if prov is not None:
+                            ins, dels = db_delta(db, final_db)
+                            # Answer labels carry the bindings applied (see
+                            # the same rendering choice in seqeval.solve).
+                            label = (
+                                str(apply_atom(goal.atom, bindings))
+                                if isinstance(goal, Call)
+                                else str(goal)
+                            )
+                            prov.record(
+                                "answer",
+                                label,
+                                parent=self._prov_root,
+                                disposition="solution",
+                                bindings=render_bindings(bindings),
+                                inserted=ins,
+                                deleted=dels,
+                            )
+                        yield Solution(bindings, final_db)
+                if obs.enabled:
+                    obs.metrics.set_gauge("table.keys", len(self._memo))
+                    obs.metrics.set_gauge(
+                        "table.answers", sum(len(v) for v in self._memo.values())
+                    )
+
+        yield from _hot.meter_engine(attr, _search(), "nonrec")
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
         for _ in self.solve(goal, db):
@@ -226,39 +245,58 @@ class NonrecursiveEngine:
                 if isinstance(t, Variable):
                     seen_vars.setdefault(t, None)
             canon_vars = list(seen_vars)
+            attr = self._attr_cur
             try:
                 # Indexed dispatch: head matching for this canonical call
                 # shape is memoized on the program (see Program.match_rules).
                 for rule, theta0 in self.program.match_rules(canon_atom):
-                    for theta1, db_out in self._eval(rule.body, db, theta0):
-                        values = tuple(walk(v, theta1) for v in canon_vars)
-                        if any(isinstance(v, Variable) for v in values):
-                            raise SafetyError(
-                                "rule for %s does not bind all head variables"
-                                % (canon_atom,)
-                            )
-                        entry = (values, db_out)
-                        if entry not in seen:
-                            seen.add(entry)
-                            answers.append(entry)
-                            if prov is not None:
-                                ins, dels = db_delta(db, db_out)
-                                prov.record(
-                                    "answer",
-                                    str(
-                                        apply_atom(
-                                            canon_atom,
-                                            dict(zip(canon_vars, values)),
-                                        )
-                                    ),
-                                    parent=call_node,
-                                    bindings=render_bindings(
-                                        dict(zip(canon_vars, values))
-                                    ),
-                                    inserted=ins,
-                                    deleted=dels,
-                                    witness={"rule": str(rule.head)},
+                    # The compute section runs to completion inside the
+                    # first ``next()``, so the per-rule attribution frame
+                    # brackets exactly (same argument as the prov push).
+                    rule_token = (
+                        attr.push(rule=_hot.rule_label(rule.head), predicate=canon_atom.pred)
+                        if attr is not None
+                        else None
+                    )
+                    try:
+                        for theta1, db_out in self._eval(rule.body, db, theta0):
+                            values = tuple(walk(v, theta1) for v in canon_vars)
+                            if any(isinstance(v, Variable) for v in values):
+                                raise SafetyError(
+                                    "rule for %s does not bind all head variables"
+                                    % (canon_atom,)
                                 )
+                            entry = (values, db_out)
+                            if entry not in seen:
+                                seen.add(entry)
+                                answers.append(entry)
+                                if attr is not None:
+                                    attr.charge("steps.expansions", 1)
+                                    ins_a, dels_a = db_delta(db, db_out)
+                                    delta = len(ins_a) + len(dels_a)
+                                    if delta:
+                                        attr.charge("db.delta", delta)
+                                if prov is not None:
+                                    ins, dels = db_delta(db, db_out)
+                                    prov.record(
+                                        "answer",
+                                        str(
+                                            apply_atom(
+                                                canon_atom,
+                                                dict(zip(canon_vars, values)),
+                                            )
+                                        ),
+                                        parent=call_node,
+                                        bindings=render_bindings(
+                                            dict(zip(canon_vars, values))
+                                        ),
+                                        inserted=ins,
+                                        deleted=dels,
+                                        witness={"rule": str(rule.head)},
+                                    )
+                    finally:
+                        if rule_token is not None:
+                            attr.pop(rule_token)
             finally:
                 if prov is not None:
                     prov.pop()

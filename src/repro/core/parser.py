@@ -36,6 +36,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
+from ..obs import hotspots as _hot
 from .database import Database
 from .formulas import (
     ArithExpr,
@@ -395,8 +396,12 @@ class _Parser:
 
 def parse_program(text: str, strict: bool = False) -> Program:
     """Parse a full TD program (rules + ``#base`` directives)."""
-    rules, base = _Parser(text).parse_program_items()
-    return Program(rules, base=base, strict=strict)
+    # Parse time is attributed (under a "parse" phase) when a cost
+    # attributor is ambient, so profile-run coverage excludes it from
+    # engine phases instead of leaving it unattributed.
+    with _hot.engine_frame(_hot.active_attributor(), "parse"):
+        rules, base = _Parser(text).parse_program_items()
+        return Program(rules, base=base, strict=strict)
 
 
 def parse_rules(text: str) -> List[Rule]:

@@ -63,6 +63,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..obs import hotspots as _hot
 from .database import Database
 from .formulas import (
     Builtin,
@@ -350,10 +351,16 @@ class PartialOrderReducer:
             parts = proc.parts
             idx = self._ample_index(parts, comp_fp, comp_vars)
             if idx is not None:
-                if metrics is not None or tracer is not None or prov is not None:
+                attr = _hot._ACTIVE
+                if (
+                    metrics is not None
+                    or tracer is not None
+                    or prov is not None
+                    or attr is not None
+                ):
                     self._note_ample(
                         parts, idx, comp_fp, comp_vars,
-                        metrics, tracer, prov, prov_parent,
+                        metrics, tracer, prov, prov_parent, attr,
                     )
                 branch = parts[idx]
                 before, after = parts[:idx], parts[idx + 1 :]
@@ -409,13 +416,15 @@ class PartialOrderReducer:
         tracer,
         prov,
         prov_parent,
+        attr=None,
     ) -> None:
         """Report one ample-set decision: counters, an instant tracer
         event, and (with provenance attached) the full witness the
         pruning audit re-verifies.  Counter semantics are unchanged
         from before the witness existed: ``por.ample_configs`` per
         decision, ``por.steps_pruned`` by the number of step-capable
-        siblings deferred."""
+        siblings deferred.  ``attr`` (a cost attributor) additionally
+        receives the same count as a ``por.pruned_credit`` charge."""
         pruned = [
             p for j, p in enumerate(parts) if j != idx and not _never_steps(p)
         ]
@@ -423,6 +432,8 @@ class PartialOrderReducer:
             metrics.inc("por.ample_configs")
             if pruned:
                 metrics.inc("por.steps_pruned", len(pruned))
+        if attr is not None and pruned:
+            attr.charge("por.pruned_credit", len(pruned))
         if not pruned:
             return
         ample = parts[idx]

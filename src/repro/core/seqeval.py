@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..obs import hotspots as _hot
 from ..obs.context import Instrumentation, NOOP, active
 from ..obs.provenance import active_recorder, db_delta, render_bindings
 from .database import Database
@@ -101,6 +102,7 @@ class SequentialEngine:
         max_rounds: int = 10_000_000,
         join_order: bool = True,
         provenance=None,
+        attribution=None,
     ):
         self.program = program
         self.max_rounds = max_rounds
@@ -108,6 +110,9 @@ class SequentialEngine:
         #: back to the ambient recorder when unset, costs nothing when
         #: neither is attached.
         self.provenance = provenance
+        #: Cost attributor (see :mod:`repro.obs.hotspots`); same
+        #: explicit-beats-ambient resolution as ``provenance``.
+        self.attribution = attribution
         #: Reorder maximal runs of consecutive tuple tests inside each
         #: sequence by bound-argument selectivity before evaluating.
         #: Sound because tests read but never write: a contiguous test
@@ -133,6 +138,8 @@ class SequentialEngine:
         self._prov_rec = None
         self._prov_root: Optional[int] = None
         self._prov_key_nodes: Dict[_Key, Optional[int]] = {}
+        # Cost attributor scratch for the current solve (None when off).
+        self._attr_cur = None
 
     def _check_sequential(self) -> None:
         for rule in self.program.rules:
@@ -163,6 +170,11 @@ class SequentialEngine:
         prov = self._prov_rec = (
             self.provenance if self.provenance is not None else active_recorder()
         )
+        attr = self._attr_cur = (
+            self.attribution
+            if self.attribution is not None
+            else _hot.active_attributor()
+        )
         self._prov_root = (
             prov.record("config", str(goal), disposition="root")
             if prov is not None
@@ -171,41 +183,49 @@ class SequentialEngine:
         # Key nodes are per-recorder; the table persists across solves
         # but node ids do not.
         self._prov_key_nodes = {}
-        with obs.span("solve", engine="seqeval", goal=str(goal)):
-            with obs.span("table-fixpoint"):
-                self._run_fixpoint(goal, db)
-            if obs.enabled:
-                keys, answers = self.table_size
-                obs.metrics.set_gauge("table.keys", keys)
-                obs.metrics.set_gauge("table.answers", answers)
-            emitted = set()
-            for theta, final_db in self._eval(goal, db, {}):
-                bindings = {v: walk(v, theta) for v in goal_vars}
-                key = (tuple(sorted(bindings.items())), final_db)
-                if key not in emitted:
-                    emitted.add(key)
-                    if obs.enabled:
-                        obs.metrics.inc("search.solutions")
-                    if prov is not None:
-                        ins, dels = db_delta(db, final_db)
-                        # Label the answer with the bindings applied, so
-                        # the proof reads `path(a, b)` rather than the
-                        # open goal `path(a, X)`.
-                        label = (
-                            str(apply_atom(goal.atom, bindings))
-                            if isinstance(goal, Call)
-                            else str(goal)
-                        )
-                        prov.record(
-                            "answer",
-                            label,
-                            parent=self._prov_root,
-                            disposition="solution",
-                            bindings=render_bindings(bindings),
-                            inserted=ins,
-                            deleted=dels,
-                        )
-                    yield Solution(bindings, final_db)
+
+        def _search():
+            with obs.span("solve", engine="seqeval", goal=str(goal)):
+                with obs.span("table-fixpoint"):
+                    if attr is not None:
+                        with attr.frame(phase="fixpoint"):
+                            self._run_fixpoint(goal, db)
+                    else:
+                        self._run_fixpoint(goal, db)
+                if obs.enabled:
+                    keys, answers = self.table_size
+                    obs.metrics.set_gauge("table.keys", keys)
+                    obs.metrics.set_gauge("table.answers", answers)
+                emitted = set()
+                for theta, final_db in self._eval(goal, db, {}):
+                    bindings = {v: walk(v, theta) for v in goal_vars}
+                    key = (tuple(sorted(bindings.items())), final_db)
+                    if key not in emitted:
+                        emitted.add(key)
+                        if obs.enabled:
+                            obs.metrics.inc("search.solutions")
+                        if prov is not None:
+                            ins, dels = db_delta(db, final_db)
+                            # Label the answer with the bindings applied, so
+                            # the proof reads `path(a, b)` rather than the
+                            # open goal `path(a, X)`.
+                            label = (
+                                str(apply_atom(goal.atom, bindings))
+                                if isinstance(goal, Call)
+                                else str(goal)
+                            )
+                            prov.record(
+                                "answer",
+                                label,
+                                parent=self._prov_root,
+                                disposition="solution",
+                                bindings=render_bindings(bindings),
+                                inserted=ins,
+                                deleted=dels,
+                            )
+                        yield Solution(bindings, final_db)
+
+        yield from _hot.meter_engine(attr, _search(), "seqeval")
 
     def succeeds(self, goal: Formula, db: Database) -> bool:
         for _ in self.solve(goal, db):
@@ -299,38 +319,62 @@ class SequentialEngine:
         for v in canon_vars:
             seen.setdefault(v, None)
         canon_vars = list(seen)
+        attr = self._attr_cur
         # Indexed dispatch: head matching for this canonical call shape
         # is memoized on the program (see Program.match_rules).
         for rule, theta in self.program.match_rules(canon_atom):
-            for theta_out, db_out in self._eval(rule.body, db_in, theta):
-                values = []
-                ground = True
-                for v in canon_vars:
-                    t = walk(v, theta_out)
-                    if isinstance(t, Variable):
-                        ground = False
-                        break
-                    values.append(t)
-                if not ground:
-                    raise SafetyError(
-                        "rule for %s does not bind all head variables"
-                        % (canon_atom,)
-                    )
-                entry = (tuple(values), db_out)
-                if entry in answers:
-                    continue
-                answers.add(entry)
-                if prov is not None:
-                    ins, dels = db_delta(db_in, db_out)
-                    prov.record(
-                        "answer",
-                        str(apply_atom(canon_atom, dict(zip(canon_vars, values)))),
-                        parent=call_node,
-                        bindings=render_bindings(dict(zip(canon_vars, values))),
-                        inserted=ins,
-                        deleted=dels,
-                        witness={"rule": str(rule.head)},
-                    )
+            # One attribution frame per rule-body evaluation: _recompute
+            # runs eagerly (never suspends), so push/pop bracket exactly.
+            rule_token = (
+                attr.push(rule=_hot.rule_label(rule.head), predicate=canon_atom.pred)
+                if attr is not None
+                else None
+            )
+            try:
+                for theta_out, db_out in self._eval(rule.body, db_in, theta):
+                    values = []
+                    ground = True
+                    for v in canon_vars:
+                        t = walk(v, theta_out)
+                        if isinstance(t, Variable):
+                            ground = False
+                            break
+                        values.append(t)
+                    if not ground:
+                        raise SafetyError(
+                            "rule for %s does not bind all head variables"
+                            % (canon_atom,)
+                        )
+                    entry = (tuple(values), db_out)
+                    if entry in answers:
+                        continue
+                    answers.add(entry)
+                    if attr is not None:
+                        attr.charge("steps.expansions", 1)
+                        ins_a, dels_a = db_delta(db_in, db_out)
+                        delta = len(ins_a) + len(dels_a)
+                        if delta:
+                            attr.charge("db.delta", delta)
+                    if prov is not None:
+                        ins, dels = db_delta(db_in, db_out)
+                        prov.record(
+                            "answer",
+                            str(
+                                apply_atom(
+                                    canon_atom, dict(zip(canon_vars, values))
+                                )
+                            ),
+                            parent=call_node,
+                            bindings=render_bindings(
+                                dict(zip(canon_vars, values))
+                            ),
+                            inserted=ins,
+                            deleted=dels,
+                            witness={"rule": str(rule.head)},
+                        )
+            finally:
+                if rule_token is not None:
+                    attr.pop(rule_token)
 
     # -- big-step evaluation ---------------------------------------------------------
 

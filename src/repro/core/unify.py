@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..obs import context as _obs
+from ..obs import hotspots as _hot
 from .terms import Atom, Constant, Term, Variable
 
 __all__ = [
@@ -107,6 +108,9 @@ def unify_atoms(
     inst = _obs._ACTIVE
     if inst is not None:
         inst.metrics.inc("unify.attempts")
+    attr = _hot._ACTIVE
+    if attr is not None:
+        attr.charge("unify.attempts", predicate=a1.pred)
     if a1.pred != a2.pred or len(a1.args) != len(a2.args):
         return None
     out: Dict[Variable, Term] = dict(subst)
@@ -131,6 +135,9 @@ def match_atom(
     inst = _obs._ACTIVE
     if inst is not None:
         inst.metrics.inc("unify.attempts")
+    attr = _hot._ACTIVE
+    if attr is not None:
+        attr.charge("unify.attempts", predicate=pattern.pred)
     if pattern.pred != fact.pred or len(pattern.args) != len(fact.args):
         return None
     out: Dict[Variable, Term] = dict(subst)

@@ -18,6 +18,7 @@ from ..core.program import Program
 from ..core.terms import Atom, Variable
 from ..core.unify import Substitution, apply_atom, match_atom, unify_atoms
 from ..obs import context as _obs
+from ..obs import hotspots as _hot
 from ..obs.provenance import active_recorder
 from .ast import DatalogProgram, DatalogRule, Literal
 
@@ -145,7 +146,11 @@ def evaluate_naive(program: DatalogProgram, edb: Database) -> Database:
 
 
 def evaluate(
-    program: DatalogProgram, edb: Database, reorder: bool = True, provenance=None
+    program: DatalogProgram,
+    edb: Database,
+    reorder: bool = True,
+    provenance=None,
+    attribution=None,
 ) -> Database:
     """Seminaive stratified evaluation (the production evaluator).
 
@@ -159,8 +164,24 @@ def evaluate(
     :mod:`repro.obs.provenance`) records one ``fact`` node per derived
     IDB fact, parented on the first derived positive premise of its
     first derivation, with the instantiated rule as witness.
+
+    *attribution* (or the ambient attributor, see
+    :mod:`repro.obs.hotspots`) charges each rule's join work to a
+    per-rule frame under a ``seminaive`` phase, plus one
+    ``steps.expansions`` per derived fact and the per-round delta sizes
+    as ``db.delta``.
     """
     prov = provenance if provenance is not None else active_recorder()
+    attr = attribution if attribution is not None else _hot.active_attributor()
+    if attr is not None:
+        with _hot.engine_frame(attr, "seminaive"):
+            return _evaluate_seminaive(program, edb, reorder, prov, attr)
+    return _evaluate_seminaive(program, edb, reorder, prov, None)
+
+
+def _evaluate_seminaive(
+    program: DatalogProgram, edb: Database, reorder, prov, attr
+) -> Database:
     fact_nodes: Dict[Atom, Optional[int]] = {}
     prov_root = (
         prov.record("config", "datalog fixpoint", disposition="root")
@@ -196,37 +217,63 @@ def evaluate(
         # Round 0: all-new facts = plain evaluation of each rule once.
         delta: Set[Atom] = set()
         for rule in rules:
-            plan = _plan_body(rule.body, facts, reorder)
-            for theta in _join(rule.body, facts, plan=plan):
-                fact = apply_atom(rule.head, theta)
-                if fact not in facts:
-                    if prov is not None and fact not in delta:
-                        note(rule, theta, fact)
-                    delta.add(fact)
+            rule_token = (
+                attr.push(rule=_hot.rule_label(rule.head), predicate=rule.head.pred)
+                if attr is not None
+                else None
+            )
+            try:
+                plan = _plan_body(rule.body, facts, reorder)
+                for theta in _join(rule.body, facts, plan=plan):
+                    fact = apply_atom(rule.head, theta)
+                    if fact not in facts:
+                        if attr is not None and fact not in delta:
+                            attr.charge("steps.expansions", 1)
+                        if prov is not None and fact not in delta:
+                            note(rule, theta, fact)
+                        delta.add(fact)
+            finally:
+                if rule_token is not None:
+                    attr.pop(rule_token)
+        if attr is not None and delta:
+            attr.charge("db.delta", len(delta))
         facts = facts.insert_all(delta)
 
         while delta:
             new_delta: Set[Atom] = set()
             for rule in rules:
-                plan = _plan_body(rule.body, facts, reorder)
-                # One seminaive pass per positive recursive literal: that
-                # literal ranges over delta, the others over all facts.
-                recursive_positions = [
-                    i
-                    for i, lit in enumerate(plan)
-                    if lit.positive and lit.atom.signature in stratum_sigs
-                ]
-                if not recursive_positions:
-                    continue  # already saturated in round 0
-                for i in recursive_positions:
-                    for theta in _join(
-                        rule.body, facts, delta_index=(i, delta), plan=plan
-                    ):
-                        fact = apply_atom(rule.head, theta)
-                        if fact not in facts and fact not in new_delta:
-                            if prov is not None:
-                                note(rule, theta, fact)
-                            new_delta.add(fact)
+                rule_token = (
+                    attr.push(rule=_hot.rule_label(rule.head), predicate=rule.head.pred)
+                    if attr is not None
+                    else None
+                )
+                try:
+                    plan = _plan_body(rule.body, facts, reorder)
+                    # One seminaive pass per positive recursive literal: that
+                    # literal ranges over delta, the others over all facts.
+                    recursive_positions = [
+                        i
+                        for i, lit in enumerate(plan)
+                        if lit.positive and lit.atom.signature in stratum_sigs
+                    ]
+                    if not recursive_positions:
+                        continue  # already saturated in round 0
+                    for i in recursive_positions:
+                        for theta in _join(
+                            rule.body, facts, delta_index=(i, delta), plan=plan
+                        ):
+                            fact = apply_atom(rule.head, theta)
+                            if fact not in facts and fact not in new_delta:
+                                if attr is not None:
+                                    attr.charge("steps.expansions", 1)
+                                if prov is not None:
+                                    note(rule, theta, fact)
+                                new_delta.add(fact)
+                finally:
+                    if rule_token is not None:
+                        attr.pop(rule_token)
+            if attr is not None and new_delta:
+                attr.charge("db.delta", len(new_delta))
             facts = facts.insert_all(new_delta)
             delta = new_delta
     return facts

@@ -30,7 +30,9 @@ and ``--trace-out FILE`` (dump the span log as JSON lines).
 """
 
 from .context import Instrumentation, NOOP, active, instrumented
+from .hotspots import CostAttributor, active_attributor, attributing
 from .metrics import Metrics
+from .progress import ProgressReporter
 from .provenance import ProvNode, ProvenanceRecorder, active_recorder, recording
 from .report import render_report
 from .tracer import Span, Tracer, read_jsonl
@@ -41,15 +43,19 @@ from .otlp import export_otlp, metrics_to_otlp, spans_to_otlp, write_otlp
 # directly: ``from repro.obs import explain``.
 
 __all__ = [
+    "CostAttributor",
     "Instrumentation",
     "Metrics",
     "NOOP",
+    "ProgressReporter",
     "ProvNode",
     "ProvenanceRecorder",
     "Span",
     "Tracer",
     "active",
+    "active_attributor",
     "active_recorder",
+    "attributing",
     "export_otlp",
     "instrumented",
     "metrics_to_otlp",

@@ -188,10 +188,33 @@ def render_proof_tree(recorder: ProvenanceRecorder) -> str:
     return "\n".join(lines)
 
 
-def why_not_report(recorder: ProvenanceRecorder, top_k: int = 5) -> str:
+def _predicate_of_label(label: str) -> str:
+    """Best-effort predicate name behind a provenance node label
+    (``"withdraw(a, 30)"`` → ``"withdraw"``, ``"del.balance(...)"`` →
+    ``"balance"``)."""
+    head = label.split("(", 1)[0].strip()
+    if " " in head:  # node-kind prefixes: "call p(...)", "test q(...)"
+        head = head.rsplit(" ", 1)[-1]
+    if "." in head:  # update prefixes: "ins.p", "del.p"
+        head = head.rsplit(".", 1)[-1]
+    return head
+
+
+def why_not_report(
+    recorder: ProvenanceRecorder,
+    top_k: int = 5,
+    costs: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
     """Summary of where the search died: disposition histogram, dead
     branch labels, and the *top_k* deepest failed partial derivations
-    (rendered as root-to-leaf paths)."""
+    (rendered as root-to-leaf paths).
+
+    *costs* is an optional per-predicate cost rollup (the shape
+    :meth:`repro.obs.hotspots.CostAttributor.predicate_rollup` returns).
+    When given, each dead-branch line cites what the search *spent*
+    under that predicate -- a branch that failed cheaply is noise, one
+    that burned the budget is the lead worth chasing.
+    """
     nodes = recorder.nodes
     lines: List[str] = []
     hist = recorder.by_disposition()
@@ -222,7 +245,34 @@ def why_not_report(recorder: ProvenanceRecorder, top_k: int = 5) -> str:
     lines.append("dead branches (by step and disposition):")
     ranked = sorted(by_label.items(), key=lambda kv: (-kv[1], kv[0]))
     for (disp, label), count in ranked[: max(top_k, 5)]:
-        lines.append("  %4dx [%s] %s" % (count, disp, label))
+        suffix = ""
+        if costs:
+            spent = costs.get(_predicate_of_label(label))
+            if spent:
+                suffix = "  (cost: %.2fms, %d unify)" % (
+                    spent.get("time", 0.0) * 1e3,
+                    spent.get("unify.attempts", 0),
+                )
+        lines.append("  %4dx [%s] %s%s" % (count, disp, label, suffix))
+
+    if costs:
+        hot = sorted(
+            costs.items(),
+            key=lambda kv: (-kv[1].get("time", 0.0), kv[0]),
+        )
+        hot = [(p, c) for p, c in hot if p != "(unattributed)"][: max(top_k, 5)]
+        if hot:
+            lines.append("attributed cost by predicate (where the search spent):")
+            for pred, spent in hot:
+                lines.append(
+                    "  %-20s %8.2fms %8d unify %8d expansions"
+                    % (
+                        pred,
+                        spent.get("time", 0.0) * 1e3,
+                        spent.get("unify.attempts", 0),
+                        spent.get("steps.expansions", 0),
+                    )
+                )
 
     lines.append("deepest partial derivations:")
     deepest = sorted(dead, key=lambda n: -n.depth)[:top_k]

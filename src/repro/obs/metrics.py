@@ -22,30 +22,61 @@ from typing import Dict, Iterator, List, Optional
 __all__ = ["Metrics", "HistogramSummary"]
 
 
-class HistogramSummary:
-    """Streaming summary of observed values: count / total / min / max.
+#: Maximum retained observations per histogram.  Beyond this the
+#: reservoir decimates deterministically (keep every other sample,
+#: double the stride), so memory stays bounded while quantiles remain a
+#: pure function of the observation sequence -- no RNG involved.
+RESERVOIR_CAP = 512
 
-    Enough for profiling reports (mean is derivable) without retaining
-    every observation.
+
+class HistogramSummary:
+    """Streaming summary of observed values: count / total / min / max,
+    plus a bounded *deterministic* reservoir for quantile estimates.
+
+    The reservoir keeps every ``stride``-th observation (stride starts at
+    1); when it fills past :data:`RESERVOIR_CAP` it drops every other
+    retained sample and doubles the stride.  Identical observation
+    sequences therefore always yield identical percentiles -- the same
+    determinism contract as the counters (see docs/OBSERVABILITY.md).
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > RESERVOIR_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate over the retained reservoir.
+
+        *q* is in [0, 100].  Exact while ``count <= RESERVOIR_CAP``;
+        afterwards an estimate over the strided sample.  Returns 0.0 for
+        an empty histogram (mirroring ``min``/``max`` in ``as_dict``).
+        """
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(q / 100.0 * len(ordered) + 0.5) - 1))
+        return ordered[rank]
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -54,6 +85,8 @@ class HistogramSummary:
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -165,6 +198,11 @@ class Metrics:
                 mine = self.histograms[name] = HistogramSummary()
             mine.count += hist.count
             mine.total += hist.total
+            mine._samples.extend(hist._samples)
+            mine._stride = max(mine._stride, hist._stride)
+            while len(mine._samples) > RESERVOIR_CAP:
+                mine._samples = mine._samples[::2]
+                mine._stride *= 2
             for bound in ("min", "max"):
                 theirs = getattr(hist, bound)
                 if theirs is not None:

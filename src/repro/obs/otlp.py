@@ -242,20 +242,29 @@ def metrics_to_otlp(
         )
     for name in sorted(snapshot.get("histograms") or {}):
         summary = snapshot["histograms"][name]  # type: ignore[index]
+        point: Dict[str, object] = {
+            "timeUnixNano": to_unix_nanos(now, anchor),
+            "count": str(int(summary["count"])),
+            "sum": float(summary["total"]),
+            "min": float(summary["min"]),
+            "max": float(summary["max"]),
+        }
+        # Percentile estimates ride along as attributes: OTLP histogram
+        # points carry buckets, not quantiles (that's Summary, which
+        # collectors increasingly reject), and we keep summaries only.
+        quantiles = {
+            key: summary[key] for key in ("p50", "p95") if key in summary
+        }
+        if quantiles:
+            point["attributes"] = _attributes(
+                {"repro." + k: float(v) for k, v in quantiles.items()}
+            )
         out_metrics.append(
             {
                 "name": name,
                 "unit": "1",
                 "histogram": {
-                    "dataPoints": [
-                        {
-                            "timeUnixNano": to_unix_nanos(now, anchor),
-                            "count": str(int(summary["count"])),
-                            "sum": float(summary["total"]),
-                            "min": float(summary["min"]),
-                            "max": float(summary["max"]),
-                        }
-                    ],
+                    "dataPoints": [point],
                     "aggregationTemporality": AGGREGATION_TEMPORALITY_CUMULATIVE,
                 },
             }

@@ -73,8 +73,15 @@ def render_metrics(metrics: Metrics) -> str:
                 [
                     (
                         name,
-                        "count=%d mean=%.2f min=%g max=%g"
-                        % (h.count, h.mean, h.min or 0, h.max or 0),
+                        "count=%d mean=%.2f min=%g p50=%g p95=%g max=%g"
+                        % (
+                            h.count,
+                            h.mean,
+                            h.min or 0,
+                            h.percentile(50),
+                            h.percentile(95),
+                            h.max or 0,
+                        ),
                     )
                     for name, h in sorted(metrics.histograms.items())
                 ],

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.database import Database
 from ..core.errors import SearchBudgetExceeded
+from ..obs import hotspots as _hot
 from ..obs.context import active
 from ..core.formulas import Formula, apply_subst
 from ..core.interpreter import Interpreter
@@ -152,7 +153,9 @@ def explore(
         edges[node_id] = []
         return node_id, True
 
-    with obs.span("statespace.explore", goal=str(goal)):
+    attr = _hot.active_attributor()
+    with obs.span("statespace.explore", goal=str(goal)), \
+            _hot.engine_frame(attr, "statespace"):
         start, _ = intern(goal, db)
         frontier = deque([start])
         while frontier:
@@ -162,9 +165,12 @@ def explore(
                 continue
             if obs.enabled:
                 obs.metrics.inc("statespace.expanded")
-            for step in enabled_steps(
+            steps = enabled_steps(
                 program, node.process, node.database, interp._isol_runner(budget, obs)
-            ):
+            )
+            if attr is not None:
+                steps = attr.meter_steps(steps)
+            for step in steps:
                 new_proc = apply_subst(step.residual, step.subst)
                 succ_id, fresh = intern(new_proc, step.database)
                 label = str(step.action)

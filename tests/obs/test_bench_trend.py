@@ -1,0 +1,86 @@
+"""The bench trend timing gate: --check thresholds and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_snapshot(trend_dir, n, rows):
+    trend_dir.mkdir(parents=True, exist_ok=True)
+    path = trend_dir / ("BENCH_%d.json" % n)
+    path.write_text(json.dumps(rows) + "\n")
+    return path
+
+
+def rows(**best_ms):
+    return [
+        {"config": name, "description": name, "repeat": 1,
+         "best_ms": ms, "mean_ms": ms}
+        for name, ms in sorted(best_ms.items())
+    ]
+
+
+class TestTrendCheck:
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0, b=5.0))
+        write_snapshot(trend, 2, rows(a=12.0, b=5.5))
+        assert main(["bench", "trend", "--check", "--out", str(trend)]) == 0
+        assert "bench trend check: ok" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0))
+        write_snapshot(trend, 2, rows(a=25.0))  # +150% > default +100%
+        assert main(["bench", "trend", "--check", "--out", str(trend)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_tighter_threshold(self, tmp_path):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0))
+        write_snapshot(trend, 2, rows(a=12.0))  # +20%
+        assert main(
+            ["bench", "trend", "--check", "--threshold", "0.1",
+             "--out", str(trend)]
+        ) == 1
+
+    def test_per_config_override(self, tmp_path):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0, b=10.0))
+        write_snapshot(trend, 2, rows(a=25.0, b=10.0))
+        assert main(
+            ["bench", "trend", "--check", "--threshold-for", "a=2.0",
+             "--out", str(trend)]
+        ) == 0
+
+    def test_bad_override_rejected(self, tmp_path, capsys):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0))
+        assert main(
+            ["bench", "trend", "--check", "--threshold-for", "nonsense",
+             "--out", str(trend)]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_single_snapshot_is_vacuously_ok(self, tmp_path, capsys):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0))
+        assert main(["bench", "trend", "--check", "--out", str(trend)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_without_check_regression_only_reports(self, tmp_path, capsys):
+        trend = tmp_path / "trajectory"
+        write_snapshot(trend, 1, rows(a=10.0))
+        write_snapshot(trend, 2, rows(a=50.0))
+        assert main(["bench", "trend", "--out", str(trend)]) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_missing_dir_errors(self, tmp_path, capsys):
+        assert main(
+            ["bench", "trend", "--check", "--out", str(tmp_path / "none")]
+        ) == 2
+        assert "no bench trajectory" in capsys.readouterr().err

@@ -124,6 +124,29 @@ class TestWhyNot:
         report = why_not_report(recorder)
         assert "solution(s) exist" in report
 
+    def test_cost_rollup_cited_when_provided(self, bank_program, bank_db):
+        from repro.obs import CostAttributor, attributing
+
+        attr = CostAttributor()
+        with attributing(attr):
+            recorder, solutions = explain_goal(
+                bank_program, "transfer(a, b, 999)", bank_db, mode="bfs"
+            )
+        attr.mark()
+        assert solutions == []
+        report = why_not_report(recorder, costs=attr.predicate_rollup())
+        assert "attributed cost by predicate" in report
+        assert "unify" in report
+        # Dead-branch lines cite the cost spent under their predicate.
+        assert "(cost:" in report
+
+    def test_no_costs_no_cost_section(self, bank_program, bank_db):
+        recorder, _ = explain_goal(
+            bank_program, "transfer(a, b, 999)", bank_db, mode="bfs"
+        )
+        report = why_not_report(recorder)
+        assert "attributed cost" not in report
+
 
 class TestDot:
     def test_dot_output_shape(self, bank_program, bank_db):

@@ -1,6 +1,6 @@
 """Metrics registry: counters, gauges, histograms, merge, snapshot."""
 
-from repro.obs.metrics import Metrics
+from repro.obs.metrics import RESERVOIR_CAP, HistogramSummary, Metrics
 
 
 class TestCounters:
@@ -44,6 +44,53 @@ class TestHistograms:
         assert h.min == 1.0
         assert h.max == 3.0
         assert h.mean == 2.0
+
+    def test_percentiles_exact_under_cap(self):
+        h = HistogramSummary()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentiles_in_as_dict(self):
+        h = HistogramSummary()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["p50"] == 2.0
+        assert d["p95"] == 4.0
+
+    def test_empty_percentile_is_zero(self):
+        assert HistogramSummary().percentile(50) == 0.0
+
+    def test_reservoir_bounded_and_deterministic(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        for v in range(10 * RESERVOIR_CAP):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert len(a._samples) <= RESERVOIR_CAP
+        assert a._samples == b._samples
+        assert a.percentile(50) == b.percentile(50)
+        # Decimation keeps the estimate near the true median.
+        true_median = (10 * RESERVOIR_CAP - 1) / 2.0
+        assert abs(a.percentile(50) - true_median) / true_median < 0.05
+
+    def test_merge_combines_reservoirs(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (100.0, 200.0):
+            b.observe(v)
+        ma, mb = Metrics(), Metrics()
+        ma.histograms["h"] = a
+        mb.histograms["h"] = b
+        ma.merge(mb)
+        merged = ma.histograms["h"]
+        assert merged.count == 4
+        assert merged.percentile(100) == 200.0
+        assert len(merged._samples) == 4
 
 
 class TestSnapshotAndMerge:

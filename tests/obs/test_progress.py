@@ -1,0 +1,104 @@
+"""Progress heartbeat: rendering, lifecycle, CLI silence by default."""
+
+import io
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Metrics
+from repro.obs.progress import ProgressReporter
+
+
+@pytest.fixture
+def bank_files(tmp_path):
+    program = tmp_path / "bank.td"
+    program.write_text(
+        """
+        transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+        withdraw(Acct, Amt) <-
+            balance(Acct, Bal) * Bal >= Amt *
+            del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+        deposit(Acct, Amt) <-
+            balance(Acct, Bal) *
+            del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+    )
+    db = tmp_path / "bank.facts"
+    db.write_text("balance(a, 100). balance(b, 10).")
+    return str(program), str(db)
+
+
+class TestRendering:
+    def test_line_reads_search_counters(self):
+        m = Metrics()
+        m.inc("search.steps", 123)
+        m.inc("search.configs_expanded", 45)
+        m.gauge_max("search.frontier_peak", 67)
+        m.gauge_max("search.depth_peak", 8)
+        m.inc("search.solutions", 2)
+        reporter = ProgressReporter(m, interval=10, stream=io.StringIO())
+        line = reporter.render_line()
+        assert "123 steps" in line
+        assert "45 configs" in line
+        assert "frontier peak 67" in line
+        assert "depth peak 8" in line
+        assert "2 solutions" in line
+        assert line.startswith("progress:")
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(Metrics(), interval=0)
+
+
+class TestLifecycle:
+    def test_stop_always_emits_final_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(Metrics(), interval=60, stream=stream)
+        with reporter:
+            pass  # finishes well inside the first interval
+        assert reporter.lines_emitted == 1
+        assert stream.getvalue().count("progress:") == 1
+
+    def test_periodic_emission(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(Metrics(), interval=0.01, stream=stream)
+        with reporter:
+            time.sleep(0.08)
+        assert reporter.lines_emitted >= 2
+
+    def test_double_start_rejected(self):
+        reporter = ProgressReporter(Metrics(), interval=60, stream=io.StringIO())
+        with reporter:
+            with pytest.raises(RuntimeError):
+                reporter.start()
+
+    def test_stop_without_start_is_noop(self):
+        stream = io.StringIO()
+        ProgressReporter(Metrics(), interval=60, stream=stream).stop()
+        assert stream.getvalue() == ""
+
+
+class TestCli:
+    def test_silent_by_default(self, bank_files, capsys):
+        program, db = bank_files
+        assert main(
+            ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "progress:" not in captured.err
+        assert "progress:" not in captured.out
+
+    def test_progress_flag_reports_to_stderr(self, bank_files, capsys):
+        program, db = bank_files
+        assert main(
+            [
+                "solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+                "--progress", "30",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        # Final line on stop, even when the run beats the interval.
+        assert "progress:" in captured.err
+        assert "solutions" in captured.err
+        assert "progress:" not in captured.out
