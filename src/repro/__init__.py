@@ -91,6 +91,15 @@ from .core import (
     solve,
     var,
 )
+from .store import (
+    MemoryStore,
+    SqliteStore,
+    Store,
+    StoreCrashed,
+    StoreError,
+    open_store,
+    using_store_provider,
+)
 
 __version__ = "1.0.0"
 
@@ -108,6 +117,7 @@ __all__ = [
     "Execution",
     "Formula",
     "Interpreter",
+    "MemoryStore",
     "NonrecursiveEngine",
     "ParseError",
     "Program",
@@ -119,6 +129,10 @@ __all__ = [
     "SearchBudgetExceeded",
     "SequentialEngine",
     "Solution",
+    "SqliteStore",
+    "Store",
+    "StoreCrashed",
+    "StoreError",
     "Sublanguage",
     "TDError",
     "UnsupportedProgramError",
@@ -134,6 +148,7 @@ __all__ = [
     "format_program",
     "format_trace",
     "iso",
+    "open_store",
     "parse_atom",
     "parse_database",
     "parse_goal",
@@ -142,5 +157,6 @@ __all__ = [
     "select_engine",
     "seq",
     "solve",
+    "using_store_provider",
     "var",
 ]

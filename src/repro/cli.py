@@ -5,6 +5,13 @@ Usage examples::
     tdlog classify workflow.td
     tdlog solve workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog run workflow.td --goal 'simulate' --db lab.facts --seed 7
+    tdlog run workflow.td --goal 'transfer(a, b, 30)' --db bank.facts \
+        --store sqlite:bank.tdlog
+    tdlog solve big.td --goal 'search' --store sqlite:run.tdlog \
+        --checkpoint-out run.ckpt   # exit 3 on exhaustion, then:
+    tdlog solve big.td --goal 'search' --store sqlite:run.tdlog \
+        --resume-from run.ckpt
+    tdlog store inspect bank.tdlog
     tdlog analyze --demo-lab 4
     tdlog explain workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog explain workflow.td --goal 'transfer(a, b, 999)' --db bank.facts --why-not
@@ -32,7 +39,9 @@ times the profile-suite workloads (wall clock, best/mean over repeats;
 trajectory);
 ``profile`` manages counter baselines (``baseline``/``diff``, the CI
 regression gate) and exports traces/metrics as OTLP JSON
-(``export-otlp``); ``chaos`` runs the differential fault-injection
+(``export-otlp``); ``store inspect`` prints a durable ``.tdlog``
+store's snapshot generation, WAL tail, and per-predicate fact counts
+(see docs/STORAGE.md); ``chaos`` runs the differential fault-injection
 suite (seeded fault plans against every chaos workload, asserting the
 atomicity and retry-recovery invariants -- see docs/ROBUSTNESS.md) and
 its output is byte-identical for the same arguments.
@@ -82,14 +91,34 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store_arg(args: argparse.Namespace, db: Optional[Database]):
+    """Open ``--store`` (``None`` when absent).  A fresh, empty durable
+    store is seeded from *db*; an existing store's contents win over
+    ``--db`` (durability means the file is the state of record)."""
+    spec = getattr(args, "store", None)
+    if not spec:
+        return None
+    from .store import open_store
+
+    return open_store(spec, db=db)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    import pickle
     from contextlib import ExitStack
+
+    from .core import DeadlineExceeded, SearchBudgetExceeded
 
     program = _load_program(args.program)
     db = _load_db(args.db)
-    engine = select_engine(program, args.goal, max_configs=args.max_configs)
     count = 0
     with ExitStack() as stack:
+        store = _open_store_arg(args, db if args.db else None)
+        if store is not None:
+            stack.callback(store.close)
+        engine = select_engine(
+            program, args.goal, max_configs=args.max_configs, store=store
+        )
         if getattr(args, "progress", 0):
             # The heartbeat reads the engines' own counters; make sure a
             # registry is active even without --profile/--trace-out.
@@ -102,19 +131,47 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             stack.enter_context(
                 ProgressReporter(obs.metrics, interval=args.progress)
             )
-        for solution in engine.solve(args.goal, db):
-            count += 1
-            if solution.bindings:
-                bindings = ", ".join(
-                    "%s = %s" % (v, t) for v, t in sorted(solution.bindings.items())
-                )
-                print("solution %d: %s" % (count, bindings))
-            else:
-                print("solution %d." % count)
-            print(format_database(solution.database) or "  (empty database)")
-            print()
-            if args.limit and count >= args.limit:
-                break
+        if getattr(args, "resume_from", None):
+            # Continue an interrupted search: the pickled checkpoint
+            # carries the goal, frontier, and already-emitted answers;
+            # with --store the states come from the durable file that
+            # survived the original run (recovery replayed its WAL on
+            # open), so checkpoint + store compose into crash restart.
+            with open(args.resume_from, "rb") as handle:
+                checkpoint = pickle.load(handle)
+            solutions = engine.resume(checkpoint)
+        else:
+            solutions = engine.solve(
+                args.goal, None if store is not None else db
+            )
+        try:
+            for solution in solutions:
+                count += 1
+                if solution.bindings:
+                    bindings = ", ".join(
+                        "%s = %s" % (v, t)
+                        for v, t in sorted(solution.bindings.items())
+                    )
+                    print("solution %d: %s" % (count, bindings))
+                else:
+                    print("solution %d." % count)
+                print(format_database(solution.database) or "  (empty database)")
+                print()
+                if args.limit and count >= args.limit:
+                    break
+        except (SearchBudgetExceeded, DeadlineExceeded) as exc:
+            checkpoint = getattr(exc, "checkpoint", None)
+            out = getattr(args, "checkpoint_out", None)
+            if out is None or checkpoint is None:
+                raise
+            with open(out, "wb") as handle:
+                pickle.dump(checkpoint, handle)
+            print(
+                "search interrupted (%s); checkpoint written to %s "
+                "(resume with --resume-from)" % (type(exc).__name__, out),
+                file=sys.stderr,
+            )
+            return 3
     if count == 0:
         print("no solution: the transaction cannot commit")
         return 1
@@ -122,17 +179,64 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     program = _load_program(args.program)
     db = _load_db(args.db)
-    engine = select_engine(program, args.goal, max_configs=args.max_configs)
-    execution = engine.simulate(args.goal, db, seed=args.seed)
-    if execution is None:
-        print("no successful execution found")
-        return 1
-    print("trace:")
-    print(format_trace(execution.trace, indent="  "))
-    print("final database:")
-    print(format_database(execution.database) or "  (empty database)")
+    with ExitStack() as stack:
+        store = _open_store_arg(args, db if args.db else None)
+        if store is not None:
+            stack.callback(store.close)
+        engine = select_engine(
+            program, args.goal, max_configs=args.max_configs, store=store
+        )
+        execution = engine.simulate(
+            args.goal, None if store is not None else db, seed=args.seed
+        )
+        if execution is None:
+            print("no successful execution found")
+            return 1
+        print("trace:")
+        print(format_trace(execution.trace, indent="  "))
+        print("final database:")
+        print(format_database(execution.database) or "  (empty database)")
+        if store is not None:
+            print("execution committed to store", file=sys.stderr)
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Debugging surface for the durable backend: snapshot generation,
+    WAL length, per-predicate fact counts, checkpoint linkage."""
+    import os
+
+    from .store import StoreError
+    from .store.sqlite import SqliteStore
+
+    if not os.path.exists(args.path):
+        # Opening would create an empty store -- surprising for an
+        # inspection command, so refuse instead.
+        raise StoreError("no such store: %s" % args.path)
+    with SqliteStore(args.path) as store:
+        stats = store.stats()
+        print("store:      %s" % stats["path"])
+        print("backend:    %s" % stats["backend"])
+        print("facts:      %d" % stats["facts"])
+        print("generation: %d" % stats["generation"])
+        print("wal tail:   %d row(s) pending replay" % stats["wal_length"])
+        print(
+            "checkpoint: generation %d folded WAL through seq %d "
+            "(%d fact(s) in snapshot)"
+            % (stats["generation"], stats["checkpoint_seq"],
+               stats["snapshot_facts"])
+        )
+        predicates = stats["predicates"]
+        if predicates:
+            print("predicates:")
+            for pred, n in predicates.items():
+                print("  %-20s %d" % (pred, n))
+        else:
+            print("predicates: (none)")
     return 0
 
 
@@ -745,6 +849,23 @@ def build_parser() -> argparse.ArgumentParser:
              "solutions, elapsed) to stderr every SECONDS seconds "
              "(default: off)",
     )
+    p_solve.add_argument(
+        "--store", metavar="SPEC",
+        help="storage backend: 'mem' or 'sqlite:PATH' (a bare PATH ending "
+             "in .tdlog also works); a fresh durable store is seeded from "
+             "--db, an existing one's contents win (see docs/STORAGE.md)",
+    )
+    p_solve.add_argument(
+        "--checkpoint-out", metavar="FILE",
+        help="on budget/deadline exhaustion, pickle the resumable "
+             "checkpoint to FILE and exit with status 3",
+    )
+    p_solve.add_argument(
+        "--resume-from", metavar="FILE",
+        help="resume an interrupted search from a --checkpoint-out FILE "
+             "(composes with --store: the durable state recovered on "
+             "open, the checkpoint supplies the frontier)",
+    )
     p_solve.set_defaults(fn=_cmd_solve)
 
     p_run = sub.add_parser("run", help="simulate one successful execution")
@@ -753,6 +874,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--db", help="path to an initial-database facts file")
     p_run.add_argument("--seed", type=int, help="randomize interleaving choices")
     p_run.add_argument("--max-configs", type=int, default=2_000_000)
+    p_run.add_argument(
+        "--store", metavar="SPEC",
+        help="storage backend: 'mem' or 'sqlite:PATH'; the winning "
+             "execution's trace is committed to it under savepoints",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_graph = sub.add_parser(
@@ -986,6 +1112,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_export.set_defaults(fn=_cmd_profile_export_otlp)
 
+    p_store = sub.add_parser(
+        "store", help="inspect and manage durable stores (.tdlog files)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_inspect = store_sub.add_parser(
+        "inspect",
+        help="print snapshot generation, WAL length, fact counts, and "
+             "checkpoint linkage for a durable store",
+    )
+    p_inspect.add_argument("path", help="path to a .tdlog store file")
+    p_inspect.set_defaults(fn=_cmd_store_inspect)
+
     p_chaos = sub.add_parser(
         "chaos",
         help="seeded fault-injection sweep over the chaos workloads",
@@ -1024,10 +1162,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, rendering storage errors (bad --store
+    spec, missing/corrupt .tdlog file) as a message + exit 2 rather
+    than a traceback."""
+    from .store import StoreError
+
+    try:
+        return args.fn(args)
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if not (getattr(args, "profile", False) or getattr(args, "trace_out", None)):
-        return args.fn(args)
+        return _dispatch(args)
 
     from .obs import Instrumentation, instrumented, render_report
 
@@ -1035,7 +1186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_failed = False
     try:
         with instrumented(inst):
-            status = args.fn(args)
+            status = _dispatch(args)
     finally:
         # Report even when the command errors out (e.g. budget exceeded):
         # that is exactly when the counters explain what happened.

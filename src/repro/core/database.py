@@ -14,6 +14,7 @@ style sharing keeps the small-step search affordable).
 
 from __future__ import annotations
 
+import warnings
 from bisect import insort
 from typing import (
     AbstractSet,
@@ -146,10 +147,12 @@ class Database:
             self._argidx[(pred, pos)] = cached
         return cached
 
-    def _arg0_index(self, pred: str) -> Dict:
-        """First-argument index (compatibility alias for
-        :meth:`_arg_index` at position 0)."""
-        return self._arg_index(pred, 0)
+    def arg_index(self, pred: str, pos: int) -> Dict:
+        """Public name for :meth:`_arg_index`, part of the
+        :class:`repro.store.Store` query surface.  Treat the returned
+        mapping as read-only: it is shared copy-on-write across
+        successor states."""
+        return self._arg_index(pred, pos)
 
     def _derive(self, pred: str, fact: Atom, removed: bool) -> "Database":
         """A successor state differing from ``self`` by one fact of
@@ -337,6 +340,14 @@ class Database:
     # -- comparison helpers -----------------------------------------------------
 
     def union(self, other: "Database") -> "Database":
+        """Deprecated: use :meth:`insert_all` (or, for transactional
+        batches, :meth:`repro.store.Store.insert_all`)."""
+        warnings.warn(
+            "Database.union is deprecated; use Database.insert_all "
+            "(or Store.insert_all for transactional batches)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.insert_all(other)
 
     def difference(self, other: "Database") -> FrozenSet[Atom]:

@@ -99,7 +99,7 @@ class Engine:
     def _timer_name(self) -> str:
         return "time.%s" % self.sublanguage.name.lower()
 
-    def succeeds(self, goal: Union[str, Formula], db: Database) -> bool:
+    def succeeds(self, goal: Union[str, Formula], db: Optional[Database] = None) -> bool:
         """Does some execution of *goal* from *db* commit?"""
         obs = self._describe()
         try:
@@ -113,7 +113,7 @@ class Engine:
     def solve(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database] = None,
         *,
         deadline: Union[None, float, Deadline] = None,
     ) -> Iterator[Solution]:
@@ -121,7 +121,9 @@ class Engine:
 
         *deadline* arms a cooperative stop on the small-step backend
         (full/bounded TD); the analytic backends are decision procedures
-        and ignore it.
+        and ignore it.  With ``db=None`` the initial state comes from
+        the backend's attached store (``store=`` on
+        :func:`select_engine`, or the ambient provider).
         """
         obs = self._describe()
         return self._timed_solve(goal, db, obs, deadline)
@@ -129,7 +131,7 @@ class Engine:
     def _timed_solve(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database],
         obs: Instrumentation,
         deadline: Union[None, float, Deadline] = None,
     ) -> Iterator[Solution]:
@@ -174,7 +176,9 @@ class Engine:
         )
         return interp.resume(checkpoint, **kwargs)
 
-    def final_databases(self, goal: Union[str, Formula], db: Database) -> Set[Database]:
+    def final_databases(
+        self, goal: Union[str, Formula], db: Optional[Database] = None
+    ) -> Set[Database]:
         """All states the transaction can leave the database in."""
         obs = self._describe()
         try:
@@ -188,7 +192,7 @@ class Engine:
     def simulate(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database] = None,
         *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
@@ -197,7 +201,9 @@ class Engine:
         """One successful execution with its full action trace.
 
         Simulation always uses the small-step scheduler (traces are a
-        small-step notion), regardless of the analytic backend.
+        small-step notion), regardless of the analytic backend.  When a
+        store is attached the winning trace is committed to it (see
+        :meth:`Interpreter.simulate`).
         """
         seed, max_depth = _simulate_legacy_args(legacy, seed, max_depth)
         interp = (
@@ -207,6 +213,7 @@ class Engine:
                 self.program,
                 provenance=getattr(self.backend, "provenance", None),
                 attribution=getattr(self.backend, "attribution", None),
+                store=getattr(self.backend, "store", None),
             )
         )
         obs = self._describe()
@@ -232,6 +239,7 @@ def select_engine(
     max_configs: int = 200_000,
     provenance=None,
     attribution=None,
+    store=None,
 ) -> Engine:
     """Classify *program* (and *goal*, if given) and build the matching
     engine.
@@ -239,10 +247,11 @@ def select_engine(
     ``max_configs`` bounds the small-step searches (full and fully
     bounded TD); the big-step evaluators ignore it, as they terminate
     unconditionally.  ``provenance`` attaches a derivation recorder (see
-    :mod:`repro.obs.provenance`) and ``attribution`` a cost attributor
-    (see :mod:`repro.obs.hotspots`) to whichever backend is selected.
-    Options after ``goal`` are keyword-only; positional ``max_configs``
-    keeps working for one deprecation cycle.
+    :mod:`repro.obs.provenance`), ``attribution`` a cost attributor
+    (see :mod:`repro.obs.hotspots`), and ``store`` a storage backend
+    (see :class:`repro.store.Store` and docs/STORAGE.md) to whichever
+    backend is selected.  Options after ``goal`` are keyword-only;
+    positional ``max_configs`` keeps working for one deprecation cycle.
     """
     if legacy:
         if len(legacy) > 1:
@@ -264,11 +273,11 @@ def select_engine(
     backend: _Backend
     if sub in (Sublanguage.QUERY_ONLY, Sublanguage.SEQUENTIAL):
         backend = SequentialEngine(
-            program, provenance=provenance, attribution=attribution
+            program, provenance=provenance, attribution=attribution, store=store
         )
     elif sub is Sublanguage.NONRECURSIVE:
         backend = NonrecursiveEngine(
-            program, provenance=provenance, attribution=attribution
+            program, provenance=provenance, attribution=attribution, store=store
         )
     else:
         backend = Interpreter(
@@ -276,6 +285,7 @@ def select_engine(
             max_configs=max_configs,
             provenance=provenance,
             attribution=attribution,
+            store=store,
         )
     return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)
 
@@ -283,18 +293,21 @@ def select_engine(
 def solve(
     program: Program,
     goal: Union[str, Formula],
-    db: Database,
+    db: Optional[Database] = None,
     *,
     max_configs: int = 200_000,
     provenance=None,
+    store=None,
 ) -> Iterator[Solution]:
     """The blessed one-call entry point: classify, pick an engine, solve.
 
     Equivalent to ``select_engine(program, goal).solve(goal, db)`` --
     *goal* may be a formula or concrete syntax.  Use :func:`select_engine`
     directly when reusing one engine across many goals or databases.
+    ``store=`` attaches a storage backend (docs/STORAGE.md); with
+    ``db=None`` the store supplies the initial state.
     """
     engine = select_engine(
-        program, goal, max_configs=max_configs, provenance=provenance
+        program, goal, max_configs=max_configs, provenance=provenance, store=store
     )
     return engine.solve(goal, db)

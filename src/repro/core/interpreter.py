@@ -36,6 +36,16 @@ Fault injection: an injector passed as ``faults=`` (anything with a
 :mod:`repro.faults.inject`) is consulted once per configuration
 expansion and may drop, reorder, or abort the enabled steps.  The hook
 is duck-typed so the core never imports the faults package.
+
+Storage: a backend passed as ``store=`` (anything speaking the
+:class:`repro.store.Store` protocol -- same duck-typing discipline as
+``faults=``) supplies the initial state when ``db`` is omitted, and
+:meth:`Interpreter.simulate` *commits* the winning execution's trace to
+it under savepoint-mapped isolation -- top-level savepoint around the
+run, a nested savepoint per ``iso`` subtrace.  The search itself never
+writes to the store (states stay immutable in-memory values), so the
+default ``store=None`` path is byte-identical to before the protocol
+existed.  See docs/STORAGE.md.
 """
 
 from __future__ import annotations
@@ -287,12 +297,20 @@ class Interpreter:
         por: bool = True,
         provenance=None,
         attribution=None,
+        *,
+        store=None,
     ):
         self.program = program
         self.max_configs = max_configs
         self.sort_concurrent = sort_concurrent
         self.faults = faults
         self.por = por
+        #: Optional storage backend (see :class:`repro.store.Store`),
+        #: duck-typed like ``faults``.  Explicit beats the ambient
+        #: provider (:func:`repro.store.using_store_provider`); with
+        #: neither, searches run over plain in-memory states exactly as
+        #: before.
+        self.store = store
         #: Optional :class:`repro.obs.provenance.ProvenanceRecorder`.
         #: ``None`` (the default) also consults the ambient recorder at
         #: each entry point (see :func:`repro.obs.provenance.recording`);
@@ -345,12 +363,17 @@ class Interpreter:
         transition relation directly but reuses the isolation runner)."""
         return _Budget(self.max_configs, obs)
 
+    def _resolve_state(self, db: Optional[Database]):
+        """Resolve ``(store, initial db)`` for one search entry (see
+        :func:`_resolve_store`)."""
+        return _resolve_store(self.store, db)
+
     # -- public API -------------------------------------------------------------
 
     def solve(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database] = None,
         *,
         deadline: Union[None, float, Deadline] = None,
     ) -> Iterator[Solution]:
@@ -361,10 +384,15 @@ class Interpreter:
         Terminates iff the reachable configuration space is finite;
         otherwise enumeration is fair and the budget eventually fires.
 
+        With ``db=None`` the initial state comes from the attached
+        store (see the class docstring); the search is a read-only
+        query on it.
+
         *deadline* (seconds, or a :class:`Deadline`) arms a cooperative
         stop: when it fires, :class:`DeadlineExceeded` is raised with a
         resumable checkpoint attached, like budget exhaustion.
         """
+        _, db = self._resolve_state(db)
         goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
         budget = _Budget(self.max_configs, obs)
@@ -404,11 +432,12 @@ class Interpreter:
     def run(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database] = None,
         *,
         deadline: Union[None, float, Deadline] = None,
     ) -> Iterator[Execution]:
         """Like :meth:`solve` but with execution traces attached."""
+        _, db = self._resolve_state(db)
         goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
         budget = _Budget(self.max_configs, obs)
@@ -503,7 +532,7 @@ class Interpreter:
     def simulate(
         self,
         goal: Union[str, Formula],
-        db: Database,
+        db: Optional[Database] = None,
         *legacy,
         seed: Optional[int] = None,
         max_depth: int = 100_000,
@@ -517,7 +546,14 @@ class Interpreter:
         within the explored space.  Depth-first stacks are not
         checkpointable, so budget/deadline errors raised here carry
         ``checkpoint=None``.
+
+        When a store is attached, the winning execution's trace is
+        committed to it before returning -- inserts and deletes
+        replayed in commit order, each ``iso`` subtrace inside a nested
+        savepoint under one top-level savepoint -- so the store's
+        durable state advances iff the simulation succeeded.
         """
+        store, db = self._resolve_state(db)
         seed, max_depth = _simulate_legacy_args(legacy, seed, max_depth)
         goal = self.program.resolve_goal(as_goal(goal))
         obs = active()
@@ -548,6 +584,8 @@ class Interpreter:
         if result is None:
             return None
         answers, final_db, trace, times = result
+        if store is not None:
+            _commit_execution(store, trace)
         return Execution(dict(zip(goal_vars, answers)), final_db, trace, times)
 
     # -- BFS core ---------------------------------------------------------------
@@ -1020,6 +1058,79 @@ def _simulate_legacy_args(legacy, seed, max_depth):
     if len(legacy) == 2:
         max_depth = legacy[1]
     return seed, max_depth
+
+
+def _resolve_store(store, db):
+    """The ``(store, initial db)`` resolution every engine entry point
+    shares: explicit ``store=`` beats the ambient provider, and
+    ``db=None`` pulls the store's current state (the durable-workflow
+    spelling ``engine.solve(goal)``)."""
+    store = store if store is not None else _ambient_store(db)
+    if db is None:
+        if store is None:
+            raise ValueError(
+                "no initial database: pass db= or attach a store "
+                "(store=, or repro.store.using_store_provider)"
+            )
+        db = store.database()
+    return store, db
+
+
+def _ambient_store(db):
+    """Consult the ambient store provider, if the store package is even
+    loaded.  Resolved through ``sys.modules`` so the core never imports
+    the store package (same one-way dependency discipline as faults):
+    a provider can only exist once ``repro.store.context`` has been
+    imported, so a missing module means no provider."""
+    import sys
+
+    ctx = sys.modules.get("repro.store.context")
+    if ctx is None:
+        return None
+    return ctx.provide_store(db)
+
+
+def _commit_execution(store, trace) -> None:
+    """Commit a successful execution's trace to a store, mapping the
+    trace's isolation structure onto savepoints: one top-level
+    savepoint for the run, a nested one per ``iso`` subtrace.  On any
+    failure the savepoint is rolled back (best-effort on a crashed
+    store -- reopening it rolls back for us) and the error propagates,
+    so a partial commit is never left visible."""
+    sp = store.savepoint()
+    try:
+        _replay_into(store, trace)
+    except BaseException:
+        try:
+            store.rollback(sp)
+        except Exception:
+            pass
+        raise
+    else:
+        store.release(sp)
+
+
+def _replay_into(store, actions) -> None:
+    """The store twin of :func:`repro.core.transitions.replay_actions`:
+    queries are skipped, updates applied, ``iso`` bracketed."""
+    for action in actions:
+        kind = action.kind
+        if kind == "ins":
+            store.insert(action.atom)
+        elif kind == "del":
+            store.delete(action.atom)
+        elif kind == "iso":
+            sp = store.savepoint()
+            try:
+                _replay_into(store, action.subtrace)
+            except BaseException:
+                try:
+                    store.rollback(sp)
+                except Exception:
+                    pass
+                raise
+            else:
+                store.release(sp)
 
 
 def _note_budget(obs: Instrumentation, budget: _Budget) -> None:

@@ -18,7 +18,7 @@ contrast.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..obs import hotspots as _hot
 from ..obs.context import Instrumentation, NOOP, active
@@ -40,7 +40,7 @@ from .formulas import (
     formula_variables,
     walk_formulas,
 )
-from .interpreter import Interpreter, Solution
+from .interpreter import Interpreter, Solution, _resolve_store
 from .parser import as_goal
 from .program import Program
 from .seqeval import _canonical_call
@@ -58,8 +58,15 @@ class NonrecursiveEngine:
     on recursive programs like any top-down evaluator.
     """
 
-    def __init__(self, program: Program, provenance=None, attribution=None):
+    def __init__(
+        self, program: Program, provenance=None, attribution=None, *, store=None
+    ):
         self.program = program
+        #: Optional storage backend (see :class:`repro.store.Store` and
+        #: docs/STORAGE.md), duck-typed; supplies the initial state when
+        #: ``solve`` is called without a database.  Explicit beats the
+        #: ambient provider.
+        self.store = store
         #: Derivation recorder (see :mod:`repro.obs.provenance`); falls
         #: back to the ambient recorder when unset.
         self.provenance = provenance
@@ -72,7 +79,12 @@ class NonrecursiveEngine:
             for sub in walk_formulas(rule.body)
         )
         self._fallback = (
-            Interpreter(program, provenance=provenance, attribution=attribution)
+            Interpreter(
+                program,
+                provenance=provenance,
+                attribution=attribution,
+                store=store,
+            )
             if self._has_conc
             else None
         )
@@ -86,7 +98,10 @@ class NonrecursiveEngine:
         # Cost attributor scratch for the current solve (None when off).
         self._attr_cur = None
 
-    def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
+    def solve(
+        self, goal: "str | Formula", db: Optional[Database] = None
+    ) -> Iterator[Solution]:
+        _, db = _resolve_store(self.store, db)
         goal = self.program.resolve_goal(as_goal(goal))
         goal_has_conc = any(isinstance(s, Conc) for s in walk_formulas(goal))
         if self._fallback is not None or goal_has_conc:
@@ -94,6 +109,7 @@ class NonrecursiveEngine:
                 self.program,
                 provenance=self.provenance,
                 attribution=self.attribution,
+                store=self.store,
             )
             yield from fallback.solve(goal, db)
             return

@@ -53,7 +53,7 @@ from .formulas import (
     formula_variables,
     walk_formulas,
 )
-from .interpreter import Solution
+from .interpreter import Solution, _resolve_store
 from .parser import as_goal
 from .program import Program
 from .terms import Atom, Constant, Term, Variable
@@ -103,9 +103,16 @@ class SequentialEngine:
         join_order: bool = True,
         provenance=None,
         attribution=None,
+        *,
+        store=None,
     ):
         self.program = program
         self.max_rounds = max_rounds
+        #: Optional storage backend (see :class:`repro.store.Store` and
+        #: docs/STORAGE.md), duck-typed; supplies the initial state when
+        #: ``solve`` is called without a database.  Explicit beats the
+        #: ambient provider, as for ``provenance``.
+        self.store = store
         #: Derivation recorder (see :mod:`repro.obs.provenance`); falls
         #: back to the ambient recorder when unset, costs nothing when
         #: neither is attached.
@@ -153,12 +160,18 @@ class SequentialEngine:
 
     # -- public API -------------------------------------------------------------
 
-    def solve(self, goal: "str | Formula", db: Database) -> Iterator[Solution]:
+    def solve(
+        self, goal: "str | Formula", db: Optional[Database] = None
+    ) -> Iterator[Solution]:
         """Enumerate all (bindings, final state) pairs for *goal*.
 
         *goal* may be a formula or concrete syntax.  Complete and
-        terminating: this is a decision procedure.
+        terminating: this is a decision procedure.  With ``db=None``
+        the initial state comes from the attached store (explicit
+        ``store=`` or the ambient provider); the evaluation is a
+        read-only query on it.
         """
+        _, db = _resolve_store(self.store, db)
         goal = self.program.resolve_goal(as_goal(goal))
         for sub in walk_formulas(goal):
             if isinstance(sub, Conc):

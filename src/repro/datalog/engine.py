@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.database import Database
 from ..core.formulas import Call, Conc, Isol, Neg, Seq, Test, Truth, walk_formulas
+from ..core.interpreter import _resolve_store
 from ..core.program import Program
 from ..core.terms import Atom, Variable
 from ..core.unify import Substitution, apply_atom, match_atom, unify_atoms
@@ -147,10 +148,12 @@ def evaluate_naive(program: DatalogProgram, edb: Database) -> Database:
 
 def evaluate(
     program: DatalogProgram,
-    edb: Database,
+    edb: Optional[Database] = None,
     reorder: bool = True,
     provenance=None,
     attribution=None,
+    *,
+    store=None,
 ) -> Database:
     """Seminaive stratified evaluation (the production evaluator).
 
@@ -170,13 +173,25 @@ def evaluate(
     per-rule frame under a ``seminaive`` phase, plus one
     ``steps.expansions`` per derived fact and the per-round delta sizes
     as ``db.delta``.
+
+    *store* (or the ambient provider, see :mod:`repro.store.context`)
+    attaches a storage backend: with ``edb=None`` it supplies the EDB,
+    and after the fixpoint the derived IDB facts are materialized into
+    it with one batched ``insert_all`` -- a durable materialized view.
+    The fixpoint itself runs over in-memory states either way.
     """
+    store, edb = _resolve_store(store, edb)
     prov = provenance if provenance is not None else active_recorder()
     attr = attribution if attribution is not None else _hot.active_attributor()
     if attr is not None:
         with _hot.engine_frame(attr, "seminaive"):
-            return _evaluate_seminaive(program, edb, reorder, prov, attr)
-    return _evaluate_seminaive(program, edb, reorder, prov, None)
+            result = _evaluate_seminaive(program, edb, reorder, prov, attr)
+    else:
+        result = _evaluate_seminaive(program, edb, reorder, prov, None)
+    if store is not None:
+        # Sorted so the WAL records the derived delta deterministically.
+        store.insert_all(sorted(result.difference(edb)))
+    return result
 
 
 def _evaluate_seminaive(

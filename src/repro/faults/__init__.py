@@ -41,6 +41,7 @@ from .plan import (
     Exhaustion,
     FaultPlan,
     StepFault,
+    StoreCrash,
     Window,
     generate_plan,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "FaultPlan",
     "Recovered",
     "StepFault",
+    "StoreCrash",
     "Window",
     "chaos_workloads",
     "compensate",

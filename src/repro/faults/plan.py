@@ -31,6 +31,7 @@ __all__ = [
     "AgentOutage",
     "AdversarialOrder",
     "Exhaustion",
+    "StoreCrash",
     "FaultPlan",
     "generate_plan",
 ]
@@ -140,6 +141,27 @@ class Exhaustion:
 
 
 @dataclass(frozen=True)
+class StoreCrash:
+    """Kill the durable store mid-WAL-append while the window is open.
+
+    Ticks here count *WAL appends* (effective inserts/deletes on a
+    durable store), not interpreter expansions: the store keeps its own
+    append counter, and the first append whose tick falls inside the
+    window crashes the store **after** the WAL row is durable but
+    **before** the in-memory mirror sees it -- the classic torn moment
+    a write-ahead log exists to survive.  Every later operation on the
+    crashed instance raises :class:`repro.store.StoreCrashed`; recovery
+    is reopening the file, which replays the WAL tail into the last
+    snapshot (see docs/STORAGE.md).
+    """
+
+    window: Window
+
+    def __str__(self) -> str:
+        return "store crash at WAL append during %s" % (self.window,)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong in one run, decided up front."""
 
@@ -148,6 +170,7 @@ class FaultPlan:
     outages: Tuple[AgentOutage, ...] = ()
     adversarial: Tuple[AdversarialOrder, ...] = ()
     exhaustion: Tuple[Exhaustion, ...] = ()
+    store_crashes: Tuple[StoreCrash, ...] = ()
 
     @property
     def transient(self) -> bool:
@@ -155,6 +178,10 @@ class FaultPlan:
         nothing forces exhaustion.  Transient plans are the ones
         ``retry`` must beat (the chaos suite's headline property)."""
         if self.exhaustion:
+            return False
+        # A crashed store stays dead until the file is reopened, so any
+        # store crash makes the plan non-transient for the run it hits.
+        if self.store_crashes:
             return False
         for fault in self.step_faults:
             if not fault.window.transient:
@@ -177,7 +204,7 @@ class FaultPlan:
         lines = ["fault plan (seed %d)%s:" % (
             self.seed, " [transient]" if self.transient else "")]
         for group in (self.step_faults, self.outages, self.adversarial,
-                      self.exhaustion):
+                      self.exhaustion, self.store_crashes):
             for fault in group:
                 lines.append("  - %s" % fault)
         if len(lines) == 1:

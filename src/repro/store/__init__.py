@@ -1,0 +1,83 @@
+"""Pluggable storage backends for TD database states.
+
+See :mod:`repro.store.base` for the protocol and docs/STORAGE.md for
+the backend matrix, savepoint mapping, and recovery procedure.
+
+The one-liner entry point is :func:`open_store`::
+
+    store = open_store("mem")                 # volatile reference backend
+    store = open_store("sqlite:run.tdlog")    # WAL-durable SQLite file
+    store = open_store("run.tdlog")           # extension implies sqlite
+
+which is exactly what ``tdlog --store`` feeds through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.database import Database
+from .base import Savepoint, Store, StoreCrashed, StoreError, replay_trace
+from .context import (
+    StoreProvider,
+    active_store_provider,
+    provide_store,
+    using_store_provider,
+)
+from .memory import MemoryStore
+from .sqlite import SqliteStore
+
+__all__ = [
+    "Store",
+    "StoreError",
+    "StoreCrashed",
+    "Savepoint",
+    "MemoryStore",
+    "SqliteStore",
+    "StoreProvider",
+    "active_store_provider",
+    "using_store_provider",
+    "provide_store",
+    "replay_trace",
+    "open_store",
+]
+
+#: Conventional file extension for SQLite-backed stores.
+STORE_SUFFIX = ".tdlog"
+
+
+def open_store(
+    spec: str,
+    *,
+    db: Optional[Database] = None,
+    faults=None,
+    snapshot_every: Optional[int] = None,
+) -> Store:
+    """Open a store from a CLI-style spec.
+
+    ``"mem"`` gives a :class:`MemoryStore` (optionally seeded with
+    *db*); ``"sqlite:PATH"`` -- or a bare path ending in ``.tdlog`` --
+    opens a :class:`SqliteStore` at PATH.  A durable store that already
+    holds facts keeps them (that is the point); *db* seeds it only when
+    the file is fresh and empty.
+    """
+    if spec == "mem":
+        return MemoryStore(db)
+    if spec.startswith("sqlite:"):
+        path = spec[len("sqlite:"):]
+    elif spec.endswith(STORE_SUFFIX):
+        path = spec
+    else:
+        raise StoreError(
+            "unknown store spec %r (expected 'mem', 'sqlite:PATH', "
+            "or a path ending in %r)" % (spec, STORE_SUFFIX)
+        )
+    if not path:
+        raise StoreError("empty path in store spec %r" % (spec,))
+    kwargs = {"faults": faults}
+    if snapshot_every is not None:
+        kwargs["snapshot_every"] = snapshot_every
+    store = SqliteStore(path, **kwargs)
+    if db is not None and len(store) == 0 and len(db) > 0:
+        store.insert_all(db)
+    return store

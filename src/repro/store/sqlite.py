@@ -1,0 +1,365 @@
+"""Durable store over stdlib ``sqlite3``: an append-only WAL of fact
+deltas plus periodic snapshots.
+
+Layout of a ``.tdlog`` file (three tables, schema version in ``meta``):
+
+``meta(key, value)``
+    ``schema_version``, ``generation`` (bumped per snapshot),
+    ``checkpoint_seq`` (highest WAL sequence folded into the snapshot).
+``snapshot(pred, fact)``
+    The state as of the last checkpoint, one pickled ground atom per
+    row (atoms carry ``__reduce__`` and re-intern on load; text
+    round-trips are unsafe because ``Constant("1")`` and ``Constant(1)``
+    render identically).
+``wal(seq, op, pred, fact)``
+    The delta log: ``+``/``-`` rows appended by every effective
+    insert/delete since the checkpoint, in commit order.
+
+The live state is a plain in-memory mirror
+:class:`~repro.core.database.Database`, so queries, memo keys, and the
+per-position indexes behave *identically* to the volatile backend --
+durability is purely additive.  Every effective update appends a WAL
+row first (``synchronous=FULL``: the row is on disk before the mirror
+moves), which gives the recovery invariant: **state = snapshot +
+replayed WAL tail**, no matter where the process died.
+
+``iso`` maps onto SQL savepoints: the connection runs in autocommit, so
+``SAVEPOINT`` opens a transaction scope whose WAL appends become
+durable only on ``RELEASE``; ``ROLLBACK TO`` -- or a crash before the
+release -- erases them, which is exactly the paper's
+failed-subexecutions-leave-no-trace rule.  Checkpoints fold the WAL
+into a fresh snapshot in one SQL transaction, and only run when no
+savepoint is open (a checkpoint must not capture uncommitted state).
+
+Crash injection mirrors the rest of the faults layer: the store
+duck-types a plan's ``store_crashes`` windows against its own WAL
+append counter and raises :class:`~repro.store.base.StoreCrashed` at
+the torn moment -- row durable, mirror not updated.  See
+:class:`repro.faults.plan.StoreCrash`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.database import Database
+from ..core.terms import Atom
+from ..obs.context import active
+from .base import Savepoint, Store, StoreCrashed, StoreError
+
+__all__ = ["SqliteStore", "SCHEMA_VERSION", "DEFAULT_SNAPSHOT_EVERY"]
+
+SCHEMA_VERSION = 1
+
+#: Checkpoint once the WAL tail reaches this many rows (tunable per
+#: store; small enough that recovery replay stays short, large enough
+#: that snapshot rewrites stay rare).
+DEFAULT_SNAPSHOT_EVERY = 256
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshot (
+    pred TEXT NOT NULL,
+    fact BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS wal (
+    seq  INTEGER PRIMARY KEY AUTOINCREMENT,
+    op   TEXT NOT NULL CHECK (op IN ('+', '-')),
+    pred TEXT NOT NULL,
+    fact BLOB NOT NULL
+);
+"""
+
+
+def _dump(fact: Atom) -> bytes:
+    return pickle.dumps(fact, protocol=4)
+
+
+def _load(blob: bytes) -> Atom:
+    return pickle.loads(blob)
+
+
+class SqliteStore(Store):
+    """WAL-durable backend; see the module docstring for the design.
+
+    ``faults=`` accepts anything with a ``store_crashes`` attribute of
+    :class:`~repro.faults.plan.StoreCrash`-shaped entries (the store
+    never imports the faults package, matching the core's discipline).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        faults=None,
+    ):
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.path = path
+        self.snapshot_every = snapshot_every
+        self._crash_windows = tuple(
+            crash.window for crash in getattr(faults, "store_crashes", ())
+        )
+        self._appends = 0  # crash-injection tick: one per WAL append
+        self._crashed = False
+        self._closed = False
+        self._stack: List[Tuple[Savepoint, Database]] = []
+        self._serial = 0
+        # Autocommit: explicit SAVEPOINT/RELEASE are the only
+        # transaction boundaries, so their scope matches iso exactly.
+        self._conn = sqlite3.connect(path, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        self._conn.executescript(_SCHEMA)
+        self._init_meta()
+        self._db = self._recover()
+
+    # -- open / recovery ------------------------------------------------------
+
+    def _init_meta(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [("schema_version", SCHEMA_VERSION), ("generation", 0),
+                 ("checkpoint_seq", 0)],
+            )
+        elif row[0] != SCHEMA_VERSION:
+            raise StoreError(
+                "%s: store schema version %d, expected %d"
+                % (self.path, row[0], SCHEMA_VERSION)
+            )
+
+    def _meta(self, key: str) -> int:
+        return self._conn.execute(
+            "SELECT value FROM meta WHERE key=?", (key,)
+        ).fetchone()[0]
+
+    def _recover(self) -> Database:
+        """Load the snapshot and replay the WAL tail over it -- the
+        recovery procedure, run unconditionally on every open (with an
+        empty tail it is just the snapshot load)."""
+        facts = [
+            _load(blob)
+            for (blob,) in self._conn.execute("SELECT fact FROM snapshot")
+        ]
+        db = Database(facts)
+        checkpoint_seq = self._meta("checkpoint_seq")
+        replayed = 0
+        for op, blob in self._conn.execute(
+            "SELECT op, fact FROM wal WHERE seq > ? ORDER BY seq",
+            (checkpoint_seq,),
+        ):
+            fact = _load(blob)
+            db = db.insert(fact) if op == "+" else db.delete(fact)
+            replayed += 1
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.opens")
+            if replayed:
+                obs.metrics.inc("store.recoveries")
+                obs.metrics.inc("store.wal_replayed", replayed)
+        return db
+
+    # -- guards ---------------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._crashed:
+            raise StoreCrashed("%s: store crashed; reopen to recover" % self.path)
+        if self._closed:
+            raise StoreError("%s: store is closed" % self.path)
+
+    # -- state ----------------------------------------------------------------
+
+    def database(self) -> Database:
+        self._check_live()
+        return self._db
+
+    # -- updates --------------------------------------------------------------
+
+    def _append(self, op: str, fact: Atom) -> None:
+        """Durably append one WAL row, honouring crash injection.
+
+        The crash fires *after* the row is on disk but *before* the
+        mirror advances: the store is then torn exactly the way a
+        power-cut mid-commit tears a real system, and only the reopen
+        replay may heal it.
+        """
+        self._appends += 1
+        tick = self._appends
+        start = time.perf_counter()
+        self._conn.execute(
+            "INSERT INTO wal (op, pred, fact) VALUES (?, ?, ?)",
+            (op, fact.pred, _dump(fact)),
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.wal_appends")
+            obs.metrics.observe("store.wal_fsync_ms", elapsed_ms)
+        for window in self._crash_windows:
+            if window.active(tick):
+                self._crashed = True
+                raise StoreCrashed(
+                    "%s: injected crash at WAL append %d" % (self.path, tick)
+                )
+
+    def insert(self, fact: Atom) -> Database:
+        self._check_live()
+        new_db = self._db.insert(fact)
+        if new_db is self._db:  # already present: sets, like the paper
+            return self._db
+        self._append("+", fact)
+        self._db = new_db
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.inserts")
+        self._maybe_checkpoint()
+        return self._db
+
+    def delete(self, fact: Atom) -> Database:
+        self._check_live()
+        new_db = self._db.delete(fact)
+        if new_db is self._db:
+            return self._db
+        self._append("-", fact)
+        self._db = new_db
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.deletes")
+        self._maybe_checkpoint()
+        return self._db
+
+    # -- transactions (iso -> savepoint) ---------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        self._check_live()
+        self._serial += 1
+        sp = Savepoint("iso_%d" % self._serial, depth=len(self._stack))
+        self._conn.execute("SAVEPOINT %s" % sp.name)
+        self._stack.append((sp, self._db))
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.savepoints")
+        return sp
+
+    def _pop_to(self, sp: Savepoint) -> Database:
+        while self._stack:
+            top, saved = self._stack.pop()
+            if top is sp:
+                return saved
+        raise StoreError("unknown or already-closed savepoint: %r" % (sp,))
+
+    def release(self, sp: Savepoint) -> None:
+        self._check_live()
+        self._pop_to(sp)
+        self._conn.execute("RELEASE %s" % sp.name)
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.releases")
+        # WAL rows from the released scope are durable now; fold them
+        # if the tail has grown past the threshold.
+        self._maybe_checkpoint()
+
+    def rollback(self, sp: Savepoint) -> None:
+        self._check_live()
+        saved = self._pop_to(sp)
+        # ROLLBACK TO undoes the scope's writes but leaves the
+        # savepoint open; RELEASE closes it (standard SQLite pairing).
+        self._conn.execute("ROLLBACK TO %s" % sp.name)
+        self._conn.execute("RELEASE %s" % sp.name)
+        self._db = saved
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.rollbacks")
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _wal_length(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM wal WHERE seq > ?",
+            (self._meta("checkpoint_seq"),),
+        ).fetchone()[0]
+
+    def _maybe_checkpoint(self) -> None:
+        # Never checkpoint inside an open savepoint: the mirror holds
+        # uncommitted state a snapshot must not capture.
+        if self._stack or self._wal_length() < self.snapshot_every:
+            return
+        self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Fold the WAL tail into a fresh snapshot; returns the new
+        generation.  One SQL transaction, so a crash during the fold
+        leaves the previous snapshot + WAL intact."""
+        self._check_live()
+        if self._stack:
+            raise StoreError("cannot checkpoint inside an open savepoint")
+        watermark = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) FROM wal"
+        ).fetchone()[0]
+        generation = self._meta("generation") + 1
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute("DELETE FROM snapshot")
+            self._conn.executemany(
+                "INSERT INTO snapshot (pred, fact) VALUES (?, ?)",
+                [(fact.pred, _dump(fact)) for fact in self._db],
+            )
+            self._conn.execute(
+                "UPDATE meta SET value=? WHERE key='generation'", (generation,)
+            )
+            self._conn.execute(
+                "UPDATE meta SET value=? WHERE key='checkpoint_seq'",
+                (watermark,),
+            )
+            self._conn.execute("DELETE FROM wal WHERE seq <= ?", (watermark,))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        obs = active()
+        if obs.enabled:
+            obs.metrics.inc("store.snapshots")
+        return generation
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sync(self) -> None:
+        self._check_live()
+        self._conn.execute("PRAGMA wal_checkpoint(FULL)")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Closing with open savepoints rolls their scopes back (SQLite
+        # closes the transaction on disconnect) -- same as a crash.
+        self._conn.close()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self):
+        self._check_live()
+        out = super().stats()
+        out.update(
+            path=self.path,
+            generation=self._meta("generation"),
+            checkpoint_seq=self._meta("checkpoint_seq"),
+            wal_length=self._wal_length(),
+            snapshot_facts=self._conn.execute(
+                "SELECT COUNT(*) FROM snapshot"
+            ).fetchone()[0],
+            open_savepoints=len(self._stack),
+        )
+        return out

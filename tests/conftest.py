@@ -1,8 +1,51 @@
 """Shared fixtures: small programs and databases used across test files."""
 
+import itertools
+import os
+
 import pytest
 
 from repro import Database, Interpreter, parse_database, parse_program
+
+
+@pytest.fixture(autouse=True)
+def _store_backend_matrix(tmp_path_factory):
+    """CI matrix hook: with ``STORE=mem`` or ``STORE=sqlite`` in the
+    environment, install an ambient store provider that mints a fresh
+    backend per solve, so the whole engine suite exercises that storage
+    backend without touching a single test.  Unset (the default), this
+    fixture is a no-op.
+    """
+    backend = os.environ.get("STORE")
+    if backend not in ("mem", "sqlite"):
+        yield
+        return
+
+    from repro import MemoryStore, SqliteStore
+    from repro.store import using_store_provider
+
+    counter = itertools.count()
+    stores = []
+    root = tmp_path_factory.mktemp("ambient-store") if backend == "sqlite" else None
+
+    class Mint:
+        def provide(self, db):
+            if backend == "mem":
+                store = MemoryStore(db if db is not None else Database())
+            else:
+                store = SqliteStore(str(root / ("solve%d.tdlog" % next(counter))))
+                if db is not None:
+                    store.insert_all(db)
+            stores.append(store)
+            return store
+
+    with using_store_provider(Mint()):
+        yield
+    for store in stores:
+        try:
+            store.close()
+        except Exception:
+            pass
 
 
 @pytest.fixture

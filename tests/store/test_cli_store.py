@@ -1,0 +1,181 @@
+"""CLI surface of the storage layer: ``--store`` on solve/run,
+``tdlog store inspect``, and checkpoint/resume against a durable file."""
+
+import pickle
+
+import pytest
+
+from repro import SqliteStore, parse_atom
+from repro.cli import main
+
+
+@pytest.fixture
+def bank(tmp_path):
+    program = tmp_path / "bank.td"
+    program.write_text(
+        """
+        transfer(F, T, Amt) <- iso(withdraw(F, Amt) * deposit(T, Amt)).
+        withdraw(Acct, Amt) <-
+            balance(Acct, Bal) * Bal >= Amt *
+            del.balance(Acct, Bal) * B2 is Bal - Amt * ins.balance(Acct, B2).
+        deposit(Acct, Amt) <-
+            balance(Acct, Bal) *
+            del.balance(Acct, Bal) * B2 is Bal + Amt * ins.balance(Acct, B2).
+        """
+    )
+    db = tmp_path / "bank.facts"
+    db.write_text("balance(a, 100). balance(b, 10).")
+    store = tmp_path / "bank.tdlog"
+    return str(program), str(db), str(store)
+
+
+class TestRunWithStore:
+    def test_run_commits_execution(self, bank, capsys):
+        program, db, store = bank
+        code = main(
+            ["run", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "sqlite:" + store, "--seed", "0"]
+        )
+        assert code == 0
+        assert "committed to store" in capsys.readouterr().err
+        with SqliteStore(store) as reopened:
+            assert parse_atom("balance(a, 70)") in reopened
+            assert parse_atom("balance(b, 40)") in reopened
+
+    def test_failed_run_commits_nothing(self, bank, capsys):
+        program, db, store = bank
+        code = main(
+            ["run", program, "--goal", "transfer(b, a, 999)", "--db", db,
+             "--store", "sqlite:" + store, "--seed", "0"]
+        )
+        assert code == 1
+        with SqliteStore(store) as reopened:
+            # Seeded from --db, but the failed transfer left no trace.
+            assert parse_atom("balance(a, 100)") in reopened
+            assert parse_atom("balance(b, 10)") in reopened
+            assert len(reopened) == 2
+
+
+class TestSolveWithStore:
+    def test_solve_from_durable_state_without_db(self, bank, capsys):
+        program, db, store = bank
+        assert main(
+            ["run", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "sqlite:" + store, "--seed", "0"]
+        ) == 0
+        capsys.readouterr()
+        # No --db: the durable file supplies the initial state.
+        code = main(
+            ["solve", program, "--goal", "transfer(a, b, 30)",
+             "--store", "sqlite:" + store]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "balance(a, 40)" in out
+        assert "balance(b, 70)" in out
+
+    def test_solve_is_read_only(self, bank, capsys):
+        program, db, store = bank
+        assert main(
+            ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "sqlite:" + store]
+        ) == 0
+        with SqliteStore(store) as reopened:
+            # solve enumerates answers; only run/simulate commits.
+            assert parse_atom("balance(a, 100)") in reopened
+            assert len(reopened) == 2
+
+    def test_mem_store_spec(self, bank, capsys):
+        program, db, _store = bank
+        assert main(
+            ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "mem"]
+        ) == 0
+        assert "balance(a, 70)" in capsys.readouterr().out
+
+    def test_bad_store_spec(self, bank, capsys):
+        program, db, _store = bank
+        code = main(
+            ["solve", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "voodoo"]
+        )
+        assert code != 0
+
+
+class TestStoreInspect:
+    def test_inspect_reports_state(self, bank, capsys):
+        program, db, store = bank
+        assert main(
+            ["run", program, "--goal", "transfer(a, b, 30)", "--db", db,
+             "--store", "sqlite:" + store, "--seed", "0"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert store in out
+        assert "backend:" in out
+        assert "balance" in out
+        assert "wal tail:" in out
+
+    def test_inspect_after_checkpoint(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            s.insert_all(parse_atom("p(%d)" % i) for i in range(4))
+            s.checkpoint()
+        assert main(["store", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert "4 fact(s) in snapshot" in out
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path / "nope.tdlog")]) != 0
+
+
+class TestCheckpointResume:
+    @pytest.fixture
+    def slow_search(self, tmp_path):
+        program = tmp_path / "walk.td"
+        program.write_text(
+            """
+            step(N) <- N <= 12 * ins.seen(N).
+            walk(N) <- step(N) * M is N + 1 * walk(M).
+            walk(N) <- N > 12.
+            probe <- walk(0) * seen(12).
+            """
+        )
+        return str(program), str(tmp_path / "walk.ckpt")
+
+    def test_budget_exhaustion_writes_checkpoint(self, slow_search, capsys):
+        program, ckpt = slow_search
+        code = main(
+            ["solve", program, "--goal", "probe", "--max-configs", "30",
+             "--checkpoint-out", ckpt]
+        )
+        assert code == 3
+        assert "checkpoint written" in capsys.readouterr().err
+        with open(ckpt, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        assert len(checkpoint.frontier) > 0
+
+    def test_resume_completes_search(self, slow_search, capsys):
+        program, ckpt = slow_search
+        assert main(
+            ["solve", program, "--goal", "probe", "--max-configs", "30",
+             "--checkpoint-out", ckpt]
+        ) == 3
+        for _ in range(20):
+            code = main(
+                ["solve", program, "--goal", "probe", "--max-configs", "30",
+                 "--resume-from", ckpt, "--checkpoint-out", ckpt]
+            )
+            if code != 3:
+                break
+        assert code == 0
+        assert "seen(12)" in capsys.readouterr().out
+
+    def test_exhaustion_without_checkpoint_out_raises(self, slow_search):
+        program, _ckpt = slow_search
+        from repro import SearchBudgetExceeded
+
+        with pytest.raises(SearchBudgetExceeded):
+            main(["solve", program, "--goal", "probe", "--max-configs", "30"])

@@ -1,0 +1,109 @@
+"""Backend differential over the full baseline profile suite.
+
+The gate for the durable path: every workload the committed counter
+baselines cover (all seven -- one per engine family, see
+``repro.obs.analyze.profile_suite``) is run three ways -- no store, an
+ambient per-solve :class:`MemoryStore`, an ambient per-solve
+:class:`SqliteStore` -- and the deterministic metrics must agree
+exactly once the purely additive ``store.*`` counters are stripped.
+That is the precise sense in which durability is a no-op for the
+semantics: same searches, same expansions, same answers, byte-identical
+counters.
+"""
+
+import itertools
+
+import pytest
+
+from repro import Database, MemoryStore, SqliteStore
+from repro.obs.analyze import profile_suite
+from repro.obs.context import Instrumentation, instrumented
+from repro.store import using_store_provider
+
+
+class MintingProvider:
+    """Hand every consulting engine a *fresh* store seeded from its
+    initial database (one durable file per solve for sqlite)."""
+
+    def __init__(self, factory):
+        self.factory = factory
+        self.stores = []
+
+    def provide(self, db):
+        store = self.factory(db)
+        self.stores.append(store)
+        return store
+
+    def close(self):
+        for store in self.stores:
+            try:
+                store.close()
+            except Exception:
+                pass
+
+
+def _capture(config, provider):
+    inst = Instrumentation.create()
+    try:
+        with instrumented(inst):
+            if provider is None:
+                config.run()
+            else:
+                with using_store_provider(provider):
+                    config.run()
+    finally:
+        if provider is not None:
+            provider.close()
+    return inst.metrics.snapshot(include_timers=False)
+
+
+def _semantic(snapshot):
+    """The deterministic slice a storage backend must not perturb."""
+    return {
+        "counters": {
+            k: v
+            for k, v in snapshot["counters"].items()
+            if not k.startswith("store.")
+        },
+        "gauges": snapshot["gauges"],
+        "info": snapshot["info"],
+    }
+
+
+def _mem_factory(db):
+    return MemoryStore(db if db is not None else Database())
+
+
+def _sqlite_factory(tmp_path, counter=itertools.count()):
+    def factory(db):
+        store = SqliteStore(str(tmp_path / ("solve%d.tdlog" % next(counter))))
+        if db is not None:
+            store.insert_all(db)
+        return store
+
+    return factory
+
+
+@pytest.mark.parametrize(
+    "config", profile_suite(), ids=lambda c: c.name
+)
+def test_backends_agree_on_semantic_counters(config, tmp_path):
+    plain = _capture(config, None)
+    mem = _capture(config, MintingProvider(_mem_factory))
+    sqlite = _capture(config, MintingProvider(_sqlite_factory(tmp_path)))
+    assert _semantic(mem) == _semantic(plain)
+    assert _semantic(sqlite) == _semantic(plain)
+
+
+def test_suite_is_the_full_baseline_set():
+    # The differential covers every committed baseline config; if the
+    # suite grows, this test makes the new workload run differentially.
+    assert {c.name for c in profile_suite()} == {
+        "bank_transfer",
+        "path_tabled",
+        "genome_simulate",
+        "genome_statespace",
+        "lab_workflow_batch3",
+        "conc_fanout",
+        "chaos_faults",
+    }

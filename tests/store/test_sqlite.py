@@ -1,0 +1,187 @@
+"""SQLite backend internals: durability, the WAL/snapshot lifecycle,
+savepoint mapping, recovery, and the store's own counters."""
+
+import sqlite3
+
+import pytest
+
+from repro import Database, SqliteStore, StoreError, parse_atom, parse_database
+from repro.obs.context import Instrumentation, instrumented
+from repro.store.sqlite import SCHEMA_VERSION
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "state.tdlog")
+
+
+@pytest.fixture
+def db():
+    return parse_database("e(a, b). e(b, c). color(a, red).")
+
+
+def facts(n, pred="p"):
+    return [parse_atom("%s(%d)" % (pred, i)) for i in range(n)]
+
+
+class TestDurability:
+    def test_state_survives_reopen(self, path, db):
+        with SqliteStore(path) as store:
+            store.insert_all(db)
+            store.delete(parse_atom("e(a, b)"))
+        with SqliteStore(path) as store:
+            assert store.database() == db.delete(parse_atom("e(a, b)"))
+
+    def test_typed_constants_round_trip(self, path):
+        # The reason facts are pickled: these two facts stringify
+        # identically but are different atoms.
+        from repro import atom, const
+
+        a, b = atom("p", const(1)), atom("p", const("1"))
+        with SqliteStore(path) as store:
+            store.insert(a)
+            store.insert(b)
+        with SqliteStore(path) as store:
+            assert a in store and b in store and len(store) == 2
+
+    def test_recovery_replays_wal_tail_over_snapshot(self, path):
+        with SqliteStore(path, snapshot_every=4) as store:
+            store.insert_all(facts(4))  # folds into a snapshot
+            store.insert_all(facts(2, "tail"))  # stays in the WAL
+            assert store.stats()["generation"] == 1
+            assert store.stats()["wal_length"] == 2
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            with SqliteStore(path, snapshot_every=100) as store:
+                assert set(store) == set(facts(4)) | set(facts(2, "tail"))
+        counters = inst.metrics.snapshot()["counters"]
+        assert counters["store.recoveries"] == 1
+        assert counters["store.wal_replayed"] == 2
+
+
+class TestCheckpoint:
+    def test_threshold_folds_wal(self, path):
+        with SqliteStore(path, snapshot_every=3) as store:
+            store.insert_all(facts(2))
+            assert store.stats()["generation"] == 0
+            store.insert(parse_atom("p(2)"))
+            stats = store.stats()
+            assert stats["generation"] == 1
+            assert stats["wal_length"] == 0
+            assert stats["snapshot_facts"] == 3
+
+    def test_explicit_checkpoint(self, path, db):
+        with SqliteStore(path) as store:
+            store.insert_all(db)
+            generation = store.checkpoint()
+            assert generation == 1
+            assert store.stats()["wal_length"] == 0
+        with SqliteStore(path) as store:
+            assert store.database() == db
+
+    def test_no_checkpoint_inside_savepoint(self, path):
+        with SqliteStore(path) as store:
+            sp = store.savepoint()
+            store.insert(parse_atom("p(1)"))
+            with pytest.raises(StoreError, match="savepoint"):
+                store.checkpoint()
+            store.release(sp)
+            store.checkpoint()
+
+    def test_auto_checkpoint_deferred_past_open_savepoint(self, path, db):
+        # The threshold trips inside the savepoint but must not fire
+        # until the scope commits.
+        with SqliteStore(path, snapshot_every=2) as store:
+            sp = store.savepoint()
+            store.insert_all(facts(5))
+            assert store.stats()["generation"] == 0
+            store.release(sp)
+            assert store.stats()["generation"] == 1
+        with SqliteStore(path) as store:
+            assert set(store) == set(facts(5))
+
+
+class TestSavepointDurability:
+    def test_rolled_back_scope_leaves_no_trace(self, path, db):
+        with SqliteStore(path) as store:
+            store.insert_all(db)
+            sp = store.savepoint()
+            store.insert(parse_atom("tmp(1)"))
+            store.rollback(sp)
+        with SqliteStore(path) as store:
+            assert store.database() == db
+
+    def test_unreleased_savepoint_dies_with_the_process(self, path, db):
+        store = SqliteStore(path)
+        store.insert_all(db)
+        store.savepoint()
+        store.insert(parse_atom("tmp(1)"))
+        store.close()  # rolls the open scope back, like a kill
+        with SqliteStore(path) as store:
+            assert store.database() == db
+
+    def test_released_scope_is_durable(self, path, db):
+        with SqliteStore(path) as store:
+            store.insert_all(db)
+            with store.transaction():
+                store.insert(parse_atom("tmp(1)"))
+        with SqliteStore(path) as store:
+            assert parse_atom("tmp(1)") in store
+
+
+class TestLifecycle:
+    def test_operations_after_close_raise(self, path):
+        store = SqliteStore(path)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            store.insert(parse_atom("p(1)"))
+
+    def test_schema_version_mismatch(self, path):
+        SqliteStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='schema_version'",
+            (SCHEMA_VERSION + 1,),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="schema version"):
+            SqliteStore(path)
+
+    def test_snapshot_every_validation(self, path):
+        with pytest.raises(ValueError):
+            SqliteStore(path, snapshot_every=0)
+
+    def test_stats_shape(self, path, db):
+        with SqliteStore(path) as store:
+            store.insert_all(db)
+            stats = store.stats()
+        assert stats["backend"] == "SqliteStore"
+        assert stats["path"] == path
+        assert stats["facts"] == 3
+        assert stats["predicates"] == {"color": 1, "e": 2}
+        assert stats["open_savepoints"] == 0
+
+
+class TestCounters:
+    def test_update_counters_and_fsync_histogram(self, path):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            with SqliteStore(path) as store:
+                store.insert_all(facts(3))
+                store.delete(parse_atom("p(0)"))
+                store.insert(parse_atom("p(1)"))  # no-op: not counted
+                with store.transaction():
+                    store.insert(parse_atom("q(1)"))
+        snap = inst.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["store.opens"] == 1
+        assert counters["store.inserts"] == 4
+        assert counters["store.deletes"] == 1
+        assert counters["store.wal_appends"] == 5
+        assert counters["store.savepoints"] == 1
+        assert counters["store.releases"] == 1
+        assert "store.recoveries" not in counters
+        # Every WAL append is timed into the fsync histogram.
+        assert snap["histograms"]["store.wal_fsync_ms"]["count"] == 5
