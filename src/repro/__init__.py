@@ -95,8 +95,11 @@ from .store import (
     MemoryStore,
     SqliteStore,
     Store,
+    StoreBusy,
+    StoreCorrupt,
     StoreCrashed,
     StoreError,
+    fsck,
     open_store,
     using_store_provider,
 )
@@ -131,6 +134,8 @@ __all__ = [
     "Solution",
     "SqliteStore",
     "Store",
+    "StoreBusy",
+    "StoreCorrupt",
     "StoreCrashed",
     "StoreError",
     "Sublanguage",
@@ -147,6 +152,7 @@ __all__ = [
     "format_database",
     "format_program",
     "format_trace",
+    "fsck",
     "iso",
     "open_store",
     "parse_atom",

@@ -11,7 +11,8 @@ Usage examples::
         --checkpoint-out run.ckpt   # exit 3 on exhaustion, then:
     tdlog solve big.td --goal 'search' --store sqlite:run.tdlog \
         --resume-from run.ckpt
-    tdlog store inspect bank.tdlog
+    tdlog store inspect bank.tdlog --json
+    tdlog store fsck bank.tdlog --repair
     tdlog analyze --demo-lab 4
     tdlog explain workflow.td --goal 'transfer(a, b, 30)' --db bank.facts
     tdlog explain workflow.td --goal 'transfer(a, b, 999)' --db bank.facts --why-not
@@ -40,11 +41,15 @@ trajectory);
 ``profile`` manages counter baselines (``baseline``/``diff``, the CI
 regression gate) and exports traces/metrics as OTLP JSON
 (``export-otlp``); ``store inspect`` prints a durable ``.tdlog``
-store's snapshot generation, WAL tail, and per-predicate fact counts
-(see docs/STORAGE.md); ``chaos`` runs the differential fault-injection
+store's snapshot generation, WAL tail, checksum status, lease holder,
+and per-predicate fact counts (read-only, so it works on damaged or
+in-use files); ``store fsck`` verifies a store's checksums and meta
+coherence offline and can quarantine a damaged WAL tail (``--repair``)
+-- see docs/STORAGE.md; ``chaos`` runs the differential fault-injection
 suite (seeded fault plans against every chaos workload, asserting the
-atomicity and retry-recovery invariants -- see docs/ROBUSTNESS.md) and
-its output is byte-identical for the same arguments.
+atomicity and retry-recovery invariants -- see docs/ROBUSTNESS.md;
+``--store-faults`` adds the crash-point/byte-corruption store fuzzing
+family) and its output is byte-identical for the same arguments.
 
 ``tdlog`` is the canonical command name.  The same program is also
 installed as ``repro`` (a documented alias kept for older scripts);
@@ -207,7 +212,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
     """Debugging surface for the durable backend: snapshot generation,
-    WAL length, per-predicate fact counts, checkpoint linkage."""
+    WAL length, per-predicate fact counts, checkpoint linkage, lease
+    holder, checksum status, and quarantine-sidecar presence.
+
+    Opens *read-only*: inspection must neither take the writer lease
+    (the store may be live under another process) nor trigger
+    checkpoints, and a damaged store still opens -- degraded -- so
+    there is always a way to look at a broken file.
+    """
     import os
 
     from .store import StoreError
@@ -217,10 +229,14 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         # Opening would create an empty store -- surprising for an
         # inspection command, so refuse instead.
         raise StoreError("no such store: %s" % args.path)
-    with SqliteStore(args.path) as store:
+    with SqliteStore(args.path, readonly=True) as store:
         stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+            return 0
         print("store:      %s" % stats["path"])
         print("backend:    %s" % stats["backend"])
+        print("schema:     version %s" % stats["schema_version"])
         print("facts:      %d" % stats["facts"])
         print("generation: %d" % stats["generation"])
         print("wal tail:   %d row(s) pending replay" % stats["wal_length"])
@@ -230,6 +246,24 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
             % (stats["generation"], stats["checkpoint_seq"],
                stats["snapshot_facts"])
         )
+        print(
+            "checksums:  %s"
+            % ("DEGRADED: %s" % stats["degraded"] if stats["degraded"]
+               else "verified (snapshot + wal tail)")
+        )
+        lease = stats["lease"]
+        if lease:
+            print(
+                "lease:      held by pid %s (generation %s)"
+                % (lease.get("pid"), lease.get("generation"))
+            )
+        else:
+            print("lease:      free")
+        print(
+            "quarantine: %s"
+            % ("sidecar present (see 'tdlog store fsck')"
+               if stats["quarantine"] else "none")
+        )
         predicates = stats["predicates"]
         if predicates:
             print("predicates:")
@@ -238,6 +272,28 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         else:
             print("predicates: (none)")
     return 0
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    """Offline verifier for ``.tdlog`` stores (see
+    :mod:`repro.store.fsck`).  Exit 0 when every check passes, 2 when
+    damage was found (the same exit class as any other store error);
+    ``--repair`` quarantines a damaged WAL tail and exits by the
+    post-repair verdict."""
+    from .store.fsck import format_fsck, fsck
+
+    report = fsck(args.path, repair=args.repair)
+    if args.repair and report.repaired:
+        # Show the state the repair left behind, not the damage it
+        # removed: verify once more, keeping the repair log.
+        verified = fsck(args.path)
+        verified.repaired.extend(report.repaired)
+        report = verified
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_fsck(report))
+    return 0 if report.ok else 2
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -758,12 +814,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         chaos_workloads,
         format_report,
         run_chaos,
+        store_workloads,
         workload_by_name,
     )
 
     if args.list:
         for workload in chaos_workloads():
             print("%-16s %s" % (workload.name, workload.description))
+        for workload in store_workloads():
+            print("%-16s %s [--store-faults]"
+                  % (workload.name, workload.description))
         return 0
     if args.plans < 1:
         print("error: --plans must be >= 1", file=sys.stderr)
@@ -777,6 +837,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print("error: %s" % exc.args[0], file=sys.stderr)
         return 2
+    if args.store_faults:
+        # Opt-in storage-fault family: appended rather than default so
+        # existing committed chaos reports stay byte-identical.
+        workloads = (
+            chaos_workloads() if workloads is None else workloads
+        ) + store_workloads()
     reports = run_chaos(
         workloads=workloads,
         plans=args.plans,
@@ -1118,11 +1184,32 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
     p_inspect = store_sub.add_parser(
         "inspect",
-        help="print snapshot generation, WAL length, fact counts, and "
-             "checkpoint linkage for a durable store",
+        help="print snapshot generation, WAL length, fact counts, "
+             "checkpoint linkage, lease holder, and checksum status "
+             "for a durable store (read-only; works on damaged files)",
     )
     p_inspect.add_argument("path", help="path to a .tdlog store file")
+    p_inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the raw stats dict as JSON instead of text",
+    )
     p_inspect.set_defaults(fn=_cmd_store_inspect)
+    p_fsck = store_sub.add_parser(
+        "fsck",
+        help="verify a durable store's checksums, meta coherence, and "
+             "replayability; exit 2 when damage is found",
+    )
+    p_fsck.add_argument("path", help="path to a .tdlog store file")
+    p_fsck.add_argument(
+        "--repair", action="store_true",
+        help="quarantine a damaged WAL tail into PATH%s and roll the "
+             "store back to its last provable state" % ".quarantine",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    p_fsck.set_defaults(fn=_cmd_store_fsck)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -1147,6 +1234,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--json", metavar="FILE",
         help="also write the full per-plan outcomes as JSON to FILE",
+    )
+    p_chaos.add_argument(
+        "--store-faults", action="store_true",
+        help="also run the storage-fault family (crash-point and "
+             "byte-corruption fuzzing of the durable store)",
     )
     p_chaos.add_argument(
         "--list", action="store_true", help="list workloads and exit"

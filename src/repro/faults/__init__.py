@@ -32,10 +32,19 @@ from .chaos import (
     format_report,
     run_chaos,
     run_one_plan,
+    store_workloads,
     workload_by_name,
+)
+from .fuzz import (
+    FuzzOutcome,
+    format_fuzz_report,
+    run_corruption_case,
+    run_crash_case,
+    run_store_fuzz,
 )
 from .inject import FaultInjector
 from .plan import (
+    CRASH_POINTS,
     AdversarialOrder,
     AgentOutage,
     Exhaustion,
@@ -50,11 +59,13 @@ from .recovery import Recovered, compensate, fallback, retry, with_budget
 __all__ = [
     "AdversarialOrder",
     "AgentOutage",
+    "CRASH_POINTS",
     "ChaosReport",
     "ChaosWorkload",
     "Exhaustion",
     "FaultInjector",
     "FaultPlan",
+    "FuzzOutcome",
     "Recovered",
     "StepFault",
     "StoreCrash",
@@ -62,11 +73,16 @@ __all__ = [
     "chaos_workloads",
     "compensate",
     "fallback",
+    "format_fuzz_report",
     "format_report",
     "generate_plan",
     "retry",
     "run_chaos",
+    "run_corruption_case",
+    "run_crash_case",
     "run_one_plan",
+    "run_store_fuzz",
+    "store_workloads",
     "with_budget",
     "workload_by_name",
 ]

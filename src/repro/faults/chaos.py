@@ -44,6 +44,7 @@ __all__ = [
     "PlanOutcome",
     "ChaosReport",
     "chaos_workloads",
+    "store_workloads",
     "workload_by_name",
     "run_one_plan",
     "run_chaos",
@@ -367,13 +368,63 @@ def chaos_workloads() -> List[ChaosWorkload]:
     ]
 
 
+def store_workloads() -> List[ChaosWorkload]:
+    """The opt-in storage-fault family behind ``tdlog chaos
+    --store-faults``: crash-point and byte-corruption fuzzing of the
+    durable store (:mod:`repro.faults.fuzz`).  Kept out of
+    :func:`chaos_workloads` on purpose -- the default suite's committed
+    reports predate it and must stay byte-identical.
+
+    The fault *plan* only contributes its seed here: the store fuzzer
+    derives the crash point, script, and byte mutation from it
+    directly, and a case that ends in oracle-equal recovery or a clean
+    refusal counts as committed -- the violation channel is reserved
+    for what must never happen (out-of-oracle state, raw traceback,
+    fsck disagreeing with the store).
+    """
+
+    def crash_runner(plan: FaultPlan, retry_attempts: int):
+        from .fuzz import run_crash_case
+        from .plan import CRASH_POINTS
+
+        point = CRASH_POINTS[plan.seed % len(CRASH_POINTS)]
+        outcome = run_crash_case(point, plan.seed)
+        return True, outcome.violation
+
+    def corruption_runner(plan: FaultPlan, retry_attempts: int):
+        from .fuzz import run_corruption_case
+
+        outcome = run_corruption_case(plan.seed)
+        return True, outcome.violation
+
+    return [
+        ChaosWorkload(
+            "store_crashpoints",
+            "durable store killed at a seeded named crash point; "
+            "invariant: reopen recovers a committed state",
+            predicates=(),
+            agents=(),
+            runner=crash_runner,
+        ),
+        ChaosWorkload(
+            "store_fuzz",
+            "durable store bytes flipped/truncated by seed; invariant: "
+            "recovery reaches a WAL-prefix state or refuses cleanly",
+            predicates=(),
+            agents=(),
+            runner=corruption_runner,
+        ),
+    ]
+
+
 def workload_by_name(name: str) -> ChaosWorkload:
-    for workload in chaos_workloads():
+    catalogue = chaos_workloads() + store_workloads()
+    for workload in catalogue:
         if workload.name == name:
             return workload
     raise KeyError(
         "unknown chaos workload %r (have: %s)"
-        % (name, ", ".join(w.name for w in chaos_workloads()))
+        % (name, ", ".join(w.name for w in catalogue))
     )
 
 

@@ -1,0 +1,465 @@
+"""Crash-point and byte-corruption fuzzing for the durable store.
+
+The chaos harness (:mod:`repro.faults.chaos`) perturbs *searches*; this
+module perturbs the *storage layer* underneath them, with the same
+determinism discipline: every case derives from one integer seed, and
+the report contains outcome classes only -- no paths, no byte offsets,
+no wall clock -- so ``tdlog chaos --store-faults`` is byte-identical
+across machines and Python versions.
+
+Two case families, one verdict rule:
+
+**Crash cases** (:func:`run_crash_case`) drive a seeded script of
+inserts/deletes/savepoints/releases/rollbacks/checkpoints against a
+:class:`~repro.store.sqlite.SqliteStore` with a
+:class:`~repro.faults.plan.StoreCrash` armed at one of the named crash
+points, then *reopen* the file.  The oracle is the set of states a
+clean run of the same script passes through at savepoint-stack-empty
+moments: SQLite commits exactly at those boundaries, so whatever append,
+fold, or release the crash tore, recovery must land on one of them --
+anything else means a committed state leaked partial effects.
+
+**Corruption cases** (:func:`run_corruption_case`) build a clean store,
+then flip, truncate, or zero seeded bytes in its WAL/snapshot blobs and
+reopen.  The oracle is the set of *WAL-prefix states* (snapshot plus
+each successive surviving WAL row): a verified-checksum log may heal by
+truncating a torn tail -- landing on a shorter prefix -- but may never
+invent state.  A damaged store must either recover to a prefix state or
+refuse with a structured :class:`~repro.store.base.StoreCorrupt`; when
+it refuses, ``fsck`` must diagnose the damage, ``--repair`` (for WAL
+damage) must roll back to a prefix state, and the read-only degraded
+open must still work (for snapshot damage, which is unrepairable by
+design).  A raw pickle traceback or an out-of-oracle state anywhere is
+a violation.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import sqlite3
+import tempfile
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.terms import Atom, Constant
+from ..store import open_store
+from ..store.base import StoreCorrupt, StoreCrashed, StoreError
+from ..store.fsck import fsck
+from ..store.sqlite import SqliteStore, decode_record
+from .plan import CRASH_POINTS, FaultPlan, StoreCrash, Window
+
+__all__ = [
+    "FuzzOutcome",
+    "run_crash_case",
+    "run_corruption_case",
+    "run_store_fuzz",
+    "format_fuzz_report",
+]
+
+_PREDS = ("acct", "audit", "queue")
+
+#: Corruption mutations the fuzzer draws from (by seed).  Each targets
+#: a different layer of the frame: payload bytes (CRC catches), the
+#: header itself (magic/length checks catch), and the
+#: interrupted-append shape (length check classifies as torn).
+MUTATIONS = (
+    "flip-wal-payload",     # one payload byte of some WAL row
+    "flip-wal-header",      # one header byte of some WAL row
+    "truncate-wal-final",   # final WAL row cut short: a torn tail
+    "truncate-wal-mid",     # a non-final WAL row cut short: damage
+    "zero-wal-row",         # a whole WAL row replaced by zero bytes
+    "flip-snapshot-payload",  # one payload byte of a snapshot row
+)
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """One fuzz case's classification.  ``violation`` is ``None`` for
+    every acceptable ending (oracle-equal recovery or clean refusal and
+    diagnosis); anything else is the harness's verdict text."""
+
+    family: str      # "crash" or "corruption"
+    label: str       # crash point, or mutation name
+    seed: int
+    outcome: str     # outcome class, e.g. "recovered", "refused+repaired"
+    violation: Optional[str] = None
+
+
+# -- the scripted workload ----------------------------------------------------
+
+
+def _fact(rng: random.Random) -> Atom:
+    pred = rng.choice(_PREDS)
+    return Atom(pred, (Constant(rng.randrange(12)), Constant(rng.randrange(4))))
+
+
+def _script(seed: int, length: int = 36) -> List[Tuple]:
+    """A seeded store-operation script: mostly inserts/deletes, with
+    nested savepoints (released or rolled back) and a mid-script
+    checkpoint so both snapshot and WAL tail end up populated."""
+    rng = random.Random(seed)
+    ops: List[Tuple] = []
+    depth = 0
+    checkpointed = False
+    for i in range(length):
+        if i >= length // 3 and depth == 0 and not checkpointed:
+            ops.append(("checkpoint",))
+            checkpointed = True
+            continue
+        roll = rng.random()
+        if roll < 0.15 and depth < 3:
+            ops.append(("savepoint",))
+            depth += 1
+        elif roll < 0.30 and depth > 0:
+            ops.append(("release",) if rng.random() < 0.7 else ("rollback",))
+            depth -= 1
+        elif roll < 0.45:
+            ops.append(("del", _fact(rng)))
+        else:
+            ops.append(("ins", _fact(rng)))
+    while depth > 0:
+        ops.append(("release",))
+        depth -= 1
+    # Guarantee a WAL tail past the checkpoint (corruption needs rows
+    # to chew on).
+    for _ in range(4):
+        ops.append(("ins", _fact(rng)))
+    return ops
+
+
+def _apply(store, ops) -> List[FrozenSet[Atom]]:
+    """Run the script; returns the committed (savepoint-stack-empty)
+    states in order, starting with the initial state.  Raises whatever
+    the store raises (the crash runner catches ``StoreCrashed``)."""
+    states = [frozenset(store.database())]
+    stack = []
+    for op in ops:
+        kind = op[0]
+        if kind == "ins":
+            store.insert(op[1])
+        elif kind == "del":
+            store.delete(op[1])
+        elif kind == "savepoint":
+            stack.append(store.savepoint())
+        elif kind == "release":
+            store.release(stack.pop())
+        elif kind == "rollback":
+            store.rollback(stack.pop())
+        elif kind == "checkpoint":
+            store.checkpoint()
+        if not stack:
+            states.append(frozenset(store.database()))
+    return states
+
+
+def _event_counts(path: str, seed: int) -> Tuple[List[FrozenSet[Atom]], dict]:
+    """Clean run of the script at *path*: the stack-empty oracle states
+    plus how many ticks each crash-point family saw (so a case can arm
+    a window that actually fires)."""
+    store = SqliteStore(path, snapshot_every=10_000)
+    try:
+        states = _apply(store, _script(seed))
+        counts = {
+            "pre-fsync": store._appends,
+            "post-fsync": store._appends,
+            "mid-checkpoint-fold": store._checkpoints,
+            "mid-savepoint-release": store._released,
+        }
+    finally:
+        store.close()
+    return states, counts
+
+
+# -- crash cases --------------------------------------------------------------
+
+
+def run_crash_case(point: str, seed: int, directory: Optional[str] = None) -> FuzzOutcome:
+    """Arm a :class:`StoreCrash` at *point*, run the seeded script until
+    it fires, reopen, and check the recovered state against the
+    stack-empty oracle."""
+    workdir = tempfile.mkdtemp(prefix="tdlog-fuzz-", dir=directory)
+    try:
+        oracle_states, counts = _event_counts(
+            os.path.join(workdir, "oracle.tdlog"), seed
+        )
+        events = counts[point]
+        if events == 0:
+            # The script happened to produce no event of this family
+            # (e.g. every savepoint rolled back); nothing to crash.
+            return FuzzOutcome("crash", point, seed, "no-event")
+        tick = 1 + random.Random(
+            (seed << 3) ^ CRASH_POINTS.index(point)
+        ).randrange(events)
+        plan = FaultPlan(
+            seed=seed,
+            store_crashes=(StoreCrash(Window(tick, tick + 1), point=point),),
+        )
+        path = os.path.join(workdir, "crash.tdlog")
+        store = SqliteStore(path, snapshot_every=10_000, faults=plan)
+        crashed = False
+        try:
+            _apply(store, _script(seed))
+        except StoreCrashed:
+            crashed = True
+        finally:
+            store.close()
+        recovered = SqliteStore(path, snapshot_every=10_000)
+        try:
+            state = frozenset(recovered.database())
+        finally:
+            recovered.close()
+        oracle = set(oracle_states)
+        if state not in oracle:
+            return FuzzOutcome(
+                "crash", point, seed, "violation",
+                violation="recovered state matches no committed state of "
+                          "the clean run (crash point %s, tick %d)"
+                          % (point, tick),
+            )
+        if not crashed:
+            return FuzzOutcome("crash", point, seed, "no-crash")
+        return FuzzOutcome("crash", point, seed, "recovered")
+    except Exception as exc:  # any non-structured escape is a finding
+        return FuzzOutcome(
+            "crash", point, seed, "violation",
+            violation="unexpected %s: %s" % (type(exc).__name__, exc),
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+# -- corruption cases ---------------------------------------------------------
+
+
+def _prefix_states(path: str) -> List[FrozenSet[Atom]]:
+    """Snapshot state plus each successive WAL row applied: every state
+    a checksum-verified recovery may legitimately land on."""
+    conn = sqlite3.connect(path)
+    try:
+        facts = {
+            decode_record(blob, path=path, table="snapshot", rowid=rowid)
+            for rowid, blob in conn.execute("SELECT rowid, fact FROM snapshot")
+        }
+        checkpoint_seq = conn.execute(
+            "SELECT value FROM meta WHERE key='checkpoint_seq'"
+        ).fetchone()[0]
+        states = [frozenset(facts)]
+        for seq, op, blob in conn.execute(
+            "SELECT seq, op, fact FROM wal WHERE seq > ? ORDER BY seq",
+            (checkpoint_seq,),
+        ):
+            fact = decode_record(blob, path=path, table="wal", rowid=seq)
+            if op == "+":
+                facts.add(fact)
+            else:
+                facts.discard(fact)
+            states.append(frozenset(facts))
+    finally:
+        conn.close()
+    return states
+
+
+def _mutate(path: str, mutation: str, rng: random.Random) -> bool:
+    """Apply *mutation* to the store file's blobs; returns False when
+    the store has no row the mutation could target."""
+    conn = sqlite3.connect(path, isolation_level=None)
+    try:
+        wal_rows = list(conn.execute("SELECT seq, fact FROM wal ORDER BY seq"))
+        snap_rows = list(conn.execute("SELECT rowid, fact FROM snapshot"))
+
+        def flip(blob: bytes, index: int) -> bytes:
+            out = bytearray(blob)
+            out[index] ^= 1 + rng.randrange(255)
+            return bytes(out)
+
+        if mutation == "flip-wal-payload":
+            if not wal_rows:
+                return False
+            seq, blob = wal_rows[rng.randrange(len(wal_rows))]
+            if len(blob) <= 12:
+                return False
+            new = flip(blob, 12 + rng.randrange(len(blob) - 12))
+        elif mutation == "flip-wal-header":
+            if not wal_rows:
+                return False
+            seq, blob = wal_rows[rng.randrange(len(wal_rows))]
+            new = flip(blob, rng.randrange(min(12, len(blob))))
+        elif mutation == "truncate-wal-final":
+            if not wal_rows:
+                return False
+            seq, blob = wal_rows[-1]
+            new = bytes(blob[: 12 + rng.randrange(max(1, len(blob) - 12))])
+        elif mutation == "truncate-wal-mid":
+            if len(wal_rows) < 2:
+                return False
+            seq, blob = wal_rows[rng.randrange(len(wal_rows) - 1)]
+            new = bytes(blob[: 12 + rng.randrange(max(1, len(blob) - 12))])
+        elif mutation == "zero-wal-row":
+            if not wal_rows:
+                return False
+            seq, blob = wal_rows[rng.randrange(len(wal_rows))]
+            new = b"\x00" * len(blob)
+        elif mutation == "flip-snapshot-payload":
+            if not snap_rows:
+                return False
+            rowid, blob = snap_rows[rng.randrange(len(snap_rows))]
+            conn.execute(
+                "UPDATE snapshot SET fact=? WHERE rowid=?",
+                (flip(blob, rng.randrange(len(blob))), rowid),
+            )
+            return True
+        else:
+            raise ValueError("unknown mutation %r" % mutation)
+        conn.execute("UPDATE wal SET fact=? WHERE seq=?", (new, seq))
+        return True
+    finally:
+        conn.close()
+
+
+def run_corruption_case(seed: int, directory: Optional[str] = None) -> FuzzOutcome:
+    """Build a clean store, damage seeded bytes, and check that reopen /
+    fsck / repair tell a consistent, prefix-state story."""
+    rng = random.Random(seed ^ 0xC0FFEE)
+    mutation = MUTATIONS[seed % len(MUTATIONS)]
+    workdir = tempfile.mkdtemp(prefix="tdlog-fuzz-", dir=directory)
+    path = os.path.join(workdir, "victim.tdlog")
+    try:
+        store = SqliteStore(path, snapshot_every=10_000)
+        try:
+            _apply(store, _script(seed))
+        finally:
+            store.close()
+        prefix_list = _prefix_states(path)
+        prefixes = set(prefix_list)
+        final_before = prefix_list[-1]
+        if not _mutate(path, mutation, rng):
+            return FuzzOutcome("corruption", mutation, seed, "no-target")
+        try:
+            reopened = SqliteStore(path, snapshot_every=10_000)
+        except StoreCorrupt:
+            return _diagnose_refusal(mutation, seed, path, prefixes)
+        except Exception as exc:
+            return FuzzOutcome(
+                "corruption", mutation, seed, "violation",
+                violation="reopen escaped with %s: %s"
+                          % (type(exc).__name__, exc),
+            )
+        try:
+            state = frozenset(reopened.database())
+        finally:
+            reopened.close()
+        if state not in prefixes:
+            return FuzzOutcome(
+                "corruption", mutation, seed, "violation",
+                violation="recovered state is not a WAL-prefix state "
+                          "(mutation %s)" % mutation,
+            )
+        # Full log survived, or recovery healed by truncating the tail?
+        outcome = (
+            "recovered-full" if state == final_before else "recovered-prefix"
+        )
+        return FuzzOutcome("corruption", mutation, seed, outcome)
+    except Exception as exc:  # pragma: no cover - harness bug surface
+        return FuzzOutcome(
+            "corruption", mutation, seed, "violation",
+            violation="harness escaped with %s: %s" % (type(exc).__name__, exc),
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _diagnose_refusal(mutation: str, seed: int, path: str, prefixes) -> FuzzOutcome:
+    """The store refused cleanly; fsck must agree, repair must restore a
+    prefix state (WAL damage) or readonly must still open (snapshot
+    damage)."""
+    report = fsck(path)
+    if report.ok:
+        return FuzzOutcome(
+            "corruption", mutation, seed, "violation",
+            violation="store refused to open but fsck reports clean",
+        )
+    if any(issue.repairable for issue in report.issues):
+        fsck(path, repair=True)
+        try:
+            repaired = SqliteStore(path, snapshot_every=10_000)
+        except StoreError as exc:
+            return FuzzOutcome(
+                "corruption", mutation, seed, "violation",
+                violation="store still refuses after repair: %s" % exc,
+            )
+        try:
+            state = frozenset(repaired.database())
+        finally:
+            repaired.close()
+        if state not in prefixes:
+            return FuzzOutcome(
+                "corruption", mutation, seed, "violation",
+                violation="repaired state is not a WAL-prefix state",
+            )
+        return FuzzOutcome("corruption", mutation, seed, "refused+repaired")
+    # Unrepairable (snapshot) damage: degraded read-only open must work.
+    degraded = open_store(path, readonly=True)
+    try:
+        if degraded.stats().get("degraded") is None:
+            return FuzzOutcome(
+                "corruption", mutation, seed, "violation",
+                violation="unrepairable damage but readonly open is not "
+                          "degraded",
+            )
+    finally:
+        degraded.close()
+    return FuzzOutcome("corruption", mutation, seed, "refused+diagnosed")
+
+
+# -- the matrix ---------------------------------------------------------------
+
+
+def run_store_fuzz(
+    crash_seeds: int = 8,
+    corruption_cases: int = 64,
+    base_seed: int = 0,
+    directory: Optional[str] = None,
+) -> List[FuzzOutcome]:
+    """The full fuzz matrix: every named crash point x *crash_seeds*
+    scripts, plus *corruption_cases* seeded byte-corruption cases."""
+    outcomes: List[FuzzOutcome] = []
+    for point in CRASH_POINTS:
+        for i in range(crash_seeds):
+            outcomes.append(run_crash_case(point, base_seed + i, directory))
+    for i in range(corruption_cases):
+        outcomes.append(run_corruption_case(base_seed + i, directory))
+    return outcomes
+
+
+def format_fuzz_report(outcomes: Sequence[FuzzOutcome]) -> str:
+    """Deterministic text: outcome-class counts per label, violations in
+    full, one verdict line (mirrors :func:`repro.faults.chaos.format_report`)."""
+    lines: List[str] = []
+    violations = [o for o in outcomes if o.violation]
+    for family, title in (("crash", "crash points"), ("corruption", "byte corruption")):
+        cases = [o for o in outcomes if o.family == family]
+        if not cases:
+            continue
+        lines.append("store fuzz: %s (%d case(s))" % (title, len(cases)))
+        labels = sorted({o.label for o in cases})
+        for label in labels:
+            tallies = {}
+            for o in cases:
+                if o.label == label:
+                    tallies[o.outcome] = tallies.get(o.outcome, 0) + 1
+            summary = ", ".join(
+                "%s %d" % (outcome, count)
+                for outcome, count in sorted(tallies.items())
+            )
+            lines.append("  %-22s: %s" % (label, summary))
+    for o in violations:
+        lines.append(
+            "  VIOLATION %s/%s seed %d: %s" % (o.family, o.label, o.seed, o.violation)
+        )
+    lines.append(
+        "store fuzz verdict: %s (%d case(s), %d violation(s))"
+        % ("FAIL" if violations else "OK", len(outcomes), len(violations))
+    )
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ __all__ = [
     "AdversarialOrder",
     "Exhaustion",
     "StoreCrash",
+    "CRASH_POINTS",
     "FaultPlan",
     "generate_plan",
 ]
@@ -140,25 +141,51 @@ class Exhaustion:
         return "%s exhaustion at tick %d" % (self.kind, self.at_tick)
 
 
+#: The named crash points a :class:`StoreCrash` can fire at, in the
+#: order of a write's life cycle.  Each point ticks its own counter in
+#: the store (appends for the fsync pair, checkpoints for the fold,
+#: releases for the savepoint commit), so windows compose per family.
+CRASH_POINTS = (
+    "pre-fsync",             # before the WAL row is written: nothing durable
+    "post-fsync",            # row durable, mirror not updated (the torn moment)
+    "mid-checkpoint-fold",   # inside the snapshot rewrite, before COMMIT
+    "mid-savepoint-release", # scope popped, SQL RELEASE never executed
+)
+
+
 @dataclass(frozen=True)
 class StoreCrash:
-    """Kill the durable store mid-WAL-append while the window is open.
+    """Kill the durable store at a named crash point while the window
+    is open.
 
-    Ticks here count *WAL appends* (effective inserts/deletes on a
-    durable store), not interpreter expansions: the store keeps its own
-    append counter, and the first append whose tick falls inside the
-    window crashes the store **after** the WAL row is durable but
-    **before** the in-memory mirror sees it -- the classic torn moment
-    a write-ahead log exists to survive.  Every later operation on the
-    crashed instance raises :class:`repro.store.StoreCrashed`; recovery
-    is reopening the file, which replays the WAL tail into the last
-    snapshot (see docs/STORAGE.md).
+    Ticks here count store events of the point's family, not
+    interpreter expansions: ``pre-fsync``/``post-fsync`` count *WAL
+    appends* (effective inserts/deletes), ``mid-checkpoint-fold``
+    counts checkpoint attempts, ``mid-savepoint-release`` counts
+    savepoint releases.  The store keeps these counters itself and the
+    first event whose tick falls inside the window crashes the store at
+    that point -- ``post-fsync`` (the default, and the only point
+    before PR 9) is the classic torn moment a write-ahead log exists to
+    survive: the row is durable but the in-memory mirror never sees it.
+    Every later operation on the crashed instance raises
+    :class:`repro.store.StoreCrashed`; recovery is reopening the file,
+    which replays the verified WAL tail into the last snapshot (see
+    docs/STORAGE.md's failure matrix for what each point may and may
+    not lose).
     """
 
     window: Window
+    point: str = "post-fsync"
+
+    def __post_init__(self):
+        if self.point not in CRASH_POINTS:
+            raise ValueError(
+                "unknown crash point %r (expected one of %s)"
+                % (self.point, ", ".join(CRASH_POINTS))
+            )
 
     def __str__(self) -> str:
-        return "store crash at WAL append during %s" % (self.window,)
+        return "store crash at %s during %s" % (self.point, self.window)
 
 
 @dataclass(frozen=True)

@@ -41,12 +41,45 @@ from ..core.database import Database
 from ..core.terms import Atom
 from ..core.unify import Substitution
 
-__all__ = ["Store", "StoreError", "StoreCrashed", "Savepoint", "replay_trace"]
+__all__ = [
+    "Store",
+    "StoreError",
+    "StoreCorrupt",
+    "StoreBusy",
+    "StoreCrashed",
+    "Savepoint",
+    "replay_trace",
+]
 
 
 class StoreError(RuntimeError):
     """A storage backend failed (bad savepoint discipline, closed store,
     unreadable file)."""
+
+
+class StoreCorrupt(StoreError):
+    """A durable store's bytes failed verification: a checksum mismatch,
+    an unreadable record frame, or an unpicklable payload.
+
+    Carries the location of the damage as structured fields so callers
+    (CLI, fsck) can report it without a raw traceback: ``path`` (store
+    file), ``table`` (``wal`` or ``snapshot``), ``rowid`` (the offending
+    row, ``None`` when the damage is file-level), and ``reason``.
+    """
+
+    def __init__(self, path: str, table: str, rowid, reason: str):
+        self.path = path
+        self.table = table
+        self.rowid = rowid
+        self.reason = reason
+        where = table if rowid is None else "%s row %s" % (table, rowid)
+        super().__init__("%s: corrupt %s: %s" % (path, where, reason))
+
+
+class StoreBusy(StoreError):
+    """Another live process holds the writer lease (or SQLite kept
+    reporting ``SQLITE_BUSY`` past the retry budget).  Read-only opens
+    are still possible; see docs/STORAGE.md."""
 
 
 class StoreCrashed(StoreError):

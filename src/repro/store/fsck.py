@@ -1,0 +1,369 @@
+"""Offline verifier and repair tool for ``.tdlog`` stores.
+
+``tdlog store fsck PATH`` runs every check below against a store *at
+rest* (the file is opened read-only; ``--repair`` takes the writer
+lease first, so a live writer is never raced):
+
+``meta``
+    The ``meta`` table exists and is coherent: ``schema_version``
+    matches, ``generation``/``checkpoint_seq`` are present and
+    non-negative, ``snapshot_digest`` exists.
+``snapshot``
+    Every snapshot row's frame verifies (magic, version, length, CRC32)
+    and unpickles to a ground atom, and the set's content digest equals
+    the recorded ``snapshot_digest`` -- the replay-to-content-hash
+    check: the bytes still mean what the checkpoint said they meant.
+``wal``
+    Every WAL row past ``checkpoint_seq`` frame-verifies and carries a
+    known op.  A torn *final* record is flagged as a repairable
+    truncated tail (the signature of an interrupted append); damage
+    anywhere else marks the rows from the first bad one onward as a
+    repairable damaged tail -- repair rolls back to the last good
+    prefix, which is the strongest state the log can still prove.
+``lease``
+    The writer-lease sidecar either names no holder, a dead/stale
+    holder (reported, harmless at rest), or a live one -- in which case
+    the store is *in use* and fsck's findings are advisory.  A store at
+    rest by construction has an empty savepoint stack: SQLite rolls
+    uncommitted scopes back with their connection, so this check plus a
+    clean replay is the savepoint-emptiness audit.
+``replay``
+    The surviving WAL prefix replays over the snapshot without error;
+    the resulting fact count is reported.
+
+``--repair`` quarantines the damaged/torn WAL tail into a
+``PATH.quarantine`` sidecar (JSON lines carrying the raw bytes in hex,
+so nothing is destroyed) and deletes those rows, leaving a store that
+opens cleanly at the last provable state.  Snapshot damage is *not*
+repairable -- the checkpoint that wrote it already folded the history
+that could have restored it -- and is reported as such.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.database import Database
+from .base import StoreCorrupt, StoreError
+from .lease import read_lease
+from .sqlite import (
+    QUARANTINE_SUFFIX,
+    SCHEMA_VERSION,
+    TornRecord,
+    content_digest,
+    decode_record,
+)
+
+__all__ = ["FsckIssue", "FsckReport", "fsck", "format_fsck"]
+
+_META_KEYS = ("schema_version", "generation", "checkpoint_seq", "snapshot_digest")
+
+
+@dataclass
+class FsckIssue:
+    """One finding: which check tripped, where, and whether ``--repair``
+    can roll the store back past it."""
+
+    check: str
+    table: str
+    rowid: Optional[int]
+    reason: str
+    repairable: bool = False
+
+    def describe(self) -> str:
+        where = self.table if self.rowid is None else (
+            "%s row %s" % (self.table, self.rowid)
+        )
+        tag = " [repairable]" if self.repairable else ""
+        return "%s: %s: %s%s" % (self.check, where, self.reason, tag)
+
+
+@dataclass
+class FsckReport:
+    path: str
+    checks: List[str] = field(default_factory=list)
+    issues: List[FsckIssue] = field(default_factory=list)
+    repaired: List[str] = field(default_factory=list)
+    facts: Optional[int] = None
+    wal_rows: Optional[int] = None
+    lease: Optional[dict] = None
+    quarantine: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "issues": [
+                {
+                    "check": issue.check,
+                    "table": issue.table,
+                    "rowid": issue.rowid,
+                    "reason": issue.reason,
+                    "repairable": issue.repairable,
+                }
+                for issue in self.issues
+            ],
+            "repaired": list(self.repaired),
+            "facts": self.facts,
+            "wal_rows": self.wal_rows,
+            "lease": self.lease,
+            "quarantine": self.quarantine,
+        }
+
+
+def _issue(report: FsckReport, **kw) -> FsckIssue:
+    found = FsckIssue(**kw)
+    report.issues.append(found)
+    return found
+
+
+def fsck(path: str, *, repair: bool = False) -> FsckReport:
+    """Run the full check suite against *path*; with *repair*, also
+    quarantine a damaged/torn WAL tail.  Never raises for damage it can
+    describe -- the report carries the findings; only an unopenable or
+    missing file raises :class:`StoreError`."""
+    report = FsckReport(path=path)
+    if not os.path.exists(path):
+        raise StoreError("%s: no such store" % path)
+    report.quarantine = os.path.exists(path + QUARANTINE_SUFFIX)
+    report.lease = read_lease(path)
+    try:
+        conn = sqlite3.connect("file:%s?mode=ro" % path, uri=True,
+                               isolation_level=None)
+        conn.execute("SELECT 1 FROM sqlite_master LIMIT 1").fetchone()
+    except sqlite3.Error as exc:
+        raise StoreError("%s: cannot open: %s" % (path, exc))
+    try:
+        _check_meta(report, conn)
+        snapshot_facts = _check_snapshot(report, conn)
+        good_prefix, bad_tail_from = _check_wal(report, conn)
+        _check_lease(report)
+        _check_replay(report, snapshot_facts, good_prefix)
+    finally:
+        conn.close()
+    if repair and bad_tail_from is not None:
+        _repair_tail(report, bad_tail_from)
+    return report
+
+
+def _tables(conn) -> set:
+    return {
+        row[0]
+        for row in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+        )
+    }
+
+
+def _check_meta(report: FsckReport, conn) -> None:
+    report.checks.append("meta")
+    missing_tables = {"meta", "snapshot", "wal"} - _tables(conn)
+    if missing_tables:
+        _issue(report, check="meta", table="file", rowid=None,
+               reason="missing table(s): %s" % ", ".join(sorted(missing_tables)))
+        return
+    meta = dict(conn.execute("SELECT key, value FROM meta"))
+    for key in _META_KEYS:
+        if key not in meta:
+            _issue(report, check="meta", table="meta", rowid=None,
+                   reason="missing key %r" % key)
+    version = meta.get("schema_version")
+    if version is not None and version != SCHEMA_VERSION:
+        _issue(report, check="meta", table="meta", rowid=None,
+               reason="schema version %s, expected %d" % (version, SCHEMA_VERSION))
+    for key in ("generation", "checkpoint_seq"):
+        value = meta.get(key)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            _issue(report, check="meta", table="meta", rowid=None,
+                   reason="%s is %r, expected a non-negative integer" % (key, value))
+
+
+def _check_snapshot(report: FsckReport, conn):
+    report.checks.append("snapshot")
+    if "snapshot" not in _tables(conn) or "meta" not in _tables(conn):
+        return None
+    facts = []
+    damaged = False
+    for rowid, blob in conn.execute("SELECT rowid, fact FROM snapshot"):
+        try:
+            facts.append(
+                decode_record(blob, path=report.path, table="snapshot",
+                              rowid=rowid)
+            )
+        except TornRecord as torn:
+            # Snapshots are rewritten transactionally; a torn row here
+            # is damage, and nothing older survives to roll back to.
+            damaged = True
+            _issue(report, check="snapshot", table="snapshot", rowid=rowid,
+                   reason=torn.reason)
+        except StoreCorrupt as exc:
+            damaged = True
+            _issue(report, check="snapshot", table="snapshot", rowid=exc.rowid,
+                   reason=exc.reason)
+    if damaged:
+        return None
+    recorded = conn.execute(
+        "SELECT value FROM meta WHERE key='snapshot_digest'"
+    ).fetchone()
+    if recorded is not None and content_digest(facts) != recorded[0]:
+        _issue(report, check="snapshot", table="meta", rowid=None,
+               reason="snapshot content digest mismatch (recorded %d)"
+                      % recorded[0])
+        return None
+    return facts
+
+
+def _check_wal(report: FsckReport, conn):
+    """Scan the WAL tail; returns ``(good_prefix_rows, bad_tail_from)``
+    where the prefix is a list of ``(seq, op, fact)`` and
+    ``bad_tail_from`` is the first seq repair should quarantine (or
+    ``None`` when the log is clean)."""
+    report.checks.append("wal")
+    if "wal" not in _tables(conn) or "meta" not in _tables(conn):
+        return [], None
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key='checkpoint_seq'"
+    ).fetchone()
+    checkpoint_seq = row[0] if row and isinstance(row[0], int) else 0
+    rows = list(conn.execute(
+        "SELECT seq, op, fact FROM wal WHERE seq > ? ORDER BY seq",
+        (checkpoint_seq,),
+    ))
+    report.wal_rows = len(rows)
+    prefix = []
+    bad_tail_from: Optional[int] = None
+    for index, (seq, op, blob) in enumerate(rows):
+        try:
+            fact = decode_record(blob, path=report.path, table="wal", rowid=seq)
+            if op not in ("+", "-"):
+                raise StoreCorrupt(report.path, "wal", seq,
+                                   "unknown op %r" % op)
+        except TornRecord as torn:
+            final = index == len(rows) - 1
+            _issue(report, check="wal", table="wal", rowid=seq,
+                   reason=("truncated tail: %s" % torn.reason) if final
+                   else ("torn record before end of log: %s" % torn.reason),
+                   repairable=True)
+            bad_tail_from = seq
+            break
+        except StoreCorrupt as exc:
+            _issue(report, check="wal", table="wal", rowid=exc.rowid,
+                   reason=exc.reason, repairable=True)
+            bad_tail_from = seq
+            break
+        prefix.append((seq, op, fact))
+    return prefix, bad_tail_from
+
+
+def _check_lease(report: FsckReport) -> None:
+    report.checks.append("lease")
+    holder = report.lease
+    if holder is None:
+        return
+    pid = holder.get("pid")
+    try:
+        alive = isinstance(pid, int) and pid > 0 and _pid_alive(pid)
+    except Exception:  # pragma: no cover - defensive
+        alive = False
+    if alive:
+        _issue(report, check="lease", table="lease", rowid=None,
+               reason="writer lease held by live pid %s -- store is in "
+                      "use, findings are advisory" % pid)
+    # A dead holder's record is harmless (flock died with the process);
+    # report it via the lease field, not as an issue.
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - exists, other user
+        return True
+    return True
+
+
+def _check_replay(report: FsckReport, snapshot_facts, good_prefix) -> None:
+    report.checks.append("replay")
+    if snapshot_facts is None:
+        _issue(report, check="replay", table="snapshot", rowid=None,
+               reason="skipped: snapshot unreadable")
+        return
+    db = Database(snapshot_facts)
+    for seq, op, fact in good_prefix or ():
+        db = db.insert(fact) if op == "+" else db.delete(fact)
+    report.facts = len(db)
+
+
+def _repair_tail(report: FsckReport, bad_tail_from: int) -> None:
+    """Quarantine WAL rows from *bad_tail_from* onward into the
+    ``.quarantine`` sidecar (hex-encoded, append-mode JSON lines -- the
+    bytes are preserved, not destroyed) and delete them from the log."""
+    from .lease import WriterLease
+
+    lease = WriterLease(report.path)
+    lease.acquire()  # raises StoreBusy if a live writer holds the store
+    try:
+        conn = sqlite3.connect(report.path, isolation_level=None)
+        try:
+            rows = list(conn.execute(
+                "SELECT seq, op, pred, fact FROM wal WHERE seq >= ? ORDER BY seq",
+                (bad_tail_from,),
+            ))
+            with open(report.path + QUARANTINE_SUFFIX, "a") as sidecar:
+                for seq, op, pred, blob in rows:
+                    sidecar.write(json.dumps({
+                        "table": "wal",
+                        "seq": seq,
+                        "op": op,
+                        "pred": pred,
+                        "fact_hex": bytes(blob).hex(),
+                    }, sort_keys=True) + "\n")
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute("DELETE FROM wal WHERE seq >= ?", (bad_tail_from,))
+            conn.execute("COMMIT")
+        finally:
+            conn.close()
+    finally:
+        lease.release()
+    report.quarantine = True
+    report.repaired.append(
+        "quarantined %d wal row(s) from seq %d" % (len(rows), bad_tail_from)
+    )
+
+
+def format_fsck(report: FsckReport) -> str:
+    """Human-readable fsck report (the CLI's non-``--json`` output)."""
+    lines = ["fsck %s" % report.path]
+    status = "clean" if report.ok else (
+        "%d issue(s)" % len(report.issues)
+    )
+    lines.append("  status: %s" % status)
+    lines.append("  checks: %s" % ", ".join(report.checks))
+    if report.facts is not None:
+        lines.append("  facts after replay: %d" % report.facts)
+    if report.wal_rows is not None:
+        lines.append("  wal tail rows: %d" % report.wal_rows)
+    if report.lease is not None:
+        lines.append(
+            "  lease: pid %s generation %s"
+            % (report.lease.get("pid"), report.lease.get("generation"))
+        )
+    else:
+        lines.append("  lease: free")
+    lines.append("  quarantine sidecar: %s"
+                 % ("present" if report.quarantine else "none"))
+    for issue in report.issues:
+        lines.append("  issue: %s" % issue.describe())
+    for action in report.repaired:
+        lines.append("  repaired: %s" % action)
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Cross-process writer lease for durable stores.
+
+SQLite's WAL mode already lets any number of readers share a ``.tdlog``
+file with one writer, but nothing stops *two* writers from opening the
+same store and interleaving WAL appends -- each with its own in-memory
+mirror, each convinced it owns the state.  The lease file closes that
+hole: a ``PATH.lease`` sidecar holding the current writer's identity
+(pid, lease generation, acquisition/renewal timestamps), guarded by an
+``fcntl.flock`` on the sidecar where the platform supports it.
+
+Acquisition protocol:
+
+1. Open (create) ``PATH.lease`` and try a non-blocking ``LOCK_EX``.
+   Success means no live process holds the lease -- ``flock`` dies with
+   its holder, so a crashed writer never wedges the store.  Write a
+   fresh holder record (generation bumped) and keep the descriptor.
+2. On conflict, read the holder record.  A record whose ``renewed_at``
+   is older than the TTL is *stale* (the holder is hung or the clock
+   says it stopped renewing): take over by unlinking the sidecar and
+   re-acquiring -- the new file gets a new inode, so the old holder's
+   lock now guards an orphan.  The old holder discovers the theft on
+   its next :meth:`check` (the inode under the path changed) and must
+   stop writing.
+3. A fresh record from a live holder raises
+   :class:`~repro.store.base.StoreBusy` with the holder's identity.
+
+The clock is injectable (tests drive takeover deterministically); pid
+liveness is probed with ``os.kill(pid, 0)`` as a second staleness
+signal -- a record whose pid is gone is stale regardless of age.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from typing import Callable, Optional
+
+from .base import StoreBusy, StoreError
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None
+
+__all__ = ["WriterLease", "LEASE_SUFFIX", "DEFAULT_LEASE_TTL", "read_lease"]
+
+LEASE_SUFFIX = ".lease"
+
+#: Seconds without renewal after which a lease is considered stale and
+#: may be taken over.  Writers renew lazily on WAL appends, so the TTL
+#: must comfortably exceed the longest expected gap between writes of a
+#: healthy writer that still wants the store.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def read_lease(store_path: str) -> Optional[dict]:
+    """The current holder record of *store_path*'s lease sidecar, or
+    ``None`` when no sidecar exists / it holds no parsable record."""
+    try:
+        with open(store_path + LEASE_SUFFIX) as handle:
+            raw = handle.read()
+    except OSError:
+        return None
+    try:
+        record = json.loads(raw)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return True
+    return True
+
+
+class WriterLease:
+    """The writer side of the lease protocol; one instance per open
+    writable :class:`~repro.store.sqlite.SqliteStore`."""
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.path = store_path + LEASE_SUFFIX
+        self.ttl = ttl
+        self._clock = clock
+        self._fd: Optional[int] = None
+        self.generation = 0
+        self._last_renew = 0.0
+        self.took_over = False
+
+    # -- acquisition ----------------------------------------------------------
+
+    def acquire(self) -> None:
+        holder = read_lease(self.path[: -len(LEASE_SUFFIX)])
+        fd = self._try_flock()
+        if fd is None:
+            # A live descriptor holds the lock.  Stale metadata (TTL
+            # expired, or the recorded pid is dead) still permits
+            # takeover: unlink + re-acquire moves the path to a fresh
+            # inode the old lock does not cover.
+            if holder is not None and not self._stale(holder):
+                raise StoreBusy(
+                    "%s: writer lease held by pid %s (age %.1fs, ttl %.1fs)"
+                    % (
+                        self.path,
+                        holder.get("pid"),
+                        max(0.0, self._clock() - float(holder.get("renewed_at", 0.0))),
+                        self.ttl,
+                    )
+                )
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            self.took_over = True
+            fd = self._try_flock()
+            if fd is None:
+                raise StoreBusy(
+                    "%s: writer lease contended during stale takeover" % self.path
+                )
+        self._fd = fd
+        self.generation = int((holder or {}).get("generation", 0)) + 1
+        self._write_record()
+
+    def _try_flock(self) -> Optional[int]:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is None:  # pragma: no cover - non-posix: metadata only
+            return fd
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            os.close(fd)
+            if exc.errno in (errno.EACCES, errno.EAGAIN):
+                return None
+            raise StoreError("%s: cannot lock lease file: %s" % (self.path, exc))
+        return fd
+
+    def _stale(self, holder: dict) -> bool:
+        try:
+            pid = int(holder.get("pid", -1))
+        except (TypeError, ValueError):
+            return True
+        if pid > 0 and not _pid_alive(pid):
+            return True
+        try:
+            renewed = float(holder.get("renewed_at", 0.0))
+        except (TypeError, ValueError):
+            return True
+        return self._clock() - renewed > self.ttl
+
+    def _write_record(self) -> None:
+        now = self._clock()
+        record = {
+            "pid": os.getpid(),
+            "generation": self.generation,
+            "acquired_at": now,
+            "renewed_at": now,
+            "ttl": self.ttl,
+        }
+        payload = json.dumps(record, sort_keys=True).encode("ascii")
+        assert self._fd is not None
+        os.lseek(self._fd, 0, os.SEEK_SET)
+        os.ftruncate(self._fd, 0)
+        os.write(self._fd, payload)
+        self._last_renew = now
+
+    # -- steady state ---------------------------------------------------------
+
+    def renew(self) -> None:
+        """Refresh ``renewed_at`` when half the TTL has passed (cheap to
+        call on every WAL append)."""
+        if self._fd is None:
+            return
+        now = self._clock()
+        if now - self._last_renew < self.ttl / 2.0:
+            return
+        self._write_record()
+
+    def check(self) -> None:
+        """Raise :class:`StoreBusy` if the lease was stolen (the sidecar
+        path no longer names the inode this lease locked)."""
+        if self._fd is None:
+            return
+        try:
+            ours = os.fstat(self._fd)
+            current = os.stat(self.path)
+        except OSError:
+            raise StoreBusy(
+                "%s: writer lease file vanished (lease taken over?)" % self.path
+            )
+        if (ours.st_ino, ours.st_dev) != (current.st_ino, current.st_dev):
+            raise StoreBusy(
+                "%s: writer lease taken over by another process" % self.path
+            )
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    # -- release --------------------------------------------------------------
+
+    def release(self, *, unlink: bool = True) -> None:
+        """Drop the lock (idempotent).  With *unlink* the sidecar is
+        removed so inspectors see a free lease; a simulated crash passes
+        ``unlink=False`` -- the flock dies but the record lingers,
+        exactly as after a real kill."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if unlink:
+            try:
+                current = os.stat(self.path)
+                if (os.fstat(fd).st_ino, os.fstat(fd).st_dev) == (
+                    current.st_ino,
+                    current.st_dev,
+                ):
+                    os.unlink(self.path)
+            except OSError:
+                pass
+        try:
+            os.close(fd)  # closing drops the flock
+        except OSError:  # pragma: no cover - defensive
+            pass

@@ -1,11 +1,15 @@
 """Fault plans: seeded determinism, windows, transience, horizon."""
 
+import pytest
+
 from repro.faults import (
+    CRASH_POINTS,
     AdversarialOrder,
     AgentOutage,
     Exhaustion,
     FaultPlan,
     StepFault,
+    StoreCrash,
     Window,
     generate_plan,
 )
@@ -63,6 +67,36 @@ class TestFaultPlan:
         assert "seed 9" in text
         assert "ins.p" in text
         assert "deadline exhaustion at tick 3" in text
+
+
+class TestStoreCrash:
+    def test_named_crash_points_in_lifecycle_order(self):
+        assert CRASH_POINTS == (
+            "pre-fsync",
+            "post-fsync",
+            "mid-checkpoint-fold",
+            "mid-savepoint-release",
+        )
+
+    def test_default_point_is_the_pre_pr9_behaviour(self):
+        # Plans written before crash points existed keep their meaning.
+        assert StoreCrash(Window(1, 2)).point == "post-fsync"
+
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            StoreCrash(Window(1, 2), point="mid-air")
+
+    def test_describe_names_the_point(self):
+        crash = StoreCrash(Window(3, 4), point="mid-checkpoint-fold")
+        assert "mid-checkpoint-fold" in str(crash)
+        plan = FaultPlan(0, store_crashes=(crash,))
+        assert "mid-checkpoint-fold" in plan.describe()
+        assert not plan.transient
+
+    def test_same_window_different_point_differ(self):
+        a = StoreCrash(Window(1, 2), point="pre-fsync")
+        b = StoreCrash(Window(1, 2), point="post-fsync")
+        assert a != b
 
 
 class TestGeneratePlan:

@@ -1,7 +1,10 @@
 """CLI surface of the storage layer: ``--store`` on solve/run,
-``tdlog store inspect``, and checkpoint/resume against a durable file."""
+``tdlog store inspect``/``fsck``, and checkpoint/resume against a
+durable file -- including one that crashes between park and resume."""
 
+import json
 import pickle
+import sqlite3
 
 import pytest
 
@@ -130,6 +133,92 @@ class TestStoreInspect:
     def test_inspect_missing_file(self, tmp_path, capsys):
         assert main(["store", "inspect", str(tmp_path / "nope.tdlog")]) != 0
 
+    def test_inspect_reports_health_fields(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            s.insert(parse_atom("p(1)"))
+        assert main(["store", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "schema:     version" in out
+        assert "checksums:  verified (snapshot + wal tail)" in out
+        assert "lease:      free" in out
+        assert "quarantine: none" in out
+
+    def test_inspect_json(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            s.insert(parse_atom("p(1)"))
+        assert main(["store", "inspect", store, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["backend"] == "SqliteStore"
+        assert stats["facts"] == 1
+        assert stats["degraded"] is None
+        assert stats["lease"] is None  # readonly inspection takes none
+        assert stats["quarantine"] is False
+
+    def test_inspect_sees_live_lease_holder(self, bank, capsys):
+        import os
+
+        _program, _db, store = bank
+        with SqliteStore(store) as writer:
+            writer.insert(parse_atom("p(1)"))
+            assert main(["store", "inspect", store]) == 0
+            assert "held by pid %d" % os.getpid() in capsys.readouterr().out
+
+
+class TestStoreFsckCli:
+    def _corrupt_last_wal_row(self, store):
+        conn = sqlite3.connect(store, isolation_level=None)
+        try:
+            seq, blob = conn.execute(
+                "SELECT seq, fact FROM wal ORDER BY seq DESC LIMIT 1"
+            ).fetchone()
+            bad = bytearray(blob)
+            bad[-1] ^= 0x20
+            conn.execute(
+                "UPDATE wal SET fact=? WHERE seq=?", (bytes(bad), seq)
+            )
+        finally:
+            conn.close()
+
+    def test_clean_store_exits_zero(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            s.insert(parse_atom("p(1)"))
+        assert main(["store", "fsck", store]) == 0
+        out = capsys.readouterr().out
+        assert "status: clean" in out
+
+    def test_damage_exits_two_and_repair_round_trips(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            for i in range(4):
+                s.insert(parse_atom("p(%d)" % i))
+        self._corrupt_last_wal_row(store)
+        assert main(["store", "fsck", store]) == 2
+        capsys.readouterr()
+        # --repair quarantines the bad tail and re-verifies clean.
+        assert main(["store", "fsck", store, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+        assert main(["store", "fsck", store]) == 0
+        with SqliteStore(store) as healed:
+            assert len(healed) == 3
+
+    def test_json_report(self, bank, capsys):
+        _program, _db, store = bank
+        with SqliteStore(store) as s:
+            s.insert(parse_atom("p(1)"))
+        self._corrupt_last_wal_row(store)
+        assert main(["store", "fsck", store, "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["issues"][0]["table"] == "wal"
+
+    def test_missing_file_is_a_store_error_exit(self, tmp_path, capsys):
+        assert main(["store", "fsck", str(tmp_path / "nope.tdlog")]) == 2
+        assert "no such store" in capsys.readouterr().err
+
 
 class TestCheckpointResume:
     @pytest.fixture
@@ -179,3 +268,45 @@ class TestCheckpointResume:
 
         with pytest.raises(SearchBudgetExceeded):
             main(["solve", program, "--goal", "probe", "--max-configs", "30"])
+
+    def test_resume_survives_a_store_crash_while_parked(
+        self, slow_search, tmp_path, capsys
+    ):
+        # Satellite (d): park a search against a sqlite: store, kill the
+        # store mid-write while the search is parked, and resume.  The
+        # resume's open must recover the file (replay the durable WAL
+        # row), and the checkpointed frontier must complete the search.
+        from repro import StoreCrashed
+        from repro.faults import FaultPlan, StoreCrash, Window
+
+        program, ckpt = slow_search
+        store_path = str(tmp_path / "walk.tdlog")
+        spec = "sqlite:" + store_path
+        assert main(
+            ["solve", program, "--goal", "probe", "--max-configs", "30",
+             "--store", spec, "--checkpoint-out", ckpt]
+        ) == 3
+        capsys.readouterr()
+        # A writer dies at the classic torn moment: the WAL row is
+        # durable, the mirror never saw it, the lease record lingers.
+        plan = FaultPlan(
+            seed=0,
+            store_crashes=(StoreCrash(Window(1, 2), point="post-fsync"),),
+        )
+        crashed = SqliteStore(store_path, faults=plan)
+        with pytest.raises(StoreCrashed):
+            crashed.insert(parse_atom("scar(1)"))
+        crashed.close()
+        for _ in range(20):
+            code = main(
+                ["solve", program, "--goal", "probe", "--max-configs", "30",
+                 "--store", spec, "--resume-from", ckpt,
+                 "--checkpoint-out", ckpt]
+            )
+            if code != 3:
+                break
+        assert code == 0
+        assert "seen(12)" in capsys.readouterr().out
+        # Recovery replayed the torn-moment row on the resume's open.
+        with SqliteStore(store_path, readonly=True) as recovered:
+            assert parse_atom("scar(1)") in recovered

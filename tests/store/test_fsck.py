@@ -1,0 +1,215 @@
+"""The offline verifier: ``fsck`` check coverage and ``--repair``.
+
+Each damage class a ``.tdlog`` file can exhibit must be (a) found by
+the matching check, (b) classified repairable exactly when rolling the
+WAL back to its last good prefix can heal it, and (c) actually healed
+by ``--repair`` -- with the removed bytes preserved in the quarantine
+sidecar, never destroyed.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro import SqliteStore, StoreError, parse_atom
+from repro.store.fsck import fsck, format_fsck
+from repro.store.sqlite import QUARANTINE_SUFFIX
+
+
+def build(path, n=6, checkpoint_at=3):
+    with SqliteStore(path) as store:
+        for i in range(n):
+            store.insert(parse_atom("p(%d)" % i))
+            if i + 1 == checkpoint_at:
+                store.checkpoint()
+
+
+def mutate(path, sql, *params):
+    conn = sqlite3.connect(path, isolation_level=None)
+    try:
+        conn.execute(sql, params)
+    finally:
+        conn.close()
+
+
+def last_wal(path):
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute(
+            "SELECT seq, fact FROM wal ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+    finally:
+        conn.close()
+
+
+class TestCleanStore:
+    def test_all_checks_pass(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        report = fsck(path)
+        assert report.ok
+        assert report.checks == ["meta", "snapshot", "wal", "lease", "replay"]
+        assert report.facts == 6
+        assert report.wal_rows == 3
+        assert report.lease is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no such store"):
+            fsck(str(tmp_path / "absent.tdlog"))
+
+    def test_not_a_database_raises_store_error(self, tmp_path):
+        path = tmp_path / "junk.tdlog"
+        path.write_bytes(b"definitely not sqlite" * 100)
+        with pytest.raises(StoreError, match="cannot open"):
+            fsck(str(path))
+
+    def test_format_is_textual(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        text = format_fsck(fsck(path))
+        assert "status: clean" in text
+        assert "lease: free" in text
+
+
+class TestMetaChecks:
+    def test_missing_meta_key(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        mutate(path, "DELETE FROM meta WHERE key='snapshot_digest'")
+        report = fsck(path)
+        assert not report.ok
+        assert any(
+            "snapshot_digest" in issue.reason for issue in report.issues
+        )
+
+    def test_foreign_schema_version(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        mutate(path, "UPDATE meta SET value=99 WHERE key='schema_version'")
+        report = fsck(path)
+        assert any("schema version" in issue.reason for issue in report.issues)
+
+    def test_negative_checkpoint_seq(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        mutate(path, "UPDATE meta SET value=-4 WHERE key='checkpoint_seq'")
+        report = fsck(path)
+        assert any("checkpoint_seq" in issue.reason for issue in report.issues)
+
+
+class TestSnapshotChecks:
+    def test_snapshot_crc_damage_found_and_unrepairable(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        conn = sqlite3.connect(path, isolation_level=None)
+        rowid, blob = conn.execute(
+            "SELECT rowid, fact FROM snapshot LIMIT 1"
+        ).fetchone()
+        bad = bytearray(blob)
+        bad[-1] ^= 1
+        conn.execute("UPDATE snapshot SET fact=? WHERE rowid=?",
+                     (bytes(bad), rowid))
+        conn.close()
+        report = fsck(path)
+        assert not report.ok
+        snapshot_issues = [i for i in report.issues if i.check == "snapshot"]
+        assert snapshot_issues and not any(i.repairable for i in snapshot_issues)
+        # Repair must not pretend: the store stays damaged.
+        report2 = fsck(path, repair=True)
+        assert not report2.repaired
+
+    def test_digest_mismatch_detected(self, tmp_path):
+        # Valid frames, wrong content: rewrite the digest instead of
+        # the rows -- the replay-to-content-hash check must notice.
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        mutate(path, "UPDATE meta SET value=value+1 WHERE key='snapshot_digest'")
+        report = fsck(path)
+        assert any("digest mismatch" in issue.reason for issue in report.issues)
+
+
+class TestWalRepair:
+    def test_torn_tail_repairable_and_quarantined(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        seq, blob = last_wal(path)
+        mutate(path, "UPDATE wal SET fact=? WHERE seq=?", bytes(blob[:-3]), seq)
+        report = fsck(path)
+        assert [i.repairable for i in report.issues] == [True]
+        repaired = fsck(path, repair=True)
+        assert repaired.repaired
+        # Quarantine sidecar holds the removed bytes, hex-encoded.
+        sidecar = path + QUARANTINE_SUFFIX
+        lines = [json.loads(l) for l in open(sidecar)]
+        assert lines[0]["seq"] == seq
+        assert bytes.fromhex(lines[0]["fact_hex"]) == bytes(blob[:-3])
+        # The store now opens cleanly at the shorter prefix.
+        with SqliteStore(path) as store:
+            assert len(store) == 5
+        assert fsck(path).ok
+        assert fsck(path).quarantine
+
+    def test_mid_log_damage_repair_drops_the_tail(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path, n=8, checkpoint_at=2)  # 6-row tail
+        conn = sqlite3.connect(path, isolation_level=None)
+        rows = list(conn.execute("SELECT seq, fact FROM wal ORDER BY seq"))
+        seq, blob = rows[2]
+        bad = bytearray(blob)
+        bad[-2] ^= 0xAA
+        conn.execute("UPDATE wal SET fact=? WHERE seq=?", (bytes(bad), seq))
+        conn.close()
+        fsck(path, repair=True)
+        sidecar_rows = [json.loads(l) for l in open(path + QUARANTINE_SUFFIX)]
+        # The damaged row AND everything after it went to quarantine:
+        # rows after a tear are unordered relative to the mirror state.
+        assert [r["seq"] for r in sidecar_rows] == [r[0] for r in rows[2:]]
+        with SqliteStore(path) as store:
+            assert set(store) == {
+                parse_atom("p(%d)" % i) for i in range(4)
+            }
+
+    def test_repair_on_clean_store_is_a_no_op(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        report = fsck(path, repair=True)
+        assert report.ok and not report.repaired
+        assert not (tmp_path / ("s.tdlog" + QUARANTINE_SUFFIX)).exists()
+
+
+class TestLeaseCheck:
+    def test_live_holder_is_reported(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        store = SqliteStore(path)  # holds the lease
+        try:
+            report = fsck(path)
+            assert any(issue.check == "lease" for issue in report.issues)
+            assert report.lease["pid"] > 0
+        finally:
+            store.close()
+
+    def test_stale_record_is_not_an_issue(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        (tmp_path / "s.tdlog.lease").write_text(
+            json.dumps({"pid": 2 ** 30 + 12345, "generation": 3,
+                        "renewed_at": 0.0})
+        )
+        report = fsck(path)
+        assert report.ok
+        assert report.lease["generation"] == 3
+
+
+class TestJson:
+    def test_report_round_trips_to_json(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        build(path)
+        seq, blob = last_wal(path)
+        mutate(path, "UPDATE wal SET fact=? WHERE seq=?", b"\x00" * 8, seq)
+        payload = fsck(path).to_json()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["ok"] is False
+        assert encoded["issues"][0]["table"] == "wal"
+        assert encoded["issues"][0]["rowid"] == seq

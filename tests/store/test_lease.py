@@ -1,0 +1,257 @@
+"""The cross-process writer lease and the SQLITE_BUSY backoff.
+
+``flock`` locks live on the open file description, so two
+:class:`WriterLease` instances in one process genuinely contend --
+the single-process tests below exercise the same code paths a second
+process would.  Clocks and sleeps are injected everywhere, so staleness
+and backoff run deterministically.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro import SqliteStore, StoreBusy, parse_atom
+from repro.obs import Instrumentation, instrumented
+from repro.store.lease import LEASE_SUFFIX, WriterLease, read_lease
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestWriterLease:
+    def test_acquire_writes_holder_record(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        lease = WriterLease(path, clock=FakeClock())
+        lease.acquire()
+        try:
+            record = read_lease(path)
+            assert record["generation"] == 1
+            assert record["pid"] > 0
+            assert lease.held
+        finally:
+            lease.release()
+
+    def test_second_writer_is_busy(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        clock = FakeClock()
+        first = WriterLease(path, clock=clock)
+        first.acquire()
+        try:
+            second = WriterLease(path, clock=clock)
+            with pytest.raises(StoreBusy, match="held by pid"):
+                second.acquire()
+        finally:
+            first.release()
+
+    def test_release_frees_the_lease(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        first = WriterLease(path)
+        first.acquire()
+        first.release()
+        assert read_lease(path) is None
+        second = WriterLease(path)
+        second.acquire()
+        try:
+            assert second.held
+        finally:
+            second.release()
+
+    def test_crash_release_keeps_record_but_frees_lock(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        first = WriterLease(path)
+        first.acquire()
+        first.release(unlink=False)  # simulated kill
+        assert read_lease(path)["generation"] == 1  # record lingers
+        second = WriterLease(path)
+        second.acquire()  # flock died with the "process": no conflict
+        try:
+            assert read_lease(path)["generation"] == 2
+        finally:
+            second.release()
+
+    def test_stale_ttl_takeover(self, tmp_path):
+        # A holder that stopped renewing past the TTL loses the lease
+        # even though its flock is still held (a hung process).
+        path = str(tmp_path / "s.tdlog")
+        clock = FakeClock()
+        hung = WriterLease(path, ttl=30.0, clock=clock)
+        hung.acquire()
+        try:
+            thief = WriterLease(path, ttl=30.0, clock=clock)
+            clock.advance(10.0)
+            with pytest.raises(StoreBusy):
+                thief.acquire()  # fresh: no takeover yet
+            clock.advance(25.0)  # now 35s since renewal > ttl
+            thief.acquire()
+            try:
+                assert thief.took_over
+                assert read_lease(path)["generation"] == 2
+                # The hung holder must notice on its next check.
+                with pytest.raises(StoreBusy, match="taken over"):
+                    hung.check()
+            finally:
+                thief.release()
+        finally:
+            hung.release()
+
+    def test_renew_is_lazy(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        clock = FakeClock()
+        lease = WriterLease(path, ttl=30.0, clock=clock)
+        lease.acquire()
+        try:
+            t0 = read_lease(path)["renewed_at"]
+            clock.advance(5.0)
+            lease.renew()  # under ttl/2: no write
+            assert read_lease(path)["renewed_at"] == t0
+            clock.advance(11.0)
+            lease.renew()  # past ttl/2: refreshed
+            assert read_lease(path)["renewed_at"] == clock.now
+        finally:
+            lease.release()
+
+    def test_dead_pid_record_is_stale_immediately(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        with open(path + LEASE_SUFFIX, "w") as handle:
+            json.dump({"pid": 2 ** 30 + 7, "generation": 5,
+                       "renewed_at": 10.0 ** 12}, handle)
+        lease = WriterLease(path, clock=FakeClock())
+        lease.acquire()  # no flock holder, dead pid: straight through
+        try:
+            assert read_lease(path)["generation"] == 6
+        finally:
+            lease.release()
+
+
+class TestStoreLeaseIntegration:
+    def test_two_stores_cannot_both_write(self, tmp_path):
+        path = str(tmp_path / "s.tdlog")
+        first = SqliteStore(path)
+        try:
+            with pytest.raises(StoreBusy):
+                SqliteStore(path)
+        finally:
+            first.close()
+        # After a clean close the lease is free again.
+        SqliteStore(path).close()
+
+    def test_injected_crash_frees_the_lease(self, tmp_path):
+        from repro import StoreCrashed
+        from repro.faults import FaultPlan, StoreCrash, Window
+
+        path = str(tmp_path / "s.tdlog")
+        plan = FaultPlan(seed=0, store_crashes=(StoreCrash(Window(1, 2)),))
+        store = SqliteStore(path, faults=plan)
+        with pytest.raises(StoreCrashed):
+            store.insert(parse_atom("p(1)"))
+        # The record lingers (like a real kill) but the lock is gone:
+        # recovery by reopening works in the same process.
+        assert read_lease(path)["generation"] == 1
+        with SqliteStore(path) as recovered:
+            assert read_lease(path)["generation"] == 2
+            recovered.insert(parse_atom("p(2)"))
+
+    def test_readers_share_with_one_writer(self, tmp_path):
+        # WAL-mode concurrent-reader consistency: while a writer holds
+        # the lease and commits, read-only opens see a consistent
+        # (possibly older) committed state -- never a torn one.
+        path = str(tmp_path / "s.tdlog")
+        with SqliteStore(path) as writer:
+            for i in range(5):
+                writer.insert(parse_atom("p(%d)" % i))
+            with SqliteStore(path, readonly=True) as reader:
+                before = set(reader)
+                assert before == {parse_atom("p(%d)" % i) for i in range(5)}
+                sp = writer.savepoint()
+                writer.insert(parse_atom("p(99)"))
+                # Uncommitted savepoint state is invisible to readers.
+                with SqliteStore(path, readonly=True) as mid:
+                    assert set(mid) == before
+                writer.release(sp)
+            with SqliteStore(path, readonly=True) as after:
+                assert parse_atom("p(99)") in set(after)
+
+
+class _BusyConn:
+    """A connection stub whose execute raises SQLITE_BUSY *n* times."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def execute(self, sql, params=()):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise sqlite3.OperationalError("database is locked")
+        return None
+
+
+class TestBusyBackoff:
+    def _store(self, tmp_path, **kw):
+        return SqliteStore(str(tmp_path / "s.tdlog"), **kw)
+
+    def test_retries_then_succeeds(self, tmp_path):
+        sleeps = []
+        store = self._store(tmp_path, busy_retries=5, busy_backoff=0.01,
+                            busy_cap=0.5, sleep=sleeps.append)
+        try:
+            store._conn = _BusyConn(failures=3)
+            store._exec("INSERT INTO wal (op, pred, fact) VALUES (?, ?, ?)",
+                        ("+", "p", b""))
+            # Capped exponential: 0.01, 0.02, 0.04.
+            assert sleeps == [0.01, 0.02, 0.04]
+        finally:
+            store._conn = sqlite3.connect(":memory:")
+            store._lease.release()
+            store._closed = True
+
+    def test_cap_bounds_the_delay(self, tmp_path):
+        sleeps = []
+        store = self._store(tmp_path, busy_retries=8, busy_backoff=0.1,
+                            busy_cap=0.25, sleep=sleeps.append)
+        try:
+            store._conn = _BusyConn(failures=5)
+            store._exec("SELECT 1")
+            assert sleeps == [0.1, 0.2, 0.25, 0.25, 0.25]
+        finally:
+            store._conn = sqlite3.connect(":memory:")
+            store._lease.release()
+            store._closed = True
+
+    def test_budget_exhaustion_raises_store_busy(self, tmp_path):
+        sleeps = []
+        store = self._store(tmp_path, busy_retries=2, busy_backoff=0.01,
+                            sleep=sleeps.append)
+        try:
+            store._conn = _BusyConn(failures=99)
+            with pytest.raises(StoreBusy, match="after 2 retries"):
+                store._exec("SELECT 1")
+            assert len(sleeps) == 2
+        finally:
+            store._conn = sqlite3.connect(":memory:")
+            store._lease.release()
+            store._closed = True
+
+    def test_retries_are_counted(self, tmp_path):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            store = self._store(tmp_path, busy_retries=5, busy_backoff=0.0,
+                                sleep=lambda _dt: None)
+            try:
+                store._conn = _BusyConn(failures=2)
+                store._exec("SELECT 1")
+            finally:
+                store._conn = sqlite3.connect(":memory:")
+                store._lease.release()
+                store._closed = True
+        assert inst.metrics.counters["store.busy_retries"] == 2

@@ -100,6 +100,39 @@ class TestCheckpoint:
         with SqliteStore(path) as store:
             assert set(store) == set(facts(5))
 
+    def test_deferral_is_counted_once_per_episode(self, path):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            with SqliteStore(path, snapshot_every=2) as store:
+                sp = store.savepoint()
+                # Trips the threshold repeatedly inside one scope: one
+                # deferral episode, not one count per insert.
+                store.insert_all(facts(6))
+                store.release(sp)
+        counters = inst.metrics.snapshot()["counters"]
+        assert counters["store.checkpoint_deferred"] == 1
+        assert counters["store.snapshots"] == 1
+
+    def test_deferred_checkpoint_retries_after_rollback(self, path, db):
+        # A rollback drains the stack too: the deferred fold must not
+        # wait for the *next* mutation to happen.
+        with SqliteStore(path, snapshot_every=2) as store:
+            store.insert_all(db)  # tips over the threshold pre-scope
+            assert store.stats()["generation"] == 1
+            sp = store.savepoint()
+            store.insert_all(facts(4, "tmp"))
+            assert store.stats()["generation"] == 1  # deferred
+            store.rollback(sp)
+            # The aborted scope's rows are gone; the WAL tail that
+            # remains is below threshold, so no spurious fold either.
+            assert store.stats()["generation"] == 1
+            sp2 = store.savepoint()
+            store.insert_all(facts(4, "keep"))
+            store.rollback(sp2)
+            assert store.stats()["open_savepoints"] == 0
+        with SqliteStore(path) as store:
+            assert store.database() == db
+
 
 class TestSavepointDurability:
     def test_rolled_back_scope_leaves_no_trace(self, path, db):
