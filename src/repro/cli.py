@@ -122,7 +122,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if store is not None:
             stack.callback(store.close)
         engine = select_engine(
-            program, args.goal, max_configs=args.max_configs, store=store
+            program,
+            args.goal,
+            max_configs=args.max_configs,
+            store=store,
+            tabling=not getattr(args, "no_tabling", False),
         )
         if getattr(args, "progress", 0):
             # The heartbeat reads the engines' own counters; make sure a
@@ -920,6 +924,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage backend: 'mem' or 'sqlite:PATH' (a bare PATH ending "
              "in .tdlog also works); a fresh durable store is seeded from "
              "--db, an existing one's contents win (see docs/STORAGE.md)",
+    )
+    p_solve.add_argument(
+        "--no-tabling", action="store_true",
+        help="disable answer tabling on the small-step engine (the naive "
+             "search is the differential oracle; see docs/PERFORMANCE.md)",
     )
     p_solve.add_argument(
         "--checkpoint-out", metavar="FILE",

@@ -172,6 +172,7 @@ class Engine:
                 self.program,
                 provenance=getattr(self.backend, "provenance", None),
                 attribution=getattr(self.backend, "attribution", None),
+                tabling=getattr(self.backend, "tabling", True),
             )
         )
         return interp.resume(checkpoint, **kwargs)
@@ -214,6 +215,7 @@ class Engine:
                 provenance=getattr(self.backend, "provenance", None),
                 attribution=getattr(self.backend, "attribution", None),
                 store=getattr(self.backend, "store", None),
+                tabling=getattr(self.backend, "tabling", True),
             )
         )
         obs = self._describe()
@@ -240,6 +242,7 @@ def select_engine(
     provenance=None,
     attribution=None,
     store=None,
+    tabling: bool = True,
 ) -> Engine:
     """Classify *program* (and *goal*, if given) and build the matching
     engine.
@@ -250,8 +253,11 @@ def select_engine(
     :mod:`repro.obs.provenance`), ``attribution`` a cost attributor
     (see :mod:`repro.obs.hotspots`), and ``store`` a storage backend
     (see :class:`repro.store.Store` and docs/STORAGE.md) to whichever
-    backend is selected.  Options after ``goal`` are keyword-only;
-    positional ``max_configs`` keeps working for one deprecation cycle.
+    backend is selected.  ``tabling=False`` disables answer tabling on
+    the small-step backend (docs/PERFORMANCE.md; the analytic backends
+    table by construction and ignore it).  Options after ``goal`` are
+    keyword-only; positional ``max_configs`` keeps working for one
+    deprecation cycle.
     """
     if legacy:
         if len(legacy) > 1:
@@ -286,6 +292,7 @@ def select_engine(
             provenance=provenance,
             attribution=attribution,
             store=store,
+            tabling=tabling,
         )
     return Engine(program=program, backend=backend, analysis=analysis, sublanguage=sub)
 
@@ -298,6 +305,7 @@ def solve(
     max_configs: int = 200_000,
     provenance=None,
     store=None,
+    tabling: bool = True,
 ) -> Iterator[Solution]:
     """The blessed one-call entry point: classify, pick an engine, solve.
 
@@ -308,6 +316,11 @@ def solve(
     ``db=None`` the store supplies the initial state.
     """
     engine = select_engine(
-        program, goal, max_configs=max_configs, provenance=provenance, store=store
+        program,
+        goal,
+        max_configs=max_configs,
+        provenance=provenance,
+        store=store,
+        tabling=tabling,
     )
     return engine.solve(goal, db)

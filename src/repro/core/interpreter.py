@@ -73,15 +73,17 @@ from ..obs.context import Instrumentation, NOOP, active
 from ..obs.provenance import active_recorder, config_digest
 from .database import Database
 from .errors import AttemptBudgetExceeded, DeadlineExceeded, SearchBudgetExceeded
-from .formulas import Formula, apply_subst, formula_variables
+from .formulas import TRUTH, Call, Formula, Seq, apply_subst, formula_variables, seq
 from .parser import as_goal
 from .por import PartialOrderReducer, por_forced_off
 from .program import Program
-from .terms import Term, Variable
+from .tabling import AnswerTable, canonical_call, tabling_forced_off
+from .terms import Atom, Term, Variable
 from .transitions import (
     Action,
     Configuration,
     Step,
+    _ckey_pair,
     canonical_key,
     dead_config,
     enabled_steps,
@@ -120,8 +122,24 @@ class Execution:
 
     @property
     def events(self) -> Tuple[str, ...]:
-        """The trace rendered as strings (handy in tests and logs)."""
-        return tuple(str(a) for a in self.trace)
+        """The trace rendered as strings (handy in tests and logs).
+
+        ``table`` wrappers are flattened to the execution they recorded:
+        unlike ``iso`` (whose bracket marks an atomicity boundary), a
+        table action is a memoization artifact, and the events stream
+        must read the same whether an answer was derived or replayed.
+        """
+        out: List[str] = []
+
+        def emit(actions: Tuple[Action, ...]) -> None:
+            for action in actions:
+                if action.kind == "table":
+                    emit(action.subtrace)
+                else:
+                    out.append(str(action))
+
+        emit(self.trace)
+        return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -156,6 +174,21 @@ class Checkpoint:
     want_trace: bool
     spent: int
     sort_concurrent: bool
+    #: Warm answer-table snapshot (:meth:`repro.core.tabling.
+    #: AnswerTable.snapshot`), or ``None`` when the interrupted search
+    #: ran untabled.  Resuming restores it so already-generated answers
+    #: are served, not re-derived; a resuming interpreter with
+    #: ``tabling=False`` simply ignores it (the snapshot carries no
+    #: information the search cannot re-derive).
+    table: Optional[tuple] = None
+    #: Config keys whose expansion must run *naively* (small-step) on
+    #: resume.  A budget that fires inside a table generation would
+    #: otherwise livelock under tight resume caps: the big-stepped
+    #: expansion restarts from scratch every hop and never banks
+    #: frontier progress.  Marking the interrupted config naive restores
+    #: the small-step progress guarantee (one budget unit per step) for
+    #: exactly the configs that need it; everything else stays tabled.
+    naive: frozenset = frozenset()
 
     @property
     def frontier_size(self) -> int:
@@ -286,6 +319,15 @@ class Interpreter:
         signals that no further perturbation can occur, letting the
         search re-enable its failed-state memoization from that point.
         ``None`` (the default) is zero-overhead.
+    tabling:
+        Enable answer tabling (default; see :mod:`repro.core.tabling`).
+        A call in head position -- and every ``iso`` sub-search --
+        executes once per (canonical call, database) pair and is served
+        from the answer table afterwards; the reachable (answers, final
+        database) pairs are unchanged (``tests/core/test_tabling.py``
+        is the differential).  Same discipline as ``por``: bypassed
+        automatically while a fault injector is attached, and
+        ``tabling=False`` keeps the naive search as the oracle.
     """
 
     def __init__(
@@ -299,6 +341,7 @@ class Interpreter:
         attribution=None,
         *,
         store=None,
+        tabling: bool = True,
     ):
         self.program = program
         self.max_configs = max_configs
@@ -324,6 +367,12 @@ class Interpreter:
         self._reducer = (
             PartialOrderReducer(program) if (por and not por_forced_off()) else None
         )
+        #: Effective tabling switch and the per-interpreter answer table
+        #: (persistent across searches, like the sequential engine's).
+        #: The table is consulted only while no fault injector is
+        #: attached -- same bypass as the reducer.
+        self.tabling = tabling and not tabling_forced_off()
+        self._table = AnswerTable() if self.tabling else None
 
     def _prov(self):
         """The recorder for this search: explicit beats ambient."""
@@ -416,6 +465,7 @@ class Interpreter:
                         yield Solution(dict(zip(goal_vars, answers)), final_db)
                 finally:
                     _note_budget(obs, budget)
+                    self._note_table(obs)
 
         yield from _hot.meter_engine(attr, _search(), "bfs")
 
@@ -465,6 +515,7 @@ class Interpreter:
                         )
                 finally:
                     _note_budget(obs, budget)
+                    self._note_table(obs)
 
         yield from _hot.meter_engine(attr, _search(), "bfs")
 
@@ -498,6 +549,11 @@ class Interpreter:
         budget = _Budget(self.max_configs, obs)
         goal_vars = list(checkpoint.goal_vars)
         attr = self._attr()
+        if checkpoint.table is not None and self._table is not None:
+            # Warm-start from the interrupted search's answers.  A fresh
+            # restore per resumption keeps resuming the same checkpoint
+            # twice idempotent (the table is never shared between them).
+            self._table = AnswerTable.restore(checkpoint.table)
 
         def _search():
             with obs.span(
@@ -526,6 +582,7 @@ class Interpreter:
                             yield Solution(bindings, final_db)
                 finally:
                     _note_budget(obs, budget)
+                    self._note_table(obs)
 
         yield from _hot.meter_engine(attr, _search(), "bfs")
 
@@ -581,6 +638,7 @@ class Interpreter:
                 raise
             finally:
                 _note_budget(obs, budget)
+                self._note_table(obs)
         if result is None:
             return None
         answers, final_db, trace, times = result
@@ -602,8 +660,14 @@ class Interpreter:
         state: Optional[Checkpoint] = None,
         prov=None,
         attr=None,
+        count_solutions: bool = True,
     ) -> Iterator[Tuple[Tuple[Term, ...], Database, Tuple[Action, ...]]]:
         insertable, deletable = update_footprint(self.program, goal)
+        # Answer tabling is bypassed under fault injection, exactly like
+        # the reducer: fault plans target individual schedules, so the
+        # chaos harness must see the naive expansion (byte-identical
+        # reports whatever the table holds).
+        table = self._table if self.faults is None else None
         # The frontier is bucketed by canonical key: alongside the FIFO
         # queue of (configuration, key) pairs, ``queued`` holds the keys
         # currently awaiting expansion and ``seen`` the keys already
@@ -628,6 +692,7 @@ class Interpreter:
             seen = set(state.seen)
             traces = dict(state.traces) if state.traces is not None else {}
             emitted = set(state.emitted)
+        naive_keys = set(state.naive) if state is not None else set()
         queued = {key for _, key in frontier}
         enabled = obs.enabled
         faults = self.faults
@@ -657,7 +722,7 @@ class Interpreter:
                 result = (config.answers, config.database)
                 if result not in emitted:
                     emitted.add(result)
-                    if enabled:
+                    if enabled and count_solutions:
                         obs.metrics.inc("search.solutions")
                     if prov is not None:
                         prov.mark(
@@ -673,17 +738,34 @@ class Interpreter:
                 obs.metrics.inc("search.configs_expanded")
             parent = node_ids.get(config_key) if prov is not None else None
             stepped = False
+            head = None
             try:
                 if deadline is not None:
                     deadline.check()
-                steps = self._enabled_steps(
-                    config.process,
-                    config.database,
-                    self._isol_runner(budget, obs, deadline, attr),
-                    obs,
-                    prov,
-                    parent,
-                )
+                if table is not None and config_key not in naive_keys:
+                    head = _head_call(config.process)
+                if head is not None:
+                    steps = self._table_steps(
+                        head[0],
+                        head[1],
+                        config.process,
+                        config.database,
+                        budget,
+                        obs,
+                        deadline,
+                        attr,
+                        prov,
+                        parent,
+                    )
+                else:
+                    steps = self._enabled_steps(
+                        config.process,
+                        config.database,
+                        self._isol_runner(budget, obs, deadline, attr),
+                        obs,
+                        prov,
+                        parent,
+                    )
                 if faults is not None:
                     steps = faults.perturb(config.process, config.database, steps)
                 if attr is not None:
@@ -755,6 +837,10 @@ class Interpreter:
                 # propagates, so the outermost (user-goal) checkpoint
                 # wins.
                 frontier.appendleft((config, config_key))
+                if head is not None:
+                    # The interrupt fired inside a big-stepped (tabled)
+                    # expansion; see ``Checkpoint.naive``.
+                    naive_keys.add(config_key)
                 exc.goal = goal
                 exc.checkpoint = Checkpoint(
                     goal=goal,
@@ -766,6 +852,12 @@ class Interpreter:
                     want_trace=want_trace,
                     spent=budget.used,
                     sort_concurrent=self.sort_concurrent,
+                    table=(
+                        self._table.snapshot()
+                        if self._table is not None
+                        else None
+                    ),
+                    naive=frozenset(naive_keys),
                 )
                 if enabled:
                     obs.metrics.inc("search.checkpoints")
@@ -786,6 +878,191 @@ class Interpreter:
                 t if not isinstance(t, Variable) else None for t in config.answers
             ),
         )
+
+    # -- answer tabling ----------------------------------------------------------
+
+    def _table_steps(
+        self, atom, rest, proc, db, budget, obs, deadline, attr, prov, parent
+    ):
+        """Steps for a head-position call, served from the answer table.
+
+        One step per complete execution of the call: the step's database
+        is the execution's final state, its substitution the answer
+        bindings, its residual the rest of the sequence, and its action
+        a ``table`` record carrying the cached trace (replay-valid).
+        Sequential composition is a barrier, so big-stepping the head
+        call this way is solution-equivalent to the small-step search --
+        no external step can interleave with it (the argument in
+        :mod:`repro.core.tabling`).  On a miss the generator *streams*:
+        answers are served as the nested searches find them, keeping the
+        top-level enumeration fair on divergent workloads.
+        """
+        table = self._table
+        enabled = obs.enabled
+        canon, _ = canonical_call(atom)
+        entry, delta_cost = table.entry(canon, db)
+        if entry is None:
+            # Key cap reached: this call runs untabled.
+            yield from self._enabled_steps(
+                proc,
+                db,
+                self._isol_runner(budget, obs, deadline, attr),
+                obs,
+                prov,
+                parent,
+            )
+            return
+        residual = seq(*rest) if rest else TRUTH
+        hit = entry.complete or entry.active
+        if enabled:
+            obs.metrics.inc("table.hits" if hit else "table.misses")
+            if delta_cost:
+                obs.metrics.inc("table.delta_bytes", delta_cost)
+            if hit:
+                obs.tracer.event(
+                    "table.hit", call=str(atom), key=str(canon)
+                )
+        if hit:
+            # A hit prunes like frontier subsumption: the whole
+            # re-expansion of the call collapses into served answers.
+            if prov is not None:
+                prov.record(
+                    "table",
+                    str(atom),
+                    parent=parent,
+                    disposition="table-hit",
+                    witness={
+                        "key": str(canon),
+                        "answers": len(entry.order),
+                        "complete": entry.complete,
+                    },
+                )
+            if attr is not None:
+                attr.charge(
+                    "table.hit_credit",
+                    max(len(entry.order), 1),
+                    predicate=atom.pred,
+                )
+            if entry.active:
+                # Consumer of an in-progress generator: serve the
+                # current snapshot and flag every stacked generator so
+                # none of them completes on this round's information.
+                table.note_consumed(entry)
+        for answer in list(entry.order):
+            yield self._answer_step(atom, answer, residual)
+        if hit:
+            return
+        for answer in self._generate(
+            entry, canon, db, budget, obs, deadline, attr
+        ):
+            yield self._answer_step(atom, answer, residual)
+
+    def _generate(self, entry, canon, db, budget, obs, deadline, attr):
+        """Generator for one table entry: run the matching rule bodies
+        under nested breadth-first searches, yielding each answer *new
+        to the entry* as it is found, and loop until the global answer
+        stamp stabilizes (consumer/generator suspension: a nested
+        occurrence of an in-progress key consumed a snapshot, so its
+        round must re-run once anything grew).  The entry completes only
+        if its final round depended on no in-progress entry but itself.
+        """
+        table = self._table
+        entry.active = True
+        table.generating.append(entry)
+        try:
+            while True:
+                before = table.stamp
+                entry.round_deps = set()
+                for rule, theta in self.program.match_rules(canon):
+                    token = (
+                        attr.push(
+                            rule=_hot.rule_label(rule.head),
+                            predicate=canon.pred,
+                        )
+                        if attr is not None
+                        else None
+                    )
+                    try:
+                        body = apply_subst(rule.body, theta)
+                        answer_terms = tuple(
+                            walk(a, theta) for a in canon.args
+                        )
+                        for values, final_db, trace in self._bfs(
+                            body,
+                            db,
+                            answer_terms,
+                            budget,
+                            want_trace=True,
+                            obs=obs,
+                            deadline=deadline,
+                            attr=attr,
+                            count_solutions=False,
+                        ):
+                            added, retired = entry.add(values, final_db, trace)
+                            if retired and obs.enabled:
+                                obs.metrics.inc("table.subsumed", retired)
+                            if added is not None:
+                                table.stamp += 1
+                                yield added
+                    finally:
+                        if token is not None:
+                            attr.pop(token)
+                deps = entry.round_deps - {id(entry)}
+                if not entry.round_deps:
+                    # The round consumed nothing in flight: it saw only
+                    # complete information, so re-running cannot grow it.
+                    entry.complete = True
+                    return
+                if table.stamp == before:
+                    # Global fixpoint given the current snapshots.  If
+                    # the only in-flight dependency was this entry
+                    # itself, that *is* completion; otherwise leave the
+                    # entry warm for the enclosing generator's next
+                    # round.
+                    entry.complete = not deps
+                    return
+        finally:
+            entry.active = False
+            table.generating.pop()
+
+    def _answer_step(self, atom, answer, residual):
+        """Turn one cached answer into a transition step for the caller.
+
+        Bound answer positions bind the caller's variables; an unbound
+        position leaves the caller's variable free, with sharing between
+        positions preserved (the first caller variable to meet an answer
+        variable stands in for it).
+        """
+        values, final_db, trace = answer
+        fresh: Dict[Variable, Term] = {}
+        theta: Dict[Variable, Term] = {}
+        for arg, value in zip(atom.args, values):
+            if not isinstance(arg, Variable) or arg in theta:
+                continue
+            if isinstance(value, Variable):
+                if value in fresh:
+                    theta[arg] = fresh[value]
+                else:
+                    fresh[value] = arg
+                continue
+            theta[arg] = value
+        return Step(
+            Action("table", atom=atom, subtrace=trace),
+            theta,
+            residual,
+            final_db,
+        )
+
+    def _note_table(self, obs: Instrumentation) -> None:
+        """Record the table-size gauges after a search (same shape as the
+        sequential engine's ``table.keys``/``table.answers``)."""
+        table = self._table
+        if table is None or not obs.enabled:
+            return
+        obs.metrics.set_gauge("table.keys", table.keys)
+        obs.metrics.set_gauge("table.answers", table.answer_count())
+        if table.capped:
+            obs.metrics.set_gauge("table.capped", table.capped)
 
     # -- DFS core ---------------------------------------------------------------
 
@@ -813,6 +1090,12 @@ class Interpreter:
         # exhaustion pending): from then on the search is exactly
         # fault-free, and entries recorded after that point stay sound.
         use_memo = self.faults is None
+        # DFS keeps traces exactly as the scheduler commits them (the
+        # paper's workflow examples pin them), so the answer table is
+        # used only where it cannot change a trace: pruning branches
+        # whose head call has a *complete and empty* entry, plus the
+        # iso-execution memo inside the isolation runner.
+        table = self._table if self.faults is None else None
         limit_hits = 0  # depth-truncation events (blocks unsound fail-memo)
         trace: List[Action] = []
         # Wall-clock stamps per committed action, mirrored with ``trace``
@@ -836,6 +1119,26 @@ class Interpreter:
             one commits the goal.  (Seeded runs still materialize -- a
             shuffle needs the full list.)
             """
+            if table is not None:
+                head = _head_call(proc)
+                if head is not None:
+                    entry = table.peek(canonical_call(head[0])[0], state)
+                    if entry is not None and entry.complete and not entry.order:
+                        # The head call has a completed, empty answer
+                        # table entry: no execution of it exists from
+                        # this state, so the branch is dead without
+                        # expansion.
+                        if obs.enabled:
+                            obs.metrics.inc("table.hits")
+                        if prov is not None:
+                            prov.record(
+                                "table",
+                                str(head[0]),
+                                parent=pnode,
+                                disposition="table-hit",
+                                witness={"answers": 0, "complete": True},
+                            )
+                        return
             if obs.enabled:
                 obs.metrics.inc("search.configs_expanded")
             if deadline is not None:
@@ -990,6 +1293,7 @@ class Interpreter:
                 obs=obs,
                 deadline=deadline,
                 attr=attr,
+                count_solutions=False,
             ):
                 theta = {
                     v: t
@@ -1009,15 +1313,75 @@ class Interpreter:
             yield from gen
 
         def run_isolated(body: Formula, db: Database, cap: Optional[int] = None):
+            # Complete iso executions are a pure function of (canonical
+            # body, database) -- isolation admits no external
+            # interleaving -- so uncapped attempts are memoized in the
+            # answer table (capped attempts are budget-dependent and
+            # bypass it; so does everything under fault injection).
+            table = self._table if self.faults is None else None
+            entry = varseq = None
+            if table is not None and cap is None:
+                shape, varseq = _ckey_pair(body, self.sort_concurrent)
+                entry, delta_cost = table.iso_entry(shape, db)
+                if entry is not None and obs.enabled:
+                    obs.metrics.inc(
+                        "table.hits" if entry.complete else "table.misses"
+                    )
+                    if delta_cost:
+                        obs.metrics.inc("table.delta_bytes", delta_cost)
+                if entry is not None and entry.complete:
+                    if obs.enabled:
+                        obs.tracer.event("table.hit", iso=str(body))
+                    if attr is not None:
+                        attr.charge(
+                            "table.hit_credit", max(len(entry.order), 1)
+                        )
+                    for values, final_db, trace in list(entry.order):
+                        theta = {
+                            v: t
+                            for v, t in zip(varseq, values)
+                            if not isinstance(t, Variable)
+                        }
+                        yield theta, final_db, trace
+                    return
+
+            def produce(sub_budget):
+                gen = attempts(body, db, sub_budget)
+                if entry is None or entry.active:
+                    # Untabled, or a recursive attempt on a body whose
+                    # outer enumeration is already recording.
+                    yield from gen
+                    return
+                entry.active = True
+                entry.round_deps = set()
+                table.generating.append(entry)
+                try:
+                    for theta, final_db, trace in gen:
+                        entry.add(
+                            tuple(theta.get(v, v) for v in varseq),
+                            final_db,
+                            trace,
+                        )
+                        yield theta, final_db, trace
+                finally:
+                    entry.active = False
+                    table.generating.remove(entry)
+                # Reached only on natural exhaustion (an abandoned or
+                # interrupted enumeration is a warm prefix, never
+                # complete); sound only if no in-progress call entry
+                # fed this enumeration.
+                if not (entry.round_deps - {id(entry)}):
+                    entry.complete = True
+
             sub_budget = budget if cap is None else _CappedBudget(budget, cap)
             try:
                 if not obs.enabled:
-                    yield from attempts(body, db, sub_budget)
+                    yield from produce(sub_budget)
                     return
                 obs.enter_iso()
                 try:
                     with obs.span("iso-subsearch", body=str(body)):
-                        yield from attempts(body, db, sub_budget)
+                        yield from produce(sub_budget)
                 finally:
                     obs.exit_iso()
             except AttemptBudgetExceeded as exc:
@@ -1112,14 +1476,15 @@ def _commit_execution(store, trace) -> None:
 
 def _replay_into(store, actions) -> None:
     """The store twin of :func:`repro.core.transitions.replay_actions`:
-    queries are skipped, updates applied, ``iso`` bracketed."""
+    queries are skipped, updates applied, ``iso`` (and ``table``, whose
+    subtrace is the recorded big-step execution) bracketed."""
     for action in actions:
         kind = action.kind
         if kind == "ins":
             store.insert(action.atom)
         elif kind == "del":
             store.delete(action.atom)
-        elif kind == "iso":
+        elif kind in ("iso", "table"):
             sp = store.savepoint()
             try:
                 _replay_into(store, action.subtrace)
@@ -1138,6 +1503,22 @@ def _note_budget(obs: Instrumentation, budget: _Budget) -> None:
     if obs.enabled:
         obs.metrics.gauge_max("budget.spent", budget.used)
         obs.metrics.set_gauge("budget.limit", budget.limit)
+
+
+def _head_call(proc: Formula) -> Optional[Tuple[Atom, Tuple[Formula, ...]]]:
+    """The tabled redex of a process, if it has one: a derived-predicate
+    call in *head position* -- the whole process is ``p(t)`` or
+    ``p(t) * rest``.  Returns ``(call atom, rest parts)`` or ``None``.
+    Calls inside a concurrent composition are never tabled: sequential
+    composition is the barrier that makes big-stepping the head sound.
+    """
+    if isinstance(proc, Call):
+        return proc.atom, ()
+    if isinstance(proc, Seq):
+        first = proc.parts[0]
+        if isinstance(first, Call):
+            return first.atom, proc.parts[1:]
+    return None
 
 
 def _ordered_vars(goal: Formula) -> List[Variable]:

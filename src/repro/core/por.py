@@ -254,6 +254,40 @@ def _union(a: Footprint, b: Footprint) -> Footprint:
     return (a[0] | b[0], a[1] | b[1], a[2] | b[2])
 
 
+def _frontier_vars(f: Formula) -> frozenset:
+    """Free variables of *f*'s frontier redexes -- the variables its
+    *next* step could bind or have bound out from under it.  An
+    isolated body runs atomically now, so the whole body counts."""
+    if isinstance(f, Truth):
+        return _EMPTY
+    if isinstance(f, Seq):
+        return _frontier_vars(f.parts[0]) if f.parts else _EMPTY
+    if isinstance(f, Conc):
+        out = _EMPTY
+        for p in f.parts:
+            out = out | _frontier_vars(p)
+        return out
+    if isinstance(f, Isol):
+        return frozenset(free_variables(f.body))
+    return frozenset(free_variables(f))
+
+
+def _frontier_bind_free(f: Formula) -> bool:
+    """Can *f*'s next step neither produce nor consume a binding?
+
+    True when every frontier redex is ground: a ground test, update,
+    absence test, or builtin yields the empty substitution, and a
+    ground call's unifier binds only the renamed rule's variables.  A
+    step from such a frontier commutes with any competitor binding --
+    the competitor cannot change which redexes are enabled (no free
+    variable to instantiate) and the step binds nothing back -- which
+    is what lets :meth:`PartialOrderReducer._ample_index` keep an
+    ample branch that merely *mentions* a shared variable in the parts
+    behind its frontier.
+    """
+    return not _frontier_vars(f)
+
+
 def _conflicts(frontier: Footprint, future: Footprint) -> bool:
     """Can a frontier step and any future competitor step fail to
     commute?  Read-vs-write in either direction, or insert-vs-delete of
@@ -349,7 +383,7 @@ class PartialOrderReducer:
             return
         if isinstance(proc, Conc):
             parts = proc.parts
-            idx = self._ample_index(parts, comp_fp, comp_vars)
+            idx, rescued = self._ample_index(parts, comp_fp, comp_vars)
             if idx is not None:
                 attr = _hot._ACTIVE
                 if (
@@ -360,7 +394,7 @@ class PartialOrderReducer:
                 ):
                     self._note_ample(
                         parts, idx, comp_fp, comp_vars,
-                        metrics, tracer, prov, prov_parent, attr,
+                        metrics, tracer, prov, prov_parent, attr, rescued,
                     )
                 branch = parts[idx]
                 before, after = parts[:idx], parts[idx + 1 :]
@@ -417,19 +451,24 @@ class PartialOrderReducer:
         prov,
         prov_parent,
         attr=None,
+        rescued: bool = False,
     ) -> None:
         """Report one ample-set decision: counters, an instant tracer
         event, and (with provenance attached) the full witness the
         pruning audit re-verifies.  Counter semantics are unchanged
         from before the witness existed: ``por.ample_configs`` per
         decision, ``por.steps_pruned`` by the number of step-capable
-        siblings deferred.  ``attr`` (a cost attributor) additionally
+        siblings deferred; ``por.recheck_rescued`` additionally counts
+        decisions the bind-free frontier re-check saved from degrading
+        to full expansion.  ``attr`` (a cost attributor) additionally
         receives the same count as a ``por.pruned_credit`` charge."""
         pruned = [
             p for j, p in enumerate(parts) if j != idx and not _never_steps(p)
         ]
         if metrics is not None:
             metrics.inc("por.ample_configs")
+            if rescued:
+                metrics.inc("por.recheck_rescued")
             if pruned:
                 metrics.inc("por.steps_pruned", len(pruned))
         if attr is not None and pruned:
@@ -444,6 +483,8 @@ class PartialOrderReducer:
             ample_vars = free_variables(ample)
             witness: Dict[str, object] = {
                 "ample": str(ample),
+                "rescued": rescued,
+                "frontier_vars": sorted(str(v) for v in _frontier_vars(ample)),
                 "ample_frontier": _fp_lists(frontier_footprint(program, ample)),
                 "competitors": _fp_lists(comp_fp),
                 "competitor_shared_vars": sorted(
@@ -474,27 +515,37 @@ class PartialOrderReducer:
         parts: Tuple[Formula, ...],
         comp_fp: Footprint,
         comp_vars: frozenset,
-    ) -> Optional[int]:
+    ) -> Tuple[Optional[int], bool]:
         """Leftmost branch whose frontier is independent of every
-        sibling's full closure and of the inherited competitors."""
+        sibling's full closure and of the inherited competitors.
+
+        Variable sharing alone no longer disqualifies a branch: when
+        the shared variables cannot flow through the branch's *next*
+        step -- every frontier redex is ground after the bindings
+        applied so far, so the step neither binds a variable nor reads
+        one a competitor could bind -- the ample decision is *rescued*
+        (the dynamic re-check; counted by ``por.recheck_rescued``).
+        Returns ``(index, rescued)``; ``(None, False)`` when every
+        branch degrades to full expansion."""
         program = self.program
         for i, branch in enumerate(parts):
-            bvars = free_variables(branch)
-            if comp_vars and not bvars.isdisjoint(comp_vars):
-                continue
             ffp = frontier_footprint(program, branch)
             if _conflicts(ffp, comp_fp):
                 continue
+            bvars = free_variables(branch)
+            shared = bool(comp_vars) and not bvars.isdisjoint(comp_vars)
             ok = True
             for j, sibling in enumerate(parts):
                 if j == i:
                     continue
-                if bvars and not bvars.isdisjoint(free_variables(sibling)):
-                    ok = False
-                    break
                 if _conflicts(ffp, footprint(program, sibling)):
                     ok = False
                     break
-            if ok:
-                return i
-        return None
+                if bvars and not bvars.isdisjoint(free_variables(sibling)):
+                    shared = True
+            if not ok:
+                continue
+            if shared and not _frontier_bind_free(branch):
+                continue
+            return i, shared
+        return None, False

@@ -72,8 +72,11 @@ __all__ = [
 class Action:
     """A record of one executed elementary step, for execution traces.
 
-    ``kind`` is one of ``test ins del neg builtin call iso``.  For ``iso``
-    the nested trace of the isolated sub-execution is attached.
+    ``kind`` is one of ``test ins del neg builtin call iso table``.  For
+    ``iso`` the nested trace of the isolated sub-execution is attached;
+    ``table`` is a call served whole from the interpreter's answer table
+    (see :mod:`repro.core.tabling`) and carries the cached execution's
+    trace the same way, so replay still reproduces the final state.
     """
 
     kind: str
@@ -85,6 +88,9 @@ class Action:
         if self.kind == "iso":
             inner = "; ".join(str(a) for a in self.subtrace)
             return "iso[%s]" % inner
+        if self.kind == "table":
+            inner = "; ".join(str(a) for a in self.subtrace)
+            return "table %s[%s]" % (self.atom, inner)
         if self.kind == "builtin":
             return self.detail
         if self.kind in ("ins", "del"):
@@ -464,7 +470,7 @@ def replay_actions(actions, db: Database) -> Database:
             db = db.insert(action.atom)
         elif action.kind == "del":
             db = db.delete(action.atom)
-        elif action.kind == "iso":
+        elif action.kind in ("iso", "table"):
             db = replay_actions(action.subtrace, db)
         # tests / negs / builtins / calls do not change the state
     return db

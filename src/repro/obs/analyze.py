@@ -182,6 +182,50 @@ def _run_conc_fanout() -> None:
     assert len(list(engine.solve(parse_goal("spawn"), db))) == 1
 
 
+_RECURSIVE_TD = """
+reach(X) <- sink(X).
+reach(X) <- edge(X, Z) * reach(Z) * node(X).
+audit <- reach(s0) * (stamp(left) | stamp(right)).
+stamp(T) <- ins.audited(T).
+"""
+
+
+def _recursive_facts(depth: int = 7) -> str:
+    """A chain of *depth* diamonds: s0 -> {a0,b0} -> s1 -> ... -> sink.
+
+    Every diamond doubles the naive proof count of ``reach(s0)`` while
+    the join nodes collapse under answer tabling, so the config's
+    headline ratio (naive vs tabled expansions) grows exponentially
+    with depth.  Facts live in the database -- not the program -- so
+    the untabled run pays its re-derivations in ``unify.attempts``
+    (database matching), which the rulebase's head-match memo would
+    otherwise hide.
+    """
+    facts = []
+    for i in range(depth):
+        s, a, b, t = "s%d" % i, "a%d" % i, "b%d" % i, "s%d" % (i + 1)
+        facts += ["edge(%s, %s)." % (s, a), "edge(%s, %s)." % (s, b),
+                  "edge(%s, %s)." % (a, t), "edge(%s, %s)." % (b, t)]
+        facts += ["node(%s)." % n for n in (s, a, b)]
+    facts.append("node(s%d)." % depth)
+    facts.append("sink(s%d)." % depth)
+    return " ".join(facts)
+
+
+def _run_recursive_workflow() -> None:
+    # Non-tail recursion over a diamond DAG with a concurrent stamping
+    # tail: the join nodes are re-reached along exponentially many
+    # paths, all served from the answer table after the first proof
+    # (docs/PERFORMANCE.md, "Tabling the concurrent interpreter").
+    # Ground start + acyclic DAG keep the counters hash-seed
+    # deterministic, like the other full-TD configs.
+    from ..core import parse_database, parse_goal, parse_program, select_engine
+
+    engine = select_engine(parse_program(_RECURSIVE_TD), "audit")
+    db = parse_database(_recursive_facts())
+    assert len(list(engine.solve(parse_goal("audit"), db))) == 1
+
+
 def _run_chaos_faults() -> None:
     # A small, fixed slice of the chaos suite (docs/ROBUSTNESS.md).  The
     # injector is seed-deterministic and holds no RNG of its own, so the
@@ -231,6 +275,11 @@ def profile_suite() -> List[ProfileConfig]:
             "conc_fanout",
             "5-item concurrent fan-out (full-TD BFS, partial-order reduction)",
             _run_conc_fanout,
+        ),
+        ProfileConfig(
+            "recursive_workflow",
+            "depth-7 diamond-DAG reachability audit (full-TD BFS, answer tabling)",
+            _run_recursive_workflow,
         ),
         ProfileConfig(
             "chaos_faults",

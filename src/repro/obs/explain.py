@@ -352,21 +352,36 @@ def check_ample_witness(witness: Optional[Dict[str, object]]) -> Optional[str]:
     human-readable description of the violation.  The check mirrors the
     reducer's soundness argument: the ample branch's *frontier* must
     commute with the inherited competitors and with every deferred
-    sibling's full *closure*, and must share no variables with them.
+    sibling's full *closure*, and must share no variables with them --
+    unless the decision was *rescued* by the dynamic re-check, in which
+    case the witness must show a bind-free frontier (``frontier_vars``
+    empty: sharing is confined to parts behind the next step, so no
+    binding can flow either way; see ``por.recheck_rescued``).
     """
     if not witness:
         return "pruned step carries no witness"
+    # A witness that predates the re-check (no ``frontier_vars`` field)
+    # must still satisfy the strict variable-disjointness condition.
+    bind_free = "frontier_vars" in witness and not witness["frontier_vars"]
     shared = witness.get("competitor_shared_vars") or ()
-    if shared:
-        return "ample shares variables with competitors: %s" % ", ".join(shared)
+    if shared and not bind_free:
+        return (
+            "ample shares variables with competitors (%s) and its "
+            "frontier is not bind-free: %s"
+            % (
+                ", ".join(shared),
+                ", ".join(witness.get("frontier_vars") or ()),
+            )
+        )
     frontier = _fp(witness.get("ample_frontier") or {})
     future = _fp(witness.get("competitors") or {})
     for entry in witness.get("pruned") or ():
         entry_shared = entry.get("shared_vars") or ()
-        if entry_shared:
-            return "ample shares variables with deferred branch %s: %s" % (
-                entry.get("branch"),
-                ", ".join(entry_shared),
+        if entry_shared and not bind_free:
+            return (
+                "ample shares variables with deferred branch %s (%s) and "
+                "its frontier is not bind-free"
+                % (entry.get("branch"), ", ".join(entry_shared))
             )
         closure = _fp(entry.get("closure") or {})
         future = (
@@ -430,11 +445,19 @@ def audit_por_goal(program, goal, db, *, max_configs: int = 200_000) -> PorAudit
 
     goal = as_goal(goal)
     recorder = ProvenanceRecorder()
+    # The audit targets the small-step reducer: run untabled so every
+    # ample-set decision happens in the recorded top-level search
+    # (tabling big-steps head calls into nested, unrecorded searches
+    # and has its own differential oracle).
     reduced = Interpreter(
-        program, max_configs=max_configs, por=True, provenance=recorder
+        program,
+        max_configs=max_configs,
+        por=True,
+        provenance=recorder,
+        tabling=False,
     )
     reduced_solutions = _normalized(reduced.solve(goal, db))
-    full = Interpreter(program, max_configs=max_configs, por=False)
+    full = Interpreter(program, max_configs=max_configs, por=False, tabling=False)
     full_solutions = _normalized(full.solve(goal, db))
 
     pruned, problems = _witness_problems(recorder)
@@ -478,16 +501,20 @@ def audit_profile_config(name: str) -> PorAudit:
     second; the witness re-check explains every individual prune.
     """
     from ..core.por import por_disabled
+    from ..core.tabling import tabling_disabled
 
     from .analyze import suite_config
 
+    # Untabled for the same reason as :func:`audit_por_goal`: the audit
+    # explains the reducer's prunes, so every ample decision must land
+    # in the recorded search.
     config = suite_config(name)
     recorder = ProvenanceRecorder()
     inst_reduced = Instrumentation.create()
-    with recording(recorder), instrumented(inst_reduced):
+    with tabling_disabled(), recording(recorder), instrumented(inst_reduced):
         config.run()
     inst_full = Instrumentation.create()
-    with por_disabled(), instrumented(inst_full):
+    with tabling_disabled(), por_disabled(), instrumented(inst_full):
         config.run()
 
     reduced_solutions = inst_reduced.metrics.snapshot(include_timers=False)[

@@ -79,6 +79,7 @@ DISPOSITIONS = (
     "deadline-exhausted",
     "depth-limit",
     "backtracked",
+    "table-hit",
 )
 
 #: Keep witness db-delta lists bounded; real workloads touch few tuples
@@ -357,14 +358,16 @@ def action_delta(action) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     """The (inserted, deleted) tuples of one trace action.
 
     ``iso`` actions flatten their subtrace: the isolated sub-execution
-    is one atomic step, so its net updates belong to the step.
+    is one atomic step, so its net updates belong to the step.  The same
+    goes for ``table`` actions, whose subtrace is the cached big-step
+    execution of a tabled call.
     """
     kind = action.kind
     if kind == "ins":
         return (str(action.atom),), ()
     if kind == "del":
         return (), (str(action.atom),)
-    if kind != "iso":
+    if kind not in ("iso", "table"):
         return (), ()
     inserted: List[str] = []
     deleted: List[str] = []
@@ -375,7 +378,7 @@ def action_delta(action) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
             inserted.append(str(sub.atom))
         elif sub.kind == "del":
             deleted.append(str(sub.atom))
-        elif sub.kind == "iso":
+        elif sub.kind in ("iso", "table"):
             stack[0:0] = list(sub.subtrace)
     return tuple(inserted), tuple(deleted)
 

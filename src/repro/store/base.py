@@ -269,9 +269,10 @@ def replay_trace(store: Store, actions: Iterable) -> Database:
     ``ins``/``del`` actions apply directly; an ``iso`` action replays
     its subtrace inside a nested savepoint (released on success, rolled
     back if the replay fails) -- the savepoint mapping of the paper's
-    isolation construct.  Query actions (``test``, ``neg``, ``call``,
-    ``builtin``) read but never write and are skipped.  Returns the
-    store's final state.
+    isolation construct.  A ``table`` action (the cached big-step
+    execution of a tabled call) replays the same way.  Query actions
+    (``test``, ``neg``, ``call``, ``builtin``) read but never write and
+    are skipped.  Returns the store's final state.
 
     This is the durable twin of
     :func:`repro.core.transitions.replay_actions`.
@@ -283,7 +284,7 @@ def replay_trace(store: Store, actions: Iterable) -> Database:
             db = store.insert(action.atom)
         elif kind == "del":
             db = store.delete(action.atom)
-        elif kind == "iso":
+        elif kind in ("iso", "table"):
             with store.transaction():
                 db = replay_trace(store, action.subtrace)
     return db

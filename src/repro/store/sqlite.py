@@ -265,7 +265,14 @@ class SqliteStore(Store):
         self._crashed = False
         self._closed = False
         self._checkpoint_deferred = False
-        self._stack: List[Tuple[Savepoint, Database]] = []
+        # (savepoint, db-as-of-open, wal-buffer mark).  The mark is the
+        # buffer length when the scope opened, so rollback can discard
+        # exactly the rows the scope staged.
+        self._stack: List[Tuple[Savepoint, Database, int]] = []
+        # WAL rows staged by open savepoints, flushed in one
+        # ``executemany`` when the outermost scope releases (one fsync
+        # per trace commit instead of one per fact delta).
+        self._wal_buffer: List[Tuple[str, str, bytes]] = []
         self._serial = 0
         self._lease: Optional[WriterLease] = None
         if readonly:
@@ -527,23 +534,51 @@ class SqliteStore(Store):
         but before the mirror advances -- the store is then torn exactly
         the way a power-cut mid-commit tears a real system, and only the
         reopen replay may heal it.
+
+        Inside an open savepoint the row is *staged* instead of written:
+        it joins the scope's batch and hits SQLite in one ``executemany``
+        when the outermost scope releases.  Crash ticks still advance
+        and both crash points still fire per fact delta, and a crash
+        loses the staged rows exactly as it loses a scope's uncommitted
+        SQL rows today -- an open scope rolls back on reopen either way.
         """
         self._appends += 1
         tick = self._appends
         self._maybe_crash("pre-fsync", tick)
         if self._lease is not None:
             self._lease.renew()
+        obs = active()
+        if self._stack:
+            self._wal_buffer.append((op, fact.pred, frame_record(fact)))
+            if obs.enabled:
+                obs.metrics.inc("store.wal_appends")
+        else:
+            start = time.perf_counter()
+            self._exec(
+                "INSERT INTO wal (op, pred, fact) VALUES (?, ?, ?)",
+                (op, fact.pred, frame_record(fact)),
+            )
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            if obs.enabled:
+                obs.metrics.inc("store.wal_appends")
+                obs.metrics.observe("store.wal_fsync_ms", elapsed_ms)
+        self._maybe_crash("post-fsync", tick)
+
+    def _flush_wal_buffer(self) -> None:
+        """Write every staged WAL row in one batch (single fsync)."""
+        if self._lease is not None:
+            self._lease.renew()
         start = time.perf_counter()
-        self._exec(
+        self._exec_many(
             "INSERT INTO wal (op, pred, fact) VALUES (?, ?, ?)",
-            (op, fact.pred, frame_record(fact)),
+            self._wal_buffer,
         )
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         obs = active()
         if obs.enabled:
-            obs.metrics.inc("store.wal_appends")
+            obs.metrics.inc("store.wal_batched", len(self._wal_buffer))
             obs.metrics.observe("store.wal_fsync_ms", elapsed_ms)
-        self._maybe_crash("post-fsync", tick)
+        del self._wal_buffer[:]
 
     def insert(self, fact: Atom) -> Database:
         self._check_writable()
@@ -578,17 +613,17 @@ class SqliteStore(Store):
         self._serial += 1
         sp = Savepoint("iso_%d" % self._serial, depth=len(self._stack))
         self._exec("SAVEPOINT %s" % sp.name)
-        self._stack.append((sp, self._db))
+        self._stack.append((sp, self._db, len(self._wal_buffer)))
         obs = active()
         if obs.enabled:
             obs.metrics.inc("store.savepoints")
         return sp
 
-    def _pop_to(self, sp: Savepoint) -> Database:
+    def _pop_to(self, sp: Savepoint) -> Tuple[Database, int]:
         while self._stack:
-            top, saved = self._stack.pop()
+            top, saved, mark = self._stack.pop()
             if top is sp:
-                return saved
+                return saved, mark
         raise StoreError("unknown or already-closed savepoint: %r" % (sp,))
 
     def release(self, sp: Savepoint) -> None:
@@ -596,9 +631,16 @@ class SqliteStore(Store):
         self._pop_to(sp)
         self._released += 1
         # The torn moment of a commit: the scope is logically decided
-        # but the SQL RELEASE never executes, so its WAL rows die with
-        # the connection -- rollback-on-reopen, like any open scope.
+        # but the batch flush and SQL RELEASE never execute, so its WAL
+        # rows die with the connection -- rollback-on-reopen, like any
+        # open scope.
         self._maybe_crash("mid-savepoint-release", self._released)
+        # An inner release folds its staged rows into the parent scope
+        # (the buffer is shared; only marks separate scopes); the
+        # outermost release flushes the whole batch in one fsync, then
+        # commits it with the SQL RELEASE.
+        if not self._stack and self._wal_buffer:
+            self._flush_wal_buffer()
         self._exec("RELEASE %s" % sp.name)
         obs = active()
         if obs.enabled:
@@ -610,7 +652,10 @@ class SqliteStore(Store):
 
     def rollback(self, sp: Savepoint) -> None:
         self._check_writable()
-        saved = self._pop_to(sp)
+        saved, mark = self._pop_to(sp)
+        # Discard the rows this scope (and any nested scope) staged;
+        # rows staged by still-open outer scopes stay buffered.
+        del self._wal_buffer[mark:]
         # ROLLBACK TO undoes the scope's writes but leaves the
         # savepoint open; RELEASE closes it (standard SQLite pairing).
         self._exec("ROLLBACK TO %s" % sp.name)
@@ -626,10 +671,13 @@ class SqliteStore(Store):
     # -- checkpointing ---------------------------------------------------------
 
     def _wal_length(self) -> int:
+        # Staged-but-unflushed rows count: they will land at the next
+        # outermost release, and the deferral bookkeeping in
+        # _maybe_checkpoint should see the tail they are about to form.
         return self._conn.execute(
             "SELECT COUNT(*) FROM wal WHERE seq > ?",
             (self._meta("checkpoint_seq", 0),),
-        ).fetchone()[0]
+        ).fetchone()[0] + len(self._wal_buffer)
 
     def _maybe_checkpoint(self) -> None:
         if self._wal_length() < self.snapshot_every:

@@ -152,11 +152,22 @@ class TestRecursion:
 
     def test_budget_exceeded_on_divergence(self):
         # Non-tail recursion accumulates an ever-growing continuation:
-        # the configuration space is infinite and BFS hits its budget.
+        # the configuration space is infinite and the naive BFS hits its
+        # budget (tabling=False -- the table proves this failure finitely,
+        # see the companion test below).
         prog = "grow <- grow * ins.x."
-        interp = Interpreter(parse_program(prog), max_configs=500)
+        interp = Interpreter(parse_program(prog), max_configs=500, tabling=False)
         with pytest.raises(SearchBudgetExceeded):
             interp.succeeds(parse_goal("grow"), Database())
+
+    def test_tabling_proves_divergent_failure_finitely(self):
+        # The same program under tabling: the recursive call consumes
+        # from its own (empty) table entry, the generator reaches a
+        # fixpoint with zero answers, and the search terminates with a
+        # proof of failure instead of exhausting the budget.
+        prog = "grow <- grow * ins.x."
+        interp = Interpreter(parse_program(prog), max_configs=500)
+        assert not interp.succeeds(parse_goal("grow"), Database())
 
     def test_finite_cycle_terminates_as_failure(self):
         # Tail recursion with no exit revisits the same configuration:

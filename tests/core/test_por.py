@@ -113,7 +113,8 @@ class TestAmpleSelection:
     def _ample(self, program, goal_text):
         goal = program.resolve_goal(parse_goal(goal_text))
         reducer = PartialOrderReducer(program)
-        return reducer._ample_index(goal.parts, EMPTY_FOOTPRINT, frozenset())
+        idx, _ = reducer._ample_index(goal.parts, EMPTY_FOOTPRINT, frozenset())
+        return idx
 
     def test_insert_only_branch_is_ample(self):
         program = parse_program("p <- ins.a.\nq <- b(X) * del.b(X) * q.\nq <- not b(_).")
@@ -132,6 +133,44 @@ class TestAmpleSelection:
     def test_shared_variable_blocks_ampleness(self):
         program = parse_program("dummy <- ins.unused.")
         assert self._ample(program, "ins.a(Y) | b(Y)") is None
+
+    def test_bind_free_frontier_rescues_shared_variable(self):
+        # The branches share X, but the left branch's *next* step is a
+        # ground test: no binding can flow in either direction through
+        # it, so the dynamic re-check keeps the ample decision that the
+        # all-or-nothing variable test used to throw away.
+        program = parse_program("dummy <- ins.unused.")
+        goal = program.resolve_goal(parse_goal("(a(m) * ins.r(X)) | b(X)"))
+        reducer = PartialOrderReducer(program)
+        idx, rescued = reducer._ample_index(
+            goal.parts, EMPTY_FOOTPRINT, frozenset()
+        )
+        assert idx == 0 and rescued
+
+    def test_rescued_decision_counts_and_agrees_with_full_expansion(self):
+        # End-to-end: the rescued ample set must bump the counter and
+        # lose no solutions against the unreduced search.
+        program = parse_program(
+            "go(X) <- (a(m) * ins.r(X)) | (b(X) * ins.s(X))."
+        )
+        db = parse_database("a(m). b(k). b(l).")
+        goal = parse_goal("go(X)")
+
+        def solutions(**kw):
+            interp = Interpreter(program, **kw)
+            return {
+                (
+                    tuple(sorted((str(v), str(t)) for v, t in s.bindings.items())),
+                    s.database,
+                )
+                for s in interp.solve(goal, db)
+            }
+
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            reduced = solutions()
+        assert inst.metrics.counter("por.recheck_rescued") > 0
+        assert reduced == solutions(por=False)
 
     def test_leftmost_independent_branch_wins(self):
         program = parse_program("dummy <- ins.unused.")

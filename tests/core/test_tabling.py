@@ -1,0 +1,601 @@
+"""Answer tabling for the concurrent interpreter (repro.core.tabling).
+
+Three layers of coverage:
+
+1. The table machinery itself: canonical call keys, answer
+   normalization, the subsumption lattice, and retirement of specific
+   answers by more general ones.
+2. The solution-level differential: tabling is pure work-avoidance, so
+   with it on and off the interpreter must produce identical answer
+   sets and final databases over the profile-suite configs and the six
+   chaos workloads (the ``tabling=False`` path is the naive oracle,
+   mirroring the reducer differential in ``test_transitions_diff.py``).
+3. The interactions the design doc calls out: bypass under fault
+   injection (chaos reports stay byte-identical), checkpoint/resume
+   with a warm table, table-hit provenance, and the headline >= 5x
+   reduction on the recursive profile workload.
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    Interpreter,
+    parse_database,
+    parse_goal,
+    parse_program,
+)
+from repro.core.errors import ReproError, SearchBudgetExceeded
+from repro.core.tabling import (
+    AnswerTable,
+    TableEntry,
+    _normalize_values,
+    canonical_call,
+    subsumes,
+    tabling_disabled,
+    tabling_forced_off,
+)
+from repro.core.terms import Constant, Variable, atom
+from repro.obs import Instrumentation, instrumented
+from repro.obs.analyze import (
+    _BANK_TD,
+    _FANOUT_TD,
+    _GENOME_TD,
+    _PATH_TD,
+    _RECURSIVE_TD,
+    _recursive_facts,
+)
+
+
+def _c(name):
+    return Constant(name)
+
+
+def _v(name):
+    return Variable(name)
+
+
+class TestCanonicalKeys:
+    def test_constants_stay_variables_rename(self):
+        canon, originals = canonical_call(atom("p", _c("a"), _v("X"), _v("Y")))
+        assert str(canon) == "p(a, V0, V1)"
+        assert originals == [_v("X"), _v("Y")]
+
+    def test_repeated_variables_share_a_name(self):
+        canon, originals = canonical_call(atom("p", _v("X"), _v("X")))
+        assert str(canon) == "p(V0, V0)"
+        assert originals == [_v("X")]
+
+    def test_alpha_equivalent_calls_share_a_key(self):
+        a, _ = canonical_call(atom("p", _v("X"), _v("Y")))
+        b, _ = canonical_call(atom("p", _v("U"), _v("W")))
+        assert a == b
+
+
+class TestSubsumption:
+    def test_normalization_renames_unbound_positions(self):
+        out = _normalize_values((_v("G12"), _c("a"), _v("G12"), _v("H3")))
+        assert out == (_v("A0"), _c("a"), _v("A0"), _v("A1"))
+
+    def test_general_covers_specific(self):
+        general = _normalize_values((_v("X"), _c("a")))
+        specific = _normalize_values((_c("b"), _c("a")))
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_equal_tuples_subsume(self):
+        vals = _normalize_values((_c("a"), _v("X")))
+        assert subsumes(vals, vals)
+
+    def test_entry_dedups_subsumed_answer(self):
+        entry = TableEntry()
+        db = Database()
+        added, retired = entry.add((_v("X"),), db, ())
+        assert added is not None and retired == 0
+        # A more specific answer with the same final database is
+        # already covered: not added, nothing retired.
+        added, retired = entry.add((_c("a"),), db, ())
+        assert added is None and retired == 0
+        assert len(entry.order) == 1
+
+    def test_general_answer_retires_specific_pending_ones(self):
+        entry = TableEntry()
+        db = Database()
+        assert entry.add((_c("a"),), db, ())[0] is not None
+        assert entry.add((_c("b"),), db, ())[0] is not None
+        added, retired = entry.add((_v("X"),), db, ())
+        assert added is not None and retired == 2
+        assert len(entry.order) == 1
+        assert isinstance(entry.order[0][0][0], Variable)
+
+    def test_subsumption_requires_matching_final_db(self):
+        # Answers are (bindings, final database) pairs: a general
+        # binding under a different final state retires nothing.
+        entry = TableEntry()
+        db1 = parse_database("m(1).")
+        db2 = parse_database("m(2).")
+        assert entry.add((_c("a"),), db1, ())[0] is not None
+        added, retired = entry.add((_v("X"),), db2, ())
+        assert added is not None and retired == 0
+        assert len(entry.order) == 2
+
+    def test_subsumed_counter_visible_end_to_end(self):
+        # One rule binds X, the other leaves it unbound with the same
+        # final database: the general answer must retire the specific
+        # one and bump table.subsumed.
+        program = parse_program(
+            """
+            pick(X) <- opt(X).
+            pick(X) <- free.
+            go <- pick(Y) * ins.done.
+            """
+        )
+        db = parse_database("opt(a). free.")
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            sols = list(Interpreter(program).solve(parse_goal("go"), db))
+        naive = list(
+            Interpreter(program, tabling=False).solve(parse_goal("go"), db)
+        )
+        assert inst.metrics.counter("table.subsumed") >= 1
+        # Work-level collapse, solution-level equivalence: the served
+        # general answer covers the specific one.
+        assert {s.database for s in sols} == {s.database for s in naive}
+
+
+class TestDeltaKeys:
+    def test_same_database_costs_nothing(self):
+        table = AnswerTable()
+        db = parse_database("a(1). b(2).")
+        canon, _ = canonical_call(atom("p", _v("X")))
+        _, cost0 = table.entry(canon, db)
+        assert cost0 == 0  # first call snapshots the base
+        _, cost1 = table.entry(canon, db)
+        assert cost1 == 0  # identical database: empty delta
+
+    def test_delta_grows_with_divergence(self):
+        table = AnswerTable()
+        base = parse_database("a(1).")
+        canon, _ = canonical_call(atom("p", _v("X")))
+        table.entry(canon, base)
+        _, cost = table.entry(canon, parse_database("a(1). b(2). c(3)."))
+        assert cost > 0
+
+    def test_distinct_databases_get_distinct_entries(self):
+        table = AnswerTable()
+        canon, _ = canonical_call(atom("p", _v("X")))
+        e1, _ = table.entry(canon, parse_database("a(1)."))
+        e2, _ = table.entry(canon, parse_database("a(2)."))
+        e1b, _ = table.entry(canon, parse_database("a(1)."))
+        assert e1 is not e2
+        assert e1 is e1b
+
+    def test_snapshot_restore_round_trip(self):
+        table = AnswerTable()
+        db = parse_database("a(1).")
+        canon, _ = canonical_call(atom("p", _v("X")))
+        entry, _ = table.entry(canon, db)
+        entry.add((_c("a"),), db, ())
+        entry.complete = True
+        warm = AnswerTable.restore(table.snapshot())
+        served = warm.peek(canon, db)
+        assert served is not None and served.complete
+        assert [a[:2] for a in served.order] == [a[:2] for a in entry.order]
+
+
+# -- solution-level differential ----------------------------------------------
+
+
+def _solution_set(interp, goal, db):
+    return {
+        (
+            tuple(sorted((str(v), str(t)) for v, t in sol.bindings.items())),
+            sol.database,
+        )
+        for sol in interp.solve(goal, db)
+    }
+
+
+def assert_tabling_invisible(program, goal, db, max_configs=400_000):
+    """Tabling must change only the work, never the result: same answer
+    sets and final databases with ``tabling`` on and off."""
+    goal = program.resolve_goal(goal)
+    tabled = _solution_set(
+        Interpreter(program, max_configs=max_configs), goal, db
+    )
+    naive = _solution_set(
+        Interpreter(program, max_configs=max_configs, tabling=False), goal, db
+    )
+    assert tabled == naive
+    assert tabled  # every workload here has at least one solution
+
+
+#: One-sample genome database (as in the reducer differential): the
+#: naive enumeration of the two-sample profile db is tens of seconds.
+_GENOME_ONE = (
+    "workitem(dna01). available(ana). available(raj). "
+    "qualified(ana, tech). qualified(raj, tech). qualified(raj, reader)."
+)
+
+
+class TestTablingInvisibleOnProfileSuite:
+    """Tabling on/off: identical answer sets and final databases on the
+    profile-suite programs (the configs the counter gate pins)."""
+
+    def test_bank_transfer(self):
+        assert_tabling_invisible(
+            parse_program(_BANK_TD),
+            parse_goal("transfer(a, b, 30)"),
+            parse_database("balance(a, 100). balance(b, 10)."),
+        )
+
+    def test_path_tabled(self):
+        assert_tabling_invisible(
+            parse_program(_PATH_TD),
+            parse_goal("path(a, X)"),
+            parse_database("e(a, b). e(b, c). e(c, d). e(d, e). e(e, f)."),
+        )
+
+    def test_genome_simulate(self):
+        assert_tabling_invisible(
+            parse_program(_GENOME_TD), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_genome_statespace_db(self):
+        assert_tabling_invisible(
+            parse_program(_GENOME_TD), parse_goal("simulate"),
+            parse_database(
+                "workitem(dna01). available(raj). "
+                "qualified(raj, tech). qualified(raj, reader)."
+            ),
+        )
+
+    def test_conc_fanout(self):
+        assert_tabling_invisible(
+            parse_program(_FANOUT_TD), parse_goal("spawn"),
+            parse_database("item(j1). item(j2). item(j3). item(j4). item(j5)."),
+        )
+
+    def test_recursive_workflow(self):
+        assert_tabling_invisible(
+            parse_program(_RECURSIVE_TD), parse_goal("audit"),
+            parse_database(_recursive_facts(5)),
+        )
+
+    def test_lab_workflow(self):
+        from repro.core.formulas import Call
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator()
+        assert_tabling_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+
+class TestTablingInvisibleOnChaosWorkloads:
+    """The six chaos workloads' programs, unfaulted: tabling must be
+    invisible on the very shapes the chaos gate perturbs.  (Under fault
+    injection the interpreter bypasses the table entirely -- see
+    TestTablingBypassedUnderFaults.)"""
+
+    def test_bank_transfer(self):
+        from repro.faults.chaos import _BANK_DB, _BANK_TD as BANK
+
+        assert_tabling_invisible(
+            parse_program(BANK),
+            parse_goal("transfer(a, b, 30)"),
+            parse_database(_BANK_DB),
+        )
+
+    def test_path_query(self):
+        from repro.faults.chaos import _PATH_DB, _PATH_TD as PATH
+
+        assert_tabling_invisible(
+            parse_program(PATH),
+            parse_goal("path(a, Y) * ins.reached(Y)"),
+            parse_database(_PATH_DB),
+        )
+
+    def test_genome_simulate(self):
+        from repro.faults.chaos import _GENOME_TD as GENOME
+
+        assert_tabling_invisible(
+            parse_program(GENOME), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_genome_iso(self):
+        from repro.faults.chaos import _GENOME_ISO_TD
+
+        assert_tabling_invisible(
+            parse_program(_GENOME_ISO_TD), parse_goal("simulate"),
+            parse_database(_GENOME_ONE),
+        )
+
+    def test_lab_workflow(self):
+        from repro.core.formulas import Call
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator(iterate=False)
+        assert_tabling_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+    def test_lab_iterate(self):
+        from repro.core.formulas import Call
+        from repro.lims import build_lab_simulator, sample_batch
+
+        sim = build_lab_simulator(iterate=True)
+        assert_tabling_invisible(
+            sim.program,
+            Call(atom("simulate")),
+            sim.initial_database(sample_batch(1)),
+        )
+
+
+# -- the headline reduction ---------------------------------------------------
+
+
+class TestRecursiveSpeedup:
+    def _measure(self, **kw):
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            interp = Interpreter(
+                parse_program(_RECURSIVE_TD), max_configs=2_000_000, **kw
+            )
+            sols = list(
+                interp.solve(parse_goal("audit"), parse_database(_recursive_facts()))
+            )
+        return sols, inst.metrics
+
+    def test_recursive_workflow_reduced_at_least_5x(self):
+        # The acceptance benchmark: on the recursive profile workload
+        # the table must cut expansions and unification fan-out by
+        # >= 5x (measured ~14x / ~12x at depth 7; asserting the floor).
+        sols_on, on = self._measure()
+        sols_off, off = self._measure(tabling=False)
+        assert {s.database for s in sols_on} == {s.database for s in sols_off}
+        assert on.counter("search.solutions") == off.counter("search.solutions")
+        assert off.counter("search.configs_expanded") >= 5 * on.counter(
+            "search.configs_expanded"
+        )
+        assert off.counter("unify.attempts") >= 5 * on.counter("unify.attempts")
+        assert on.counter("table.hits") > 0
+        assert on.counter("table.delta_bytes") >= 0
+        assert off.counter("table.hits") == 0
+        assert off.counter("table.misses") == 0
+
+    def test_table_hits_on_multiple_configs(self):
+        # table.hits > 0 on at least two profile-suite workloads: the
+        # recursive diamond and the concurrent fan-out (whose drained
+        # ``spawn`` tail re-reaches tabled states).
+        def hits(text, goal, db):
+            inst = Instrumentation.create()
+            with instrumented(inst):
+                list(
+                    Interpreter(parse_program(text)).solve(
+                        parse_goal(goal), parse_database(db)
+                    )
+                )
+            return inst.metrics.counter("table.hits")
+
+        assert hits(_RECURSIVE_TD, "audit", _recursive_facts(4)) > 0
+        assert (
+            hits(
+                _FANOUT_TD,
+                "spawn",
+                "item(j1). item(j2). item(j3). item(j4). item(j5).",
+            )
+            > 0
+        )
+
+
+# -- composition with fault injection -----------------------------------------
+
+
+class TestTablingBypassedUnderFaults:
+    def test_no_table_counters_under_fault_injection(self):
+        # The table object exists (faults can go dormant mid-run) but
+        # every use site checks ``self.faults is None``: a faulted run
+        # must emit no table.* counters at all.
+        from repro.faults import FaultInjector, generate_plan
+
+        program = parse_program(_BANK_TD)
+        plan = generate_plan(seed=3, predicates=("balance",), agents=())
+        inst = Instrumentation.create()
+        with instrumented(inst):
+            Interpreter(program, faults=FaultInjector(plan)).simulate(
+                parse_goal("transfer(a, b, 30)"),
+                parse_database("balance(a, 100). balance(b, 10)."),
+            )
+        assert inst.metrics.counter("table.hits") == 0
+        assert inst.metrics.counter("table.misses") == 0
+        assert inst.metrics.counter("table.delta_bytes") == 0
+
+    def test_table_never_consulted_under_fault_injection(self, monkeypatch):
+        # Fault plans target individual interleavings, so the chaos
+        # harness must see the naive small-step expansion: tdlog chaos
+        # output stays byte-identical whatever the table does.  If the
+        # interpreter consulted the table here, this run would raise.
+        from repro.core import tabling as tabling_module
+        from repro.faults import FaultInjector, generate_plan
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("answer table consulted under fault injection")
+
+        monkeypatch.setattr(tabling_module.AnswerTable, "entry", boom)
+        monkeypatch.setattr(tabling_module.AnswerTable, "iso_entry", boom)
+        program = parse_program(_BANK_TD)
+        plan = generate_plan(seed=3, predicates=("balance",), agents=())
+        interp = Interpreter(program, faults=FaultInjector(plan))
+        interp.simulate(
+            parse_goal("transfer(a, b, 30)"),
+            parse_database("balance(a, 100). balance(b, 10)."),
+        )
+
+    def test_chaos_report_identical_with_tabling_force_disabled(self):
+        # The pinned gate: because faulted runs bypass the table, the
+        # chaos report is byte-identical whether tabling exists at all.
+        from repro.faults.chaos import format_report, run_chaos, workload_by_name
+
+        workloads = [workload_by_name("bank_transfer"), workload_by_name("genome_iso")]
+        default = format_report(run_chaos(workloads, plans=4, base_seed=0))
+        with tabling_disabled():
+            assert tabling_forced_off()
+            forced = format_report(run_chaos(workloads, plans=4, base_seed=0))
+        assert not tabling_forced_off()
+        assert default == forced
+
+    def test_force_disable_overrides_constructor(self):
+        program = parse_program("p <- ins.a.")
+        with tabling_disabled():
+            assert Interpreter(program)._table is None
+        assert Interpreter(program)._table is not None
+
+
+# -- checkpoint/resume with a warm table --------------------------------------
+
+#: The chain walk from test_checkpoint.py: many interruption points,
+#: recursive calls the table can serve warm across resumptions.
+_CHAIN = """
+walk(X, Y) <- edge(X, Y) * ins.visited(Y).
+walk(X, Y) <- edge(X, Z) * ins.visited(Z) * walk(Z, Y).
+"""
+
+_CHAIN_DB = (
+    "edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, f). "
+    "edge(f, g). edge(g, h). edge(h, i). edge(i, j)."
+)
+
+
+class TestCheckpointResume:
+    def _full(self):
+        interp = Interpreter(parse_program(_CHAIN), max_configs=1_000_000)
+        return _solution_set(
+            interp, parse_goal("walk(a, Y)"), parse_database(_CHAIN_DB)
+        )
+
+    def test_checkpoint_carries_the_warm_table(self):
+        interp = Interpreter(parse_program(_CHAIN), max_configs=30)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(interp.solve(parse_goal("walk(a, Y)"), parse_database(_CHAIN_DB)))
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.table is not None
+
+    def test_round_trip_resumes_to_the_full_answer_set(self):
+        db = parse_database(_CHAIN_DB)
+        got = set()
+        interruptions = 0
+        source = Interpreter(parse_program(_CHAIN), max_configs=40).solve(
+            parse_goal("walk(a, Y)"), db
+        )
+        while True:
+            try:
+                for sol in source:
+                    got.add(
+                        (
+                            tuple(
+                                sorted(
+                                    (str(v), str(t))
+                                    for v, t in sol.bindings.items()
+                                )
+                            ),
+                            sol.database,
+                        )
+                    )
+                break
+            except ReproError as exc:
+                interruptions += 1
+                assert exc.checkpoint is not None
+                source = Interpreter(
+                    parse_program(_CHAIN), max_configs=1_000_000
+                ).resume(exc.checkpoint)
+        assert interruptions >= 1
+        assert got == self._full()
+
+    def test_resuming_the_same_checkpoint_twice_is_idempotent(self):
+        db = parse_database(_CHAIN_DB)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            list(
+                Interpreter(parse_program(_CHAIN), max_configs=25).solve(
+                    parse_goal("walk(a, Y)"), db
+                )
+            )
+        checkpoint = info.value.checkpoint
+
+        def drain():
+            return {
+                (
+                    tuple(
+                        sorted(
+                            (str(v), str(t)) for v, t in sol.bindings.items()
+                        )
+                    ),
+                    sol.database,
+                )
+                for sol in Interpreter(
+                    parse_program(_CHAIN), max_configs=1_000_000
+                ).resume(checkpoint)
+            }
+
+        assert drain() == drain()
+
+    def test_naive_marks_guarantee_progress_under_tiny_budgets(self):
+        # The livelock regression: with tabling, a config interrupted
+        # mid-big-step must be re-expanded naively on resume, or a
+        # too-small resume budget restarts the same generation from
+        # scratch forever.  Thirteen-step hops must still terminate.
+        db = parse_database(_CHAIN_DB)
+        got = []
+        hops = 0
+        source = Interpreter(parse_program(_CHAIN), max_configs=13).solve(
+            parse_goal("walk(a, Y)"), db
+        )
+        while hops < 500:
+            try:
+                got.extend(source)
+                break
+            except ReproError as exc:
+                hops += 1
+                source = Interpreter(
+                    parse_program(_CHAIN), max_configs=13
+                ).resume(exc.checkpoint)
+        else:
+            pytest.fail("resume loop made no progress (tabling livelock)")
+        assert len(got) == len(self._full())
+
+
+# -- provenance ---------------------------------------------------------------
+
+
+class TestTableHitProvenance:
+    def test_table_hit_nodes_recorded(self):
+        # The repeated head call must appear at the *top level* of the
+        # goal: hits inside nested generation searches run without a
+        # recorder (their work is summarized by the answer they yield).
+        from repro.obs import ProvenanceRecorder
+        from repro.obs.provenance import DISPOSITIONS
+
+        rec = ProvenanceRecorder()
+        interp = Interpreter(
+            parse_program("probe <- item(X)."), provenance=rec
+        )
+        sols = list(
+            interp.solve(
+                parse_goal("probe * probe * ins.done"),
+                parse_database("item(a). item(b)."),
+            )
+        )
+        assert sols
+        hits = [n for n in rec.nodes if n.disposition == "table-hit"]
+        assert hits, "the second probe call must be served from the table"
+        assert "table-hit" in DISPOSITIONS
+        for node in hits:
+            assert node.witness and "key" in node.witness
+            assert node.witness["answers"] >= 1

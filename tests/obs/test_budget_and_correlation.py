@@ -20,13 +20,16 @@ from repro.workflow.scheduler import WorkflowSimulator
 @pytest.fixture
 def divergent_program():
     """Non-tail recursion: the continuation grows forever, so the
-    configuration space is infinite and the budget must fire."""
+    configuration space is infinite and the budget must fire.  The
+    tests below run with ``tabling=False``: the answer table proves
+    this failure finitely, and here the *budget accounting* is under
+    test, not the search strategy."""
     return parse_program("grow <- grow * ins.x.")
 
 
 class TestBudgetSpend:
     def test_exception_carries_spend_figure(self, divergent_program):
-        interp = Interpreter(divergent_program, max_configs=50)
+        interp = Interpreter(divergent_program, max_configs=50, tabling=False)
         with pytest.raises(SearchBudgetExceeded) as excinfo:
             list(interp.solve(parse_goal("grow"), Database()))
         err = excinfo.value
@@ -36,7 +39,7 @@ class TestBudgetSpend:
         assert "spent 51" in str(err)
 
     def test_metrics_record_exhaustion(self, divergent_program):
-        interp = Interpreter(divergent_program, max_configs=50)
+        interp = Interpreter(divergent_program, max_configs=50, tabling=False)
         inst = Instrumentation.create()
         with instrumented(inst):
             with pytest.raises(SearchBudgetExceeded):

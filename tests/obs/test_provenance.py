@@ -32,10 +32,14 @@ BANK_TEXT = """
 
 
 def bank_run(provenance):
-    """One BFS bank transfer with the given recorder attached."""
+    """One BFS bank transfer with the given recorder attached.
+
+    Untabled: these tests pin the recorder's *small-step* node shape
+    (per-step bindings, rule unifiers); the tabled big-step path has its
+    own provenance coverage in tests/core/test_tabling.py."""
     program = parse_program(BANK_TEXT)
     db = parse_database("balance(a, 100). balance(b, 10).")
-    interp = Interpreter(program, provenance=provenance)
+    interp = Interpreter(program, provenance=provenance, tabling=False)
     return list(interp.solve(parse_goal("transfer(a, b, 30)"), db))
 
 

@@ -105,5 +105,6 @@ def test_suite_is_the_full_baseline_set():
         "genome_statespace",
         "lab_workflow_batch3",
         "conc_fanout",
+        "recursive_workflow",
         "chaos_faults",
     }
